@@ -1,0 +1,54 @@
+"""Restart-variance study (paper Sec. 5 observation).
+
+"Due to the random nature of the iterative improvement scheme, multiple
+trials are sometimes necessary to find the best result."  This bench
+quantifies that on the EWF: mux-count distribution across seeds, the
+expected best-of-k, and the restarts needed to be near-optimal with 90%
+confidence — justifying the `restarts=3` default of `SalsaAllocator`.
+"""
+
+from conftest import FAST, publish
+
+from repro.analysis import ExperimentTable
+from repro.analysis.stats import seed_study
+from repro.bench import elliptic_wave_filter
+from repro.datapath.units import HardwareSpec
+from repro.sched import schedule_graph
+from repro.core import ImproveConfig
+
+
+def test_restart_variance(benchmark, capsys):
+    graph = elliptic_wave_filter()
+    schedule = schedule_graph(graph, HardwareSpec.non_pipelined(), 19)
+    config = ImproveConfig(max_trials=4 if FAST else 8,
+                           moves_per_trial=250 if FAST else 600)
+    seeds = range(6 if FAST else 12)
+
+    table = ExperimentTable(
+        name="Restart variance — EWF @ 19 csteps",
+        headers=["allocator", "best", "mean", "worst",
+                 "E[best-of-3]", "restarts for 90% best+1"])
+    studies = []
+    for traditional in (False, True):
+        study = seed_study(graph, schedule, seeds=seeds,
+                           traditional=traditional, config=config)
+        studies.append(study)
+        table.rows.append([
+            "traditional" if traditional else "salsa",
+            study.best, f"{study.mean:.1f}", study.worst,
+            f"{study.expected_best_of(3):.1f}",
+            study.restarts_for_near_best()])
+    table.notes.append(
+        "single-restart runs; the spread motivates the allocators' "
+        "multi-restart default (paper: 'multiple trials are sometimes "
+        "necessary')")
+    publish(table, "restart_variance.txt", capsys)
+
+    for study in studies:
+        assert study.expected_best_of(3) <= study.mean + 1e-9
+
+    benchmark.pedantic(
+        lambda: seed_study(graph, schedule, seeds=range(2),
+                           config=ImproveConfig(max_trials=2,
+                                                moves_per_trial=150)).best,
+        rounds=2, iterations=1)

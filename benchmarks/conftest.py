@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one module here; each
+regenerates its table (printed live and saved under ``results/``) and
+benchmarks a representative slice of the computation with
+pytest-benchmark.
+
+Set ``REPRO_BENCH_FULL=1`` for full search budgets (several minutes);
+the default "fast" mode reproduces the same shapes in well under a minute
+per table.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: fast mode unless the user asks for the full-budget run
+FAST = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+def publish(table, filename, capsys):
+    """Print a reproduced table live and persist it under results/."""
+    text = table.render()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, filename), "w") as fh:
+        fh.write(text + "\n")
+    with capsys.disabled():
+        print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def fast_mode():
+    return FAST

@@ -1,0 +1,13 @@
+"""Baseline allocators (traditional binding model) and legality checking."""
+
+from repro.alloc.checker import assert_legal, check_binding
+from repro.alloc.leftedge import left_edge, left_edge_register_count
+from repro.alloc.clique import clique_partition_registers
+from repro.alloc.bipartite import bipartite_fu_binding
+from repro.alloc.constructive import constructive_allocation
+
+__all__ = [
+    "assert_legal", "bipartite_fu_binding", "check_binding",
+    "clique_partition_registers", "constructive_allocation", "left_edge",
+    "left_edge_register_count",
+]

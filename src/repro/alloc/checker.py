@@ -1,0 +1,201 @@
+"""Full legality checking of a binding.
+
+Every structural rule of the (extended) binding model is verified here:
+FU conflicts, register conflicts, completeness of segment placement,
+consumer read-source validity, pass-through validity, and consistency of
+the incrementally-maintained connection ledger against a from-scratch
+re-derivation.  The iterative allocator keeps these invariants by
+construction; the checker is the independent referee used by the
+test-suite and at the end of every allocation run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from typing import TYPE_CHECKING
+
+from repro.errors import BindingError
+from repro.datapath.interconnect import ConnectionLedger
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core
+    from repro.core.binding import Binding
+
+
+def check_binding(binding: "Binding") -> List[str]:
+    """Return a list of rule violations (empty when the binding is legal)."""
+    problems: List[str] = []
+    binding.flush()  # the ledger is maintained lazily; sync before judging
+    graph = binding.graph
+    schedule = binding.schedule
+
+    # 1. operator bindings ---------------------------------------------------
+    for op_name, op in graph.ops.items():
+        fu_name = binding.op_fu.get(op_name)
+        if fu_name is None:
+            problems.append(f"operation {op_name!r} unbound")
+            continue
+        fu = binding.fus[fu_name]
+        if not fu.fu_type.supports(op.kind):
+            problems.append(
+                f"operation {op_name!r} ({op.kind}) on incapable FU "
+                f"{fu_name!r}")
+        for step in schedule.busy_steps(op_name):
+            token = binding.fu_tokens.get((fu_name, step))
+            if token != ("op", op_name):
+                problems.append(
+                    f"FU token mismatch for {op_name!r} at "
+                    f"({fu_name!r}, {step}): {token}")
+        if binding.op_swap.get(op_name, False) and not (
+                op.arity == 2 and op.commutative):
+            problems.append(f"illegal operand swap on {op_name!r}")
+
+    # tokens must be exactly ops' busy steps plus valid pass-throughs
+    expected_tokens = {}
+    for op_name in graph.ops:
+        fu_name = binding.op_fu.get(op_name)
+        if fu_name is None:
+            continue
+        for step in schedule.busy_steps(op_name):
+            expected_tokens[(fu_name, step)] = ("op", op_name)
+    for key, impl in binding.pt_impl.items():
+        value, dst_step, dst_reg = key
+        src_step = binding.interval(value).predecessor_step(dst_step)
+        if src_step is None:
+            problems.append(f"pass-through {key} on a birth segment")
+            continue
+        expected_tokens[(impl[1], src_step)] = ("pt",) + key
+    if expected_tokens != binding.fu_tokens:
+        extra = set(binding.fu_tokens) - set(expected_tokens)
+        missing = set(expected_tokens) - set(binding.fu_tokens)
+        problems.append(
+            f"FU token table out of sync (extra {sorted(extra)[:4]}, "
+            f"missing {sorted(missing)[:4]})")
+
+    # 2. segment placements ----------------------------------------------------
+    for vname in graph.values:
+        if binding.port_captured(vname):
+            if binding.placements.get((vname,
+                                       binding.interval(vname).birth)):
+                problems.append(
+                    f"port-captured value {vname!r} has register placements")
+            continue
+        for step in binding.interval(vname).steps:
+            regs = binding.segment_regs(vname, step)
+            if not regs:
+                problems.append(
+                    f"segment ({vname!r}, {step}) has no register")
+                continue
+            if len(set(regs)) != len(regs):
+                problems.append(
+                    f"segment ({vname!r}, {step}) placed twice in one "
+                    f"register: {regs}")
+            for reg in regs:
+                if binding.reg_occ.get((reg, step)) != vname:
+                    problems.append(
+                        f"occupancy table disagrees for ({reg!r}, {step})")
+    occupants = Counter()
+    for (reg, step), vname in binding.reg_occ.items():
+        occupants[(reg, step)] += 1
+        regs = binding.segment_regs(vname, step)
+        if reg not in regs:
+            problems.append(
+                f"reg_occ has ({reg!r}, {step}) -> {vname!r} but placement "
+                f"is {regs}")
+
+    # 3. consumer read sources ---------------------------------------------------
+    for vname, val in graph.values.items():
+        for op_name, port in val.consumers:
+            step = schedule.start[op_name]
+            reg = binding.read_src.get((op_name, port))
+            if reg is None:
+                problems.append(
+                    f"consumer ({op_name!r}, port {port}) of {vname!r} has "
+                    f"no read source")
+                continue
+            if reg not in binding.segment_regs(vname, step):
+                problems.append(
+                    f"consumer ({op_name!r}, port {port}) reads {vname!r} "
+                    f"from {reg!r}, which does not hold it at step {step}")
+
+    # 4. outputs --------------------------------------------------------------------
+    for vname in graph.outputs:
+        if binding.port_captured(vname):
+            producer = graph.values[vname].producer
+            if producer is not None and binding.op_fu.get(producer) is None:
+                problems.append(
+                    f"port-captured output {vname!r} has unbound producer")
+            continue
+        reg = binding.out_src.get(vname)
+        sample = binding.out_sample_step(vname)
+        if reg is None:
+            problems.append(f"output {vname!r} has no sample register")
+        elif reg not in binding.segment_regs(vname, sample):
+            problems.append(
+                f"output {vname!r} sampled from {reg!r}, which does not "
+                f"hold it at step {sample}")
+
+    # 5. pass-through implementations --------------------------------------------------
+    for (vname, dst_step, dst_reg), impl in binding.pt_impl.items():
+        src_reg, fu_name, fu_port = impl
+        interval = binding.interval(vname)
+        src_step = interval.predecessor_step(dst_step)
+        if src_step is None:
+            continue  # already reported above
+        if dst_reg not in binding.segment_regs(vname, dst_step):
+            problems.append(
+                f"pass-through into ({vname!r}, {dst_step}, {dst_reg!r}) "
+                f"but the register does not hold the value there")
+        if dst_reg in binding.segment_regs(vname, src_step):
+            problems.append(
+                f"pass-through into ({vname!r}, {dst_step}, {dst_reg!r}) "
+                f"but no transfer happens (register keeps the value)")
+        if src_reg not in binding.segment_regs(vname, src_step):
+            problems.append(
+                f"pass-through source {src_reg!r} does not hold {vname!r} "
+                f"at step {src_step}")
+        fu = binding.fus.get(fu_name)
+        if fu is None or not fu.fu_type.can_passthrough:
+            problems.append(
+                f"pass-through through incapable FU {fu_name!r}")
+
+    # 6. ledger consistency -----------------------------------------------------------
+    try:
+        binding.ledger.verify()
+    except Exception as exc:  # noqa: BLE001 - report any ledger corruption
+        problems.append(f"ledger self-check failed: {exc}")
+    fresh = ConnectionLedger()
+    for key in _all_site_keys(binding):
+        try:
+            fresh.add_events(binding._derive(key))
+        except BindingError as exc:
+            problems.append(f"site {key} underivable: {exc}")
+    if fresh.mux_count != binding.ledger.mux_count or \
+            fresh.wire_count != binding.ledger.wire_count:
+        problems.append(
+            f"ledger out of sync with state: mux {binding.ledger.mux_count} "
+            f"vs {fresh.mux_count}, wires {binding.ledger.wire_count} vs "
+            f"{fresh.wire_count}")
+
+    return problems
+
+
+def _all_site_keys(binding):
+    for op_name in binding.graph.ops:
+        yield ("read", op_name)
+    for vname in binding.graph.values:
+        yield ("write", vname)
+        yield ("out", vname)
+        if not binding.port_captured(vname):
+            for step in binding.interval(vname).steps[1:]:
+                yield ("xfer", vname, step)
+
+
+def assert_legal(binding: "Binding") -> None:
+    """Raise :class:`BindingError` listing all violations, if any."""
+    problems = check_binding(binding)
+    if problems:
+        raise BindingError(
+            f"binding fails {len(problems)} legality check(s):\n  "
+            + "\n  ".join(problems[:20]))

@@ -1,0 +1,64 @@
+"""Complete constructive traditional-model allocations.
+
+Combines the classic register allocators (left-edge, clique partitioning)
+with the classic FU binders (first-available, weighted bipartite matching)
+into full :class:`~repro.core.binding.Binding` objects, so every baseline
+is measured under exactly the same point-to-point cost model as the
+paper's allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import AllocationError
+from repro.datapath.cost import CostWeights
+from repro.datapath.units import FU, Register
+from repro.sched.schedule import Schedule
+from repro.core.binding import Binding
+from repro.core.initial import bind_ops_first_available, wire_reads
+from repro.alloc.leftedge import left_edge
+from repro.alloc.clique import clique_partition_registers
+from repro.alloc.bipartite import bipartite_fu_binding
+
+
+def constructive_allocation(schedule: Schedule, fus: Sequence[FU],
+                            registers: Sequence[Register],
+                            register_method: str = "leftedge",
+                            fu_method: str = "first",
+                            weights: CostWeights = CostWeights()) -> Binding:
+    """Build a complete monolithic-value binding with classic heuristics.
+
+    *register_method*: ``"leftedge"`` or ``"clique"``.
+    *fu_method*: ``"first"`` (first-available) or ``"bipartite"``
+    (per-step weighted matching against the register assignment).
+    """
+    binding = Binding(schedule, fus, registers, weights=weights)
+    reg_names = sorted(binding.regs)
+
+    # registers first: both classic methods are register-driven
+    if register_method == "leftedge":
+        value_reg = left_edge(schedule, reg_names)
+    elif register_method == "clique":
+        value_reg = clique_partition_registers(schedule,
+                                               register_names=reg_names)
+    else:
+        raise AllocationError(
+            f"unknown register method {register_method!r}")
+
+    if fu_method == "first":
+        bind_ops_first_available(binding)
+    elif fu_method == "bipartite":
+        op_fu = bipartite_fu_binding(schedule, list(binding.fus.values()),
+                                     value_reg)
+        for op_name, fu_name in op_fu.items():
+            binding.set_op_fu(op_name, fu_name)
+    else:
+        raise AllocationError(f"unknown FU method {fu_method!r}")
+
+    for value, reg in value_reg.items():
+        for step in binding.interval(value).steps:
+            binding.set_placements(value, step, (reg,))
+    wire_reads(binding)
+    binding.flush()
+    return binding

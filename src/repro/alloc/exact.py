@@ -1,0 +1,134 @@
+"""Exact (exhaustive) allocation for tiny instances.
+
+The paper notes that exact approaches (bipartite matching [13], integer
+programming [14]) "can find optimal or near-optimal allocations for this
+binding model".  This module provides a brute-force optimal allocator for
+the *traditional* binding model on tiny CDFGs — small enough to enumerate
+every (operation -> FU, value -> register, operand-swap) combination — and
+is used by the test-suite to certify that the iterative-improvement
+allocator actually reaches the optimum where the optimum is computable.
+
+Complexity is ``O(F^ops * R^values * 2^commutative)``; callers should stay
+below ~6 operations / ~6 stored values (the guard raises otherwise).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AllocationError
+from repro.datapath.cost import CostWeights
+from repro.datapath.units import FU, Register
+from repro.sched.schedule import Schedule
+from repro.core.binding import Binding
+from repro.core.initial import wire_reads
+
+#: search-size guard
+MAX_ASSIGNMENTS = 3_000_000
+
+
+def exact_traditional_allocation(schedule: Schedule, fus: Sequence[FU],
+                                 registers: Sequence[Register],
+                                 weights: CostWeights = CostWeights(),
+                                 optimize_swaps: bool = True) -> Binding:
+    """Return a provably cost-optimal traditional-model binding."""
+    graph = schedule.graph
+    lifetimes = schedule.lifetimes
+    ops = sorted(graph.ops)
+    stored = [v for v in sorted(graph.values)
+              if lifetimes.interval(v).birth < schedule.length]
+    swappable = [o for o in ops if graph.ops[o].commutative
+                 and graph.ops[o].arity == 2] if optimize_swaps else []
+
+    fu_options: List[List[str]] = []
+    for op_name in ops:
+        kind = graph.ops[op_name].kind
+        options = [f.name for f in fus if f.fu_type.supports(kind)]
+        if not options:
+            raise AllocationError(f"no FU can execute {op_name!r}")
+        fu_options.append(options)
+
+    size = 1
+    for options in fu_options:
+        size *= len(options)
+    size *= len(registers) ** len(stored)
+    size *= 2 ** len(swappable)
+    if size > MAX_ASSIGNMENTS:
+        raise AllocationError(
+            f"exact search space {size} exceeds {MAX_ASSIGNMENTS}; "
+            f"use the iterative allocator")
+
+    reg_names = [r.name for r in registers]
+    best_cost: Optional[float] = None
+    best_choice = None
+
+    binding = Binding(schedule, fus, registers, weights=weights)
+    for fu_choice in itertools.product(*fu_options):
+        # FU conflict pre-check (cheap)
+        busy = {}
+        ok = True
+        for op_name, fu_name in zip(ops, fu_choice):
+            for step in schedule.busy_steps(op_name):
+                if busy.setdefault((fu_name, step), op_name) != op_name:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if not ok:
+            continue
+        for reg_choice in itertools.product(reg_names, repeat=len(stored)):
+            # register conflict pre-check
+            occupied = {}
+            ok = True
+            for value, reg in zip(stored, reg_choice):
+                for step in lifetimes.interval(value).steps:
+                    if occupied.setdefault((reg, step), value) != value:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
+                continue
+            for swap_bits in itertools.product(
+                    (False, True), repeat=len(swappable)):
+                cost = _evaluate(binding, ops, fu_choice, stored,
+                                 reg_choice, swappable, swap_bits)
+                if best_cost is None or cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_choice = (fu_choice, reg_choice, swap_bits)
+
+    if best_choice is None:
+        raise AllocationError("no legal traditional binding exists")
+    fu_choice, reg_choice, swap_bits = best_choice
+    _apply(binding, ops, fu_choice, stored, reg_choice, swappable,
+           swap_bits)
+    return binding
+
+
+def _apply(binding: Binding, ops, fu_choice, stored, reg_choice,
+           swappable, swap_bits) -> None:
+    # reset
+    for key in list(binding.placements):
+        binding.set_placements(key[0], key[1], ())
+    for op_name in list(binding.op_fu):
+        binding.set_op_fu(op_name, None)
+    for op_name in list(binding.op_swap):
+        binding.set_op_swap(op_name, False)
+
+    for op_name, fu_name in zip(ops, fu_choice):
+        binding.set_op_fu(op_name, fu_name)
+    for value, reg in zip(stored, reg_choice):
+        for step in binding.interval(value).steps:
+            binding.set_placements(value, step, (reg,))
+    for op_name, flag in zip(swappable, swap_bits):
+        binding.set_op_swap(op_name, flag)
+    wire_reads(binding)
+    binding.flush()
+
+
+def _evaluate(binding: Binding, ops, fu_choice, stored, reg_choice,
+              swappable, swap_bits) -> float:
+    _apply(binding, ops, fu_choice, stored, reg_choice, swappable,
+           swap_bits)
+    return binding.cost().total

@@ -1,0 +1,80 @@
+"""Left-edge register allocation (the classic traditional-model baseline).
+
+Kurdahi/Parker-style left-edge packing for linear lifetimes, plus a greedy
+circular-arc variant for cyclic (loop-body) lifetimes.  Both assign each
+value to exactly one register for its whole lifetime — the monolithic
+binding the paper's extended model generalizes.
+
+Note the theory gap the extended model exploits: for *linear* intervals,
+left-edge always succeeds with ``max overlap`` registers; for *cyclic*
+intervals (circular arcs) the chromatic number can exceed the maximum
+overlap, so the traditional model sometimes needs an extra register where
+segment-level binding does not (see ``tests/alloc/test_leftedge.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AllocationError
+from repro.cdfg.lifetimes import LiveInterval
+from repro.sched.schedule import Schedule
+
+
+def left_edge(schedule: Schedule,
+              register_names: Optional[Sequence[str]] = None) \
+        -> Dict[str, str]:
+    """Monolithic value -> register assignment by left-edge packing.
+
+    Returns ``{value: register}``.  Raises :class:`AllocationError` when
+    *register_names* is given and too small.  Port-captured values (born
+    past the last step) are skipped — they never occupy a register.
+    """
+    lifetimes = schedule.lifetimes
+    length = schedule.length
+    linear: List[LiveInterval] = []
+    wrapped: List[LiveInterval] = []
+    for name in sorted(schedule.graph.values):
+        interval = lifetimes.interval(name)
+        if interval.birth >= length:
+            continue
+        (wrapped if interval.wraps else linear).append(interval)
+
+    assignment: Dict[str, str] = {}
+    occupancy: List[set] = []  # per register, the set of occupied steps
+
+    def fits(reg_idx: int, steps: Tuple[int, ...]) -> bool:
+        return not occupancy[reg_idx].intersection(steps)
+
+    def place(interval: LiveInterval) -> None:
+        for reg_idx in range(len(occupancy)):
+            if fits(reg_idx, interval.steps):
+                occupancy[reg_idx].update(interval.steps)
+                assignment[interval.value] = reg_idx
+                return
+        occupancy.append(set(interval.steps))
+        assignment[interval.value] = len(occupancy) - 1
+
+    # circular arcs first (they are the hardest to place), longest first;
+    # then classic left-edge order (sorted by birth) for linear intervals
+    for interval in sorted(wrapped, key=lambda iv: (-iv.length, iv.value)):
+        place(interval)
+    for interval in sorted(linear, key=lambda iv: (iv.birth, iv.death,
+                                                   iv.value)):
+        place(interval)
+
+    n_regs = len(occupancy)
+    if register_names is None:
+        register_names = [f"R{i}" for i in range(n_regs)]
+    if n_regs > len(register_names):
+        raise AllocationError(
+            f"left-edge needs {n_regs} registers, only "
+            f"{len(register_names)} provided (max overlap is "
+            f"{lifetimes.min_registers()}; cyclic lifetimes can force more)")
+    return {value: register_names[idx] for value, idx in assignment.items()}
+
+
+def left_edge_register_count(schedule: Schedule) -> int:
+    """Number of registers the left-edge allocator uses on *schedule*."""
+    assignment = left_edge(schedule)
+    return len(set(assignment.values()))

@@ -1,0 +1,17 @@
+"""Experiment drivers and reporting for the paper's tables and figures."""
+
+from repro.analysis.tables import render_table
+from repro.analysis.experiments import (ExperimentTable, ablation_anneal,
+                                        ablation_features, ablation_muxmerge,
+                                        dct_table3, ewf_table2,
+                                        figure3_experiment,
+                                        figure4_experiment)
+from repro.analysis.figures import passthrough_demo, value_split_demo
+from repro.analysis.stats import SeedStudy, seed_study
+
+__all__ = [
+    "ExperimentTable", "ablation_anneal", "ablation_features",
+    "ablation_muxmerge", "dct_table3", "ewf_table2", "figure3_experiment",
+    "figure4_experiment", "passthrough_demo", "render_table",
+    "SeedStudy", "seed_study", "value_split_demo",
+]

@@ -1,0 +1,315 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Each driver returns an :class:`ExperimentTable` whose rows mirror the
+structure of the corresponding table in the paper:
+
+* :func:`ewf_table2` — Table 2: the elliptic wave filter allocated for
+  schedules of 17/19/21 control steps with non-pipelined and pipelined
+  multipliers, at the schedule's minimum register count and with extra
+  registers, reporting equivalent 2-1 multiplexers for the SALSA
+  (extended-model) allocator vs. the traditional-model allocator (our
+  stand-in for the "best reported by other researchers" column);
+* :func:`dct_table3` — Table 3: four schedules of the 48-op DCT;
+* :func:`figure3_experiment` / :func:`figure4_experiment` — the
+  pass-through and value-split cost mechanics of Figures 3 and 4;
+* ablation drivers for annealing vs. iterative improvement, binding-model
+  feature gating, and multiplexer merging.
+
+Absolute mux counts depend on our reconstructed netlists and schedules;
+the *shape* — SALSA <= traditional everywhere, with strict wins
+concentrated where register budgets are tight — is the reproduction
+target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import discrete_cosine_transform, elliptic_wave_filter
+from repro.cdfg.graph import CDFG
+from repro.datapath.muxmerge import merge_muxes
+from repro.datapath.netlist import build_netlist
+from repro.datapath.simulate import verify_binding
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import minimal_fu_counts, schedule_graph
+from repro.sched.schedule import Schedule
+from repro.core import (AnnealConfig, ImproveConfig, MoveSet,
+                        SalsaAllocator, TraditionalAllocator, anneal,
+                        initial_allocation, salsa_from_traditional)
+from repro.core.improve import improve
+from repro.datapath.units import make_registers
+from repro.analysis.tables import render_table
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table: headers, rows and provenance."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=self.name)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        text += f"\n  ({self.seconds:.1f}s)"
+        return text
+
+
+def _configs_ewf() -> List[Tuple[int, bool]]:
+    """The schedule points of Table 2: (control steps, pipelined)."""
+    return [(17, False), (17, True), (19, False), (19, True), (21, False)]
+
+
+def _improve_config(fast: bool) -> ImproveConfig:
+    if fast:
+        return ImproveConfig(max_trials=6, moves_per_trial=300,
+                             uphill_per_trial=8)
+    return ImproveConfig(max_trials=12, moves_per_trial=800,
+                         uphill_per_trial=14)
+
+
+def _allocate_pair(graph: CDFG, schedule: Schedule, registers: int,
+                   seed: int, fast: bool, verify: bool = True):
+    cfg = _improve_config(fast)
+    restarts = 2 if fast else 3
+    trad = TraditionalAllocator(seed=seed, restarts=restarts,
+                                config=cfg).allocate(graph,
+                                                     schedule=schedule,
+                                                     registers=registers)
+    # the extended search continues from the traditional optimum (so it can
+    # only match or beat it), plus independent restarts of its own
+    salsa = salsa_from_traditional(trad, config=cfg, seed=seed + 101)
+    fresh = SalsaAllocator(seed=seed, restarts=restarts,
+                           config=cfg).allocate(graph, schedule=schedule,
+                                                registers=registers)
+    if fresh.cost.total < salsa.cost.total:
+        salsa = fresh
+    if verify:
+        verify_binding(salsa.binding, iterations=3, seed=seed)
+        verify_binding(trad.binding, iterations=3, seed=seed)
+    return salsa, trad
+
+
+def ewf_table2(fast: bool = False, seed: int = 7,
+               extra_registers: Sequence[int] = (0, 1),
+               verify: bool = True) -> ExperimentTable:
+    """Reproduce Table 2 (EWF allocations)."""
+    started = time.time()
+    graph = elliptic_wave_filter()
+    table = ExperimentTable(
+        name="Table 2 — EWF: equivalent 2-1 multiplexers",
+        headers=["csteps", "mult", "adders", "mults", "regs",
+                 "SALSA mux", "trad mux", "SALSA pts", "winner"])
+    for length, pipelined in _configs_ewf():
+        spec = HardwareSpec.pipelined() if pipelined else \
+            HardwareSpec.non_pipelined()
+        fus = minimal_fu_counts(graph, spec, length)
+        schedule = schedule_graph(graph, spec, length, fu_counts=fus,
+                                  label=f"ewf@{length}{'P' if pipelined else ''}")
+        min_regs = schedule.min_registers()
+        mult_key = "pmult" if pipelined else "mult"
+        for extra in extra_registers:
+            registers = min_regs + extra
+            salsa, trad = _allocate_pair(graph, schedule, registers, seed,
+                                         fast, verify=verify)
+            winner = ("SALSA" if salsa.mux_count < trad.mux_count else
+                      "tie" if salsa.mux_count == trad.mux_count else
+                      "trad")
+            table.rows.append([
+                f"{length}{'P' if pipelined else ''}", mult_key,
+                fus.get("adder", 0), fus.get(mult_key, 0), registers,
+                salsa.mux_count, trad.mux_count,
+                len(salsa.binding.pt_impl), winner])
+    table.notes.append(
+        "trad = same engine restricted to the traditional binding model "
+        "(monolithic values, no copies, no pass-throughs)")
+    table.notes.append(
+        "every reported allocation is verified cycle-accurately against "
+        "the CDFG interpreter" if verify else "verification skipped")
+    table.seconds = time.time() - started
+    return table
+
+
+def dct_table3(fast: bool = False, seed: int = 11,
+               verify: bool = True) -> ExperimentTable:
+    """Reproduce Table 3 (DCT allocations, four schedules)."""
+    started = time.time()
+    graph = discrete_cosine_transform()
+    configs = [(8, False), (10, False), (12, False), (9, True)]
+    table = ExperimentTable(
+        name="Table 3 — DCT: equivalent 2-1 multiplexers",
+        headers=["csteps", "mult", "adders", "mults", "regs",
+                 "SALSA mux", "trad mux", "SALSA pts", "winner"])
+    for length, pipelined in configs:
+        spec = HardwareSpec.pipelined() if pipelined else \
+            HardwareSpec.non_pipelined()
+        fus = minimal_fu_counts(graph, spec, length)
+        schedule = schedule_graph(graph, spec, length, fu_counts=fus,
+                                  label=f"dct@{length}{'P' if pipelined else ''}")
+        registers = schedule.min_registers()
+        mult_key = "pmult" if pipelined else "mult"
+        salsa, trad = _allocate_pair(graph, schedule, registers, seed,
+                                     fast, verify=verify)
+        winner = ("SALSA" if salsa.mux_count < trad.mux_count else
+                  "tie" if salsa.mux_count == trad.mux_count else "trad")
+        table.rows.append([
+            f"{length}{'P' if pipelined else ''}", mult_key,
+            fus.get("adder", 0), fus.get(mult_key, 0), registers,
+            salsa.mux_count, trad.mux_count,
+            len(salsa.binding.pt_impl), winner])
+    table.seconds = time.time() - started
+    return table
+
+
+# ---------------------------------------------------------------- figures
+
+def figure3_experiment() -> ExperimentTable:
+    """Figure 3 mechanics: a pass-through re-uses existing connections.
+
+    Constructs the exact situation of the figure on a binding: a transfer
+    whose direct implementation needs a new mux input at the destination
+    register, while an idle adder already has both connections — binding
+    the slack node to the adder must lower the interconnect cost.
+    """
+    from repro.analysis.figures import passthrough_demo
+
+    started = time.time()
+    demo = passthrough_demo()
+    table = ExperimentTable(
+        name="Figure 3 — pass-through vs direct transfer",
+        headers=["implementation", "equiv 2-1 mux", "wires"])
+    table.rows.append(["direct register-to-register",
+                       demo["direct_mux"], demo["direct_wires"]])
+    table.rows.append(["pass-through via idle adder",
+                       demo["pt_mux"], demo["pt_wires"]])
+    table.notes.append("pass-through saves "
+                       f"{demo['direct_mux'] - demo['pt_mux']} equivalent "
+                       f"2-1 mux(es), as in the paper's Figure 3")
+    table.seconds = time.time() - started
+    return table
+
+
+def figure4_experiment() -> ExperimentTable:
+    """Figure 4 mechanics: a value split removes a multiplexer."""
+    from repro.analysis.figures import value_split_demo
+
+    started = time.time()
+    demo = value_split_demo()
+    table = ExperimentTable(
+        name="Figure 4 — value split",
+        headers=["binding", "equiv 2-1 mux", "wires"])
+    table.rows.append(["single copy (traditional)",
+                       demo["single_mux"], demo["single_wires"]])
+    table.rows.append(["split: copy in second register",
+                       demo["split_mux"], demo["split_wires"]])
+    table.seconds = time.time() - started
+    return table
+
+
+# --------------------------------------------------------------- ablations
+
+def ablation_anneal(fast: bool = False, seed: int = 3) -> ExperimentTable:
+    """Sec. 4 claim: annealing under-performs bounded-uphill improvement."""
+    started = time.time()
+    graph = elliptic_wave_filter()
+    spec = HardwareSpec.non_pipelined()
+    schedule = schedule_graph(graph, spec, 19)
+    registers = schedule.min_registers()
+    fus = spec.make_fus(schedule.min_fus())
+    regs = make_registers(registers)
+
+    table = ExperimentTable(
+        name="Ablation A — iterative improvement vs simulated annealing "
+             "(EWF, 19 csteps, equal move budgets)",
+        headers=["optimizer", "final mux", "total cost", "moves"])
+
+    cfg = _improve_config(fast)
+    budget = cfg.max_trials * cfg.moves_per_trial
+
+    binding = initial_allocation(schedule, fus, regs)
+    stats = improve(binding, ImproveConfig(
+        max_trials=cfg.max_trials, moves_per_trial=cfg.moves_per_trial,
+        uphill_per_trial=cfg.uphill_per_trial, seed=seed))
+    cost = binding.cost()
+    table.rows.append(["iterative improvement", cost.mux_count,
+                       f"{cost.total:.1f}", stats.moves_attempted])
+
+    binding = initial_allocation(schedule, fus, regs)
+    levels = max(4, budget // (300 if fast else 900))
+    astats = anneal(binding, AnnealConfig(
+        temperature_levels=levels,
+        moves_per_level=300 if fast else 900, seed=seed))
+    cost = binding.cost()
+    table.rows.append(["simulated annealing", cost.mux_count,
+                       f"{cost.total:.1f}", astats.moves_attempted])
+    table.seconds = time.time() - started
+    return table
+
+
+def ablation_features(fast: bool = False, seed: int = 5) -> ExperimentTable:
+    """Contribution of each extended-model feature (EWF, 17 csteps)."""
+    started = time.time()
+    graph = elliptic_wave_filter()
+    spec = HardwareSpec.non_pipelined()
+    schedule = schedule_graph(graph, spec, 17)
+    registers = schedule.min_registers()
+    variants = [
+        ("traditional (monolithic)", MoveSet.traditional()),
+        ("+ segments", MoveSet(segments=True, splits=False,
+                               passthroughs=False)),
+        ("+ segments + pass-throughs", MoveSet(segments=True, splits=False,
+                                               passthroughs=True)),
+        ("full SALSA (+ splits)", MoveSet()),
+    ]
+    table = ExperimentTable(
+        name="Ablation B — binding-model features (EWF, 17 csteps, "
+             f"{registers} registers)",
+        headers=["model", "mux", "pass-throughs", "copies"])
+    cfg = _improve_config(fast)
+    # one shared traditional base, then each feature set extends it — the
+    # mux column is therefore non-increasing by construction
+    base = TraditionalAllocator(seed=seed, restarts=2 if fast else 3,
+                                config=cfg).allocate(
+        graph, schedule=schedule, registers=registers)
+    for index, (label, move_set) in enumerate(variants):
+        if index == 0:
+            alloc = base
+        else:
+            from dataclasses import replace as _replace
+            alloc = salsa_from_traditional(
+                base, config=_replace(cfg, move_set=move_set),
+                seed=seed + index)
+        copies = sum(1 for regs_ in alloc.binding.placements.values()
+                     if len(regs_) > 1)
+        table.rows.append([label, alloc.mux_count,
+                           len(alloc.binding.pt_impl), copies])
+    table.seconds = time.time() - started
+    return table
+
+
+def ablation_muxmerge(fast: bool = False, seed: int = 9) -> ExperimentTable:
+    """Sec. 4 post-pass: physical multiplexer merging."""
+    started = time.time()
+    graph = elliptic_wave_filter()
+    spec = HardwareSpec.non_pipelined()
+    table = ExperimentTable(
+        name="Ablation C — multiplexer merging post-pass (EWF)",
+        headers=["csteps", "mux instances", "after merge", "eq 2-1",
+                 "after merge eq 2-1"])
+    for length in (17, 19, 21):
+        schedule = schedule_graph(graph, spec, length)
+        alloc = SalsaAllocator(seed=seed, restarts=2,
+                               config=_improve_config(fast)).allocate(
+            graph, schedule=schedule)
+        report = merge_muxes(build_netlist(alloc.binding))
+        table.rows.append([length, report.before_instances,
+                           report.after_instances, report.before_eq21,
+                           report.after_eq21])
+    table.seconds = time.time() - started
+    return table

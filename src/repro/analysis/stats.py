@@ -1,0 +1,106 @@
+"""Run-to-run statistics of the randomized allocator.
+
+The paper notes that "due to the random nature of the iterative
+improvement scheme, multiple trials are sometimes necessary to find the
+best result, increasing the actual CPU time required" (Sec. 5).  This
+module quantifies that: it runs the allocator across many seeds and
+reports the distribution of final mux counts, the expected best-of-k, and
+how many restarts are needed to be within one multiplexer of the observed
+optimum with given confidence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdfg.graph import CDFG
+from repro.sched.schedule import Schedule
+from repro.core import ImproveConfig, SalsaAllocator, TraditionalAllocator
+
+
+@dataclass
+class SeedStudy:
+    """Mux-count distribution of an allocator across seeds."""
+
+    label: str
+    mux_counts: List[int] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def best(self) -> int:
+        return min(self.mux_counts)
+
+    @property
+    def worst(self) -> int:
+        return max(self.mux_counts)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.mux_counts) / len(self.mux_counts)
+
+    @property
+    def spread(self) -> int:
+        return self.worst - self.best
+
+    def expected_best_of(self, k: int) -> float:
+        """Expected best mux count when keeping the best of *k* runs.
+
+        Computed exactly from the empirical distribution: for a sample of
+        size n, E[min of k draws] = sum over sorted values of the
+        probability that the minimum equals that value.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        values = sorted(self.mux_counts)
+        n = len(values)
+        expectation = 0.0
+        for index, value in enumerate(values):
+            # P(min >= values[index]) = ((n - index) / n)^k
+            p_ge = ((n - index) / n) ** k
+            p_ge_next = ((n - index - 1) / n) ** k if index + 1 < n else 0.0
+            expectation += value * (p_ge - p_ge_next)
+        return expectation
+
+    def restarts_for_near_best(self, tolerance: int = 1,
+                               confidence: float = 0.9) -> int:
+        """Smallest k with P(best-of-k <= best + tolerance) >= confidence."""
+        good = sum(1 for m in self.mux_counts
+                   if m <= self.best + tolerance)
+        p = good / len(self.mux_counts)
+        if p >= 1.0:
+            return 1
+        k = 1
+        while 1.0 - (1.0 - p) ** k < confidence:
+            k += 1
+            if k > 1000:
+                break
+        return k
+
+    def summary(self) -> str:
+        return (f"{self.label}: best {self.best}, mean {self.mean:.1f}, "
+                f"worst {self.worst} over {len(self.mux_counts)} seeds; "
+                f"E[best-of-3] = {self.expected_best_of(3):.1f}; "
+                f"{self.restarts_for_near_best()} restart(s) for 90% "
+                f"chance of best+1 ({self.seconds:.1f}s)")
+
+
+def seed_study(graph: CDFG, schedule: Schedule,
+               registers: Optional[int] = None,
+               seeds: Sequence[int] = tuple(range(10)),
+               traditional: bool = False,
+               config: Optional[ImproveConfig] = None) -> SeedStudy:
+    """Allocate once per seed (single restart each) and collect stats."""
+    cfg = config if config is not None else \
+        ImproveConfig(max_trials=6, moves_per_trial=400)
+    cls = TraditionalAllocator if traditional else SalsaAllocator
+    label = f"{'trad' if traditional else 'salsa'}:{schedule.label}"
+    study = SeedStudy(label=label)
+    started = time.time()
+    for seed in seeds:
+        result = cls(seed=seed, restarts=1, config=cfg).allocate(
+            graph, schedule=schedule, registers=registers)
+        study.mux_counts.append(result.mux_count)
+    study.seconds = time.time() - started
+    return study

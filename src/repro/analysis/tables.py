@@ -1,0 +1,34 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width ASCII table (right-aligned numbers, left-aligned text)."""
+    cells = [[str(h) for h in headers]]
+    cells += [[("" if c is None else str(c)) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            raw = cells_row_is_numeric(cell)
+            parts.append(cell.rjust(widths[i]) if raw else
+                         cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    def cells_row_is_numeric(cell: str) -> bool:
+        stripped = cell.replace(".", "", 1).replace("-", "", 1)
+        return stripped.isdigit()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)

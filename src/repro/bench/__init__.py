@@ -1,0 +1,15 @@
+"""Benchmark CDFGs: EWF and DCT (the paper's evaluation) plus classics."""
+
+from repro.bench.ewf import EWF_COEFFICIENTS, elliptic_wave_filter, \
+    ewf_invariants
+from repro.bench.dct import discrete_cosine_transform, dct_invariants
+from repro.bench.extras import ar_lattice, fir_filter, hal_diffeq
+from repro.bench.toys import figure1_cdfg, figure3_fragment, figure4_fragment
+from repro.bench.random_cdfg import random_cdfg
+
+__all__ = [
+    "EWF_COEFFICIENTS", "ar_lattice", "dct_invariants",
+    "discrete_cosine_transform", "elliptic_wave_filter", "ewf_invariants",
+    "figure1_cdfg", "figure3_fragment", "figure4_fragment", "fir_filter",
+    "hal_diffeq", "random_cdfg",
+]

@@ -1,0 +1,113 @@
+"""Additional classic HLS benchmark CDFGs.
+
+These are not in the paper's evaluation but are standard in the allocation
+literature it cites (HAL differential equation from Paulin [2], FIR filter,
+AR lattice filter) and are used by the extra example scenarios and the
+wider test-suite.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+from repro.cdfg.validate import validate_cdfg
+
+
+def hal_diffeq(name: str = "diffeq") -> CDFG:
+    """Paulin's HAL differential-equation benchmark (one Euler step).
+
+    Solves ``y'' + 3xy' + 3y = 0`` numerically: the loop body computes
+
+        x1 = x + dx
+        u1 = u - 3*x*u*dx - 3*y*dx
+        y1 = y + u*dx
+
+    with ``x, y, u`` loop-carried; 6 multiplications, 2 additions, 2
+    subtractions per iteration (the loop-exit comparison is omitted, as in
+    most allocation papers).
+    """
+    b = CDFGBuilder(name, cyclic=True)
+    b.input("dx")
+    for sv in ("x", "y", "u"):
+        b.loop_value(sv)
+
+    b.mul("m1", 3.0, "x", "t1")        # 3x
+    b.mul("m2", "u", "dx", "t2")       # u*dx
+    b.mul("m3", 3.0, "y", "t3")        # 3y
+    b.mul("m4", "t1", "t2", "t4")      # 3x*u*dx
+    b.mul("m5", "dx", "t3", "t5")      # 3y*dx
+    b.sub("s1", "u", "t4", "t6")       # u - 3x*u*dx
+    b.sub("s2", "t6", "t5", "u")       # u1
+    b.mul("m6", "u", "dx", "t7")       # u*dx for the y update (old u, as in
+    b.add("a1", "x", "dx", "x")        # the canonical HAL data-flow graph)
+    b.add("a2", "y", "t7", "y")        # y1
+
+    b.output("y")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def fir_filter(taps: int = 8, name: str = "fir") -> CDFG:
+    """A *taps*-point transposed-form FIR filter loop body.
+
+    Structure: ``acc_k = x*c_k + z_k`` with a delay line ``z_k`` of
+    loop-carried partial sums — `taps` multiplications and `taps - 1`
+    additions per sample.
+    """
+    if taps < 2:
+        raise ValueError("FIR needs at least 2 taps")
+    b = CDFGBuilder(name, cyclic=True)
+    b.input("x")
+    for k in range(taps - 1):
+        b.loop_value(f"z{k}")
+
+    for k in range(taps):
+        b.mul(f"m{k}", 0.1 * (k + 1), "x", f"p{k}")
+    # y = p0 + z0 ; new z_k = p_{k+1} + z_{k+1} ; last z = p_{taps-1}
+    b.add("a0", "p0", "z0", "y")
+    for k in range(taps - 2):
+        b.add(f"a{k + 1}", f"p{k + 1}", f"z{k + 1}", f"z{k}")
+    # the deepest delay stage is loaded straight from the last product:
+    # model it as an addition with a zero constant so it owns an operator
+    b.add(f"a{taps - 1}", f"p{taps - 1}", 0.0, f"z{taps - 2}")
+
+    b.output("y")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def ar_lattice(name: str = "ar") -> CDFG:
+    """The AR (auto-regressive) lattice filter benchmark.
+
+    The classic 28-op version: 16 multiplications and 12 additions in two
+    lattice stages, acyclic (one sample of the filter).
+    """
+    b = CDFGBuilder(name, cyclic=False)
+    for i in range(4):
+        b.input(f"in{i}")
+
+    def stage(tag: str, a: str, c: str, outs) -> None:
+        """One lattice rotation: 4 muls + 2 adds per (a, c) pair, twice."""
+        b.mul(f"{tag}m0", 0.3, a, f"{tag}p0")
+        b.mul(f"{tag}m1", 0.5, c, f"{tag}p1")
+        b.mul(f"{tag}m2", 0.7, a, f"{tag}p2")
+        b.mul(f"{tag}m3", 0.9, c, f"{tag}p3")
+        b.add(f"{tag}a0", f"{tag}p0", f"{tag}p1", outs[0])
+        b.add(f"{tag}a1", f"{tag}p2", f"{tag}p3", outs[1])
+
+    stage("s0", "in0", "in1", ("l0", "l1"))
+    stage("s1", "in2", "in3", ("l2", "l3"))
+    b.add("c0", "l0", "l2", "c0v")
+    b.add("c1", "l1", "l3", "c1v")
+    stage("s2", "c0v", "c1v", ("l4", "l5"))
+    stage("s3", "l4", "l5", ("out0", "out1"))
+    b.add("c2", "l4", "out0", "out2")
+    b.add("c3", "l5", "out1", "out3")
+
+    for k in range(4):
+        b.output(f"out{k}")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph

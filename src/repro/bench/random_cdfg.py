@@ -1,0 +1,94 @@
+"""Random CDFG generation for stress and property-based testing.
+
+Generates layered acyclic data-flow graphs (optionally with loop-carried
+feedback values) whose structure resembles filter/transform kernels: each
+operation reads values produced earlier or primary inputs, a configurable
+fraction of operands are constant coefficients, and dangling values are
+exported as outputs.
+
+Cyclic generation is careful to keep anti-dependences acyclic: loop values
+are consumed only by the *first* operations and produced only by the
+*last* operations, and loop-value producers never read loop values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+from repro.cdfg.validate import validate_cdfg
+from repro.rng import RngLike, make_rng
+
+
+def random_cdfg(n_ops: int = 20,
+                n_inputs: int = 3,
+                kinds: Sequence[str] = ("add", "add", "mul", "sub"),
+                const_fraction: float = 0.25,
+                loop_fraction: float = 0.0,
+                seed: RngLike = 0,
+                name: Optional[str] = None) -> CDFG:
+    """Generate a connected random CDFG with *n_ops* operations."""
+    if n_ops < 2:
+        raise ValueError("need at least two operations")
+    if n_inputs < 1:
+        raise ValueError("need at least one input")
+    rng = make_rng(seed)
+    cyclic = loop_fraction > 0
+    b = CDFGBuilder(name or f"rand{n_ops}", cyclic=cyclic)
+
+    inputs = [f"in{i}" for i in range(n_inputs)]
+    for v in inputs:
+        b.input(v)
+
+    n_loop = min(max(1, round(n_ops * loop_fraction)), n_ops // 2) \
+        if cyclic else 0
+    if n_loop + n_inputs > n_ops - n_loop:
+        raise ValueError(
+            f"{n_inputs} inputs + {n_loop} loop values need at least "
+            f"{n_inputs + 2 * n_loop} operations, got {n_ops}")
+    loop_names = [f"lv{i}" for i in range(n_loop)]
+    for v in loop_names:
+        b.loop_value(v)
+
+    #: values a later op may read (never includes loop values for the
+    #: producer tail, see below)
+    plain: List[str] = list(inputs)
+    consumed = set()
+    produced: List[str] = []
+    first_producer_index = n_ops - n_loop
+
+    for i in range(n_ops):
+        kind = rng.choice(list(kinds))
+        is_loop_producer = i >= first_producer_index
+        if i < n_loop:
+            # head ops consume the loop-carried state (previous iteration)
+            left = loop_names[i]
+        elif i - n_loop < n_inputs and not is_loop_producer:
+            # guarantee every primary input is consumed at least once
+            left = inputs[i - n_loop]
+            consumed.add(left)
+        else:
+            left = rng.choice(plain)
+            consumed.add(left)
+        if rng.random() < const_fraction or (is_loop_producer and not plain):
+            right: object = round(rng.uniform(-1.0, 1.0), 3)
+        else:
+            right = rng.choice(plain)
+            consumed.add(right)
+        result = loop_names[i - first_producer_index] \
+            if is_loop_producer else f"w{i}"
+        b.op(f"op{i}", kind, [left, right], result)
+        if not is_loop_producer:
+            plain.append(result)
+            produced.append(result)
+
+    dangling = [v for v in produced if v not in consumed]
+    if not dangling and produced:
+        dangling = [produced[-1]]
+    for v in dangling:
+        b.output(v)
+
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph

@@ -1,0 +1,21 @@
+"""CDFG substrate: graphs, nodes, lifetimes, slack expansion, interpreter."""
+
+from repro.cdfg.nodes import (Const, OpKind, Operation, Operand, Value,
+                              ValueRef, OP_KINDS, op_kind, register_op_kind,
+                              as_operand)
+from repro.cdfg.graph import CDFG
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.lifetimes import LifetimeTable, LiveInterval
+from repro.cdfg.transforms import (SlackExpansion, insert_slack_nodes,
+                                   segment_name)
+from repro.cdfg.validate import validate_cdfg, validation_report
+from repro.cdfg.interp import evaluate_once, run_iterations, OP_SEMANTICS
+from repro.cdfg.dot import cdfg_to_dot
+
+__all__ = [
+    "CDFG", "CDFGBuilder", "Const", "LifetimeTable", "LiveInterval",
+    "OpKind", "Operation", "Operand", "OP_KINDS", "OP_SEMANTICS",
+    "SlackExpansion", "Value", "ValueRef", "as_operand", "cdfg_to_dot",
+    "evaluate_once", "insert_slack_nodes", "op_kind", "register_op_kind",
+    "run_iterations", "segment_name", "validate_cdfg", "validation_report",
+]

@@ -1,0 +1,122 @@
+"""Fluent construction API for CDFGs.
+
+Example
+-------
+>>> from repro.cdfg.builder import CDFGBuilder
+>>> b = CDFGBuilder("toy", cyclic=False)
+>>> b.input("x")
+>>> b.input("y")
+>>> b.op("a1", "add", ["x", "y"], "s")
+>>> b.op("m1", "mul", ["s", 0.5], "p")
+>>> b.output("p")
+>>> g = b.build()
+>>> len(g)
+2
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Operand, Operation, Value, as_operand
+
+
+class CDFGBuilder:
+    """Incrementally assemble a :class:`~repro.cdfg.graph.CDFG`.
+
+    Values referenced by operations are declared implicitly; primary inputs,
+    primary outputs and loop-carried values are declared explicitly with
+    :meth:`input`, :meth:`output` and :meth:`loop_value`.
+    """
+
+    def __init__(self, name: str, cyclic: bool = False) -> None:
+        self.name = name
+        self.cyclic = cyclic
+        self._ops: List[Operation] = []
+        self._inputs: Dict[str, int] = {}
+        self._outputs: List[str] = []
+        self._loop_values: List[str] = []
+        self._op_names: set = set()
+
+    # -- declarations -------------------------------------------------------
+
+    def input(self, name: str, arrival_step: int = 0) -> "CDFGBuilder":
+        """Declare a primary-input value arriving at *arrival_step*."""
+        if name in self._inputs:
+            raise CDFGError(f"input {name!r} declared twice")
+        self._inputs[name] = arrival_step
+        return self
+
+    def output(self, name: str) -> "CDFGBuilder":
+        """Mark *name* as a primary output."""
+        if name in self._outputs:
+            raise CDFGError(f"output {name!r} declared twice")
+        self._outputs.append(name)
+        return self
+
+    def loop_value(self, name: str) -> "CDFGBuilder":
+        """Mark *name* as loop-carried (written in iteration *i*, read in *i+1*)."""
+        if name in self._loop_values:
+            raise CDFGError(f"loop value {name!r} declared twice")
+        self._loop_values.append(name)
+        return self
+
+    def op(self, name: str, kind: str,
+           operands: Sequence[Union[str, float, int, Operand]],
+           result: Optional[str]) -> "CDFGBuilder":
+        """Add an operation producing *result* from *operands*."""
+        if name in self._op_names:
+            raise CDFGError(f"operation {name!r} declared twice")
+        self._op_names.add(name)
+        self._ops.append(
+            Operation(name, kind, tuple(as_operand(o) for o in operands),
+                      result))
+        return self
+
+    # convenience wrappers used heavily by the benchmark CDFGs -----------------
+
+    def add(self, name: str, a, b, result: str) -> "CDFGBuilder":
+        return self.op(name, "add", [a, b], result)
+
+    def sub(self, name: str, a, b, result: str) -> "CDFGBuilder":
+        return self.op(name, "sub", [a, b], result)
+
+    def mul(self, name: str, a, b, result: str) -> "CDFGBuilder":
+        return self.op(name, "mul", [a, b], result)
+
+    # -- assembly ----------------------------------------------------------------
+
+    def build(self) -> CDFG:
+        """Materialize the CDFG, declaring every referenced value."""
+        value_names = set(self._inputs)
+        for op in self._ops:
+            if op.result is not None:
+                value_names.add(op.result)
+            for _, ref in op.value_operands():
+                value_names.add(ref.name)
+        loop_set = set(self._loop_values)
+        out_set = set(self._outputs)
+
+        for name in out_set | loop_set:
+            if name not in value_names:
+                raise CDFGError(
+                    f"declared value {name!r} never produced or consumed")
+        if loop_set and not self.cyclic:
+            raise CDFGError(
+                f"CDFG {self.name!r} has loop-carried values but is not "
+                f"marked cyclic")
+
+        values = []
+        for name in sorted(value_names):
+            is_input = name in self._inputs
+            values.append(Value(
+                name,
+                producer=None,
+                is_input=is_input,
+                is_output=name in out_set,
+                loop_carried=name in loop_set,
+                arrival_step=self._inputs.get(name, 0),
+            ))
+        return CDFG(self.name, self._ops, values, cyclic=self.cyclic)

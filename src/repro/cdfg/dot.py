@@ -1,0 +1,84 @@
+"""Graphviz DOT export for CDFGs and schedules.
+
+Pure text generation — no Graphviz dependency.  Operation nodes are drawn
+as boxes (double boxes for multi-cycle kinds), values as ellipses, slack
+nodes (kind ``"pass"``) as small diamonds, matching the visual language of
+the paper's Figures 1, 2 and 5.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Const
+
+_KIND_GLYPH = {
+    "add": "+",
+    "sub": "−",
+    "mul": "×",
+    "div": "÷",
+    "pass": "S",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def cdfg_to_dot(graph: CDFG, schedule: Optional[Mapping[str, int]] = None,
+                show_values: bool = True) -> str:
+    """Render *graph* as a DOT digraph.
+
+    When *schedule* (op name -> start step) is given, operations are grouped
+    into per-control-step ranks, mimicking published scheduled-CDFG figures.
+    """
+    lines = [f"digraph {_quote(graph.name)} {{",
+             "  rankdir=TB;",
+             "  node [fontname=Helvetica];"]
+
+    for op in graph.ops.values():
+        glyph = _KIND_GLYPH.get(op.kind, op.kind)
+        label = f"{op.name}\\n{glyph}"
+        shape = "diamond" if op.kind == "pass" else "box"
+        lines.append(f"  {_quote(op.name)} [label={_quote(label)} "
+                     f"shape={shape}];")
+
+    if show_values:
+        for val in graph.values.values():
+            style = []
+            if val.is_input:
+                style.append("style=filled fillcolor=lightblue")
+            elif val.is_output:
+                style.append("style=filled fillcolor=lightyellow")
+            elif val.loop_carried:
+                style.append("style=filled fillcolor=lightgrey")
+            attr = (" " + " ".join(style)) if style else ""
+            lines.append(f"  {_quote('v_' + val.name)} "
+                         f"[label={_quote(val.name)} shape=ellipse{attr}];")
+
+    for op in graph.ops.values():
+        for port, operand in enumerate(op.operands):
+            if isinstance(operand, Const):
+                continue
+            src = f"v_{operand.name}" if show_values else None
+            if show_values:
+                lines.append(f"  {_quote(src)} -> {_quote(op.name)} "
+                             f"[label={_quote(str(port))} fontsize=8];")
+            else:
+                producer = graph.value(operand.name).producer
+                if producer is not None:
+                    lines.append(f"  {_quote(producer)} -> {_quote(op.name)};")
+        if show_values and op.result is not None:
+            lines.append(f"  {_quote(op.name)} -> {_quote('v_' + op.result)};")
+
+    if schedule is not None:
+        by_step: dict = {}
+        for op_name, step in schedule.items():
+            by_step.setdefault(step, []).append(op_name)
+        for step in sorted(by_step):
+            members = " ".join(_quote(n) for n in sorted(by_step[step]))
+            lines.append(f"  {{ rank=same; {members} }}")
+
+    lines.append("}")
+    return "\n".join(lines)

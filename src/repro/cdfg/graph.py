@@ -1,0 +1,238 @@
+"""The control/data flow graph container.
+
+A :class:`CDFG` holds operations and values and answers the structural
+queries every later stage (scheduling, segmentation, binding) needs:
+producers, consumers, operation dependence, topological order, and critical
+path under a delay model.
+
+Loop bodies (like the elliptic wave filter) are marked ``cyclic=True``:
+their schedules repeat every ``length`` control steps and loop-carried
+values wrap around the iteration boundary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CDFGError
+from repro.cdfg.nodes import Const, Operand, Operation, Value, ValueRef
+
+
+class CDFG:
+    """A scheduled-or-unscheduled control/data flow graph.
+
+    Use :class:`repro.cdfg.builder.CDFGBuilder` to construct instances; the
+    raw constructor expects fully-formed node dictionaries and performs
+    consistency wiring (value consumer lists) itself.
+    """
+
+    def __init__(self, name: str, operations: Iterable[Operation],
+                 values: Iterable[Value], cyclic: bool = False) -> None:
+        self.name = name
+        self.cyclic = cyclic
+        self.ops: Dict[str, Operation] = {}
+        self.values: Dict[str, Value] = {}
+
+        for op in operations:
+            if op.name in self.ops:
+                raise CDFGError(f"duplicate operation name {op.name!r}")
+            self.ops[op.name] = op
+        for val in values:
+            if val.name in self.values:
+                raise CDFGError(f"duplicate value name {val.name!r}")
+            self.values[val.name] = val
+
+        self._wire()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _wire(self) -> None:
+        """Recompute producer/consumer cross references from operations."""
+        consumers: Dict[str, List[Tuple[str, int]]] = {v: [] for v in self.values}
+        for op in self.ops.values():
+            if op.result is not None:
+                if op.result not in self.values:
+                    raise CDFGError(
+                        f"operation {op.name!r} produces undeclared value "
+                        f"{op.result!r}")
+                val = self.values[op.result]
+                if val.is_input:
+                    raise CDFGError(
+                        f"operation {op.name!r} writes primary input "
+                        f"{op.result!r}")
+                if val.producer is not None and val.producer != op.name:
+                    raise CDFGError(
+                        f"value {op.result!r} produced by both "
+                        f"{val.producer!r} and {op.name!r}")
+                val.producer = op.name
+            for port, ref in op.value_operands():
+                if ref.name not in self.values:
+                    raise CDFGError(
+                        f"operation {op.name!r} reads undeclared value "
+                        f"{ref.name!r}")
+                consumers[ref.name].append((op.name, port))
+        for vname, cons in consumers.items():
+            self.values[vname].consumers = tuple(sorted(cons))
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def inputs(self) -> List[str]:
+        """Names of primary-input values, in name order."""
+        return sorted(v for v, val in self.values.items() if val.is_input)
+
+    @property
+    def outputs(self) -> List[str]:
+        """Names of primary-output values, in name order."""
+        return sorted(v for v, val in self.values.items() if val.is_output)
+
+    @property
+    def loop_values(self) -> List[str]:
+        """Names of loop-carried values, in name order."""
+        return sorted(v for v, val in self.values.items() if val.loop_carried)
+
+    def op(self, name: str) -> Operation:
+        try:
+            return self.ops[name]
+        except KeyError:
+            raise CDFGError(f"no operation named {name!r}") from None
+
+    def value(self, name: str) -> Value:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise CDFGError(f"no value named {name!r}") from None
+
+    def producer_of(self, value_name: str) -> Optional[Operation]:
+        """The operation producing *value_name*, or ``None`` for inputs."""
+        producer = self.value(value_name).producer
+        return self.ops[producer] if producer is not None else None
+
+    def consumers_of(self, value_name: str) -> Tuple[Tuple[str, int], ...]:
+        """``(op_name, port)`` pairs reading *value_name*."""
+        return self.value(value_name).consumers
+
+    def op_predecessors(self, op_name: str) -> List[str]:
+        """Operations whose results feed *op_name* **within one iteration**.
+
+        Loop-carried operands come from the previous iteration, so they do
+        not create an intra-iteration dependence edge.
+        """
+        preds = []
+        for _, ref in self.op(op_name).value_operands():
+            val = self.values[ref.name]
+            if val.loop_carried or val.producer is None:
+                continue
+            preds.append(val.producer)
+        return preds
+
+    def op_successors(self, op_name: str) -> List[str]:
+        """Operations consuming this op's result within one iteration."""
+        op = self.op(op_name)
+        if op.result is None:
+            return []
+        val = self.values[op.result]
+        if val.loop_carried:
+            return []
+        return [c for c, _ in val.consumers]
+
+    def op_count_by_kind(self) -> Counter:
+        """Histogram of operation kinds, e.g. ``{'add': 26, 'mul': 8}``."""
+        return Counter(op.kind for op in self.ops.values())
+
+    # -- graph algorithms -------------------------------------------------------
+
+    def topo_order(self) -> List[str]:
+        """Topological order of operations over intra-iteration edges.
+
+        Raises :class:`CDFGError` if the intra-iteration dependence graph has
+        a cycle (which would make the CDFG unschedulable).
+        """
+        indeg = {name: 0 for name in self.ops}
+        for name in self.ops:
+            for _ in self.op_predecessors(name):
+                indeg[name] += 1
+        ready = deque(sorted(n for n, d in indeg.items() if d == 0))
+        order: List[str] = []
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            # a successor may consume the same value on both ports (x*x), so
+            # decrement by the number of dependence edges node -> succ
+            for succ in sorted(set(self.op_successors(node))):
+                dup = sum(1 for p in self.op_predecessors(succ) if p == node)
+                indeg[succ] -= dup
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.ops):
+            stuck = sorted(n for n, d in indeg.items() if d > 0)
+            raise CDFGError(
+                f"CDFG {self.name!r} has a combinational cycle involving "
+                f"{stuck[:5]}")
+        return order
+
+    def critical_path(self, delays: Mapping[str, int]) -> int:
+        """Length (in control steps) of the longest dependence chain.
+
+        *delays* maps operator kind to its delay in control steps; the
+        returned length is the minimum feasible schedule latency with
+        unlimited resources.
+        """
+        finish: Dict[str, int] = {}
+        for name in self.topo_order():
+            op = self.ops[name]
+            delay = self._delay_of(op, delays)
+            start = 0
+            for pred in self.op_predecessors(name):
+                start = max(start, finish[pred])
+            finish[name] = start + delay
+        return max(finish.values(), default=0)
+
+    def _delay_of(self, op: Operation, delays: Mapping[str, int]) -> int:
+        try:
+            delay = delays[op.kind]
+        except KeyError:
+            raise CDFGError(
+                f"no delay specified for operator kind {op.kind!r}") from None
+        if delay < 1:
+            raise CDFGError(f"delay for {op.kind!r} must be >= 1, got {delay}")
+        return delay
+
+    # -- misc --------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "CDFG":
+        """Deep-enough copy: fresh node objects sharing no mutable state."""
+        ops = [Operation(o.name, o.kind, o.operands, o.result)
+               for o in self.ops.values()]
+        vals = [Value(v.name, producer=v.producer, is_input=v.is_input,
+                      is_output=v.is_output, loop_carried=v.loop_carried,
+                      arrival_step=v.arrival_step)
+                for v in self.values.values()]
+        return CDFG(name or self.name, ops, vals, cyclic=self.cyclic)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops.values())
+
+    def __repr__(self) -> str:
+        kinds = dict(self.op_count_by_kind())
+        return (f"CDFG({self.name!r}, ops={len(self.ops)}, "
+                f"values={len(self.values)}, kinds={kinds}, "
+                f"cyclic={self.cyclic})")
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary used by examples."""
+        lines = [f"CDFG {self.name}: {len(self.ops)} operations, "
+                 f"{len(self.values)} values"
+                 f" ({'cyclic loop body' if self.cyclic else 'acyclic'})"]
+        for kind, count in sorted(self.op_count_by_kind().items()):
+            lines.append(f"  {kind:>5}: {count}")
+        lines.append(f"  inputs : {', '.join(self.inputs) or '-'}")
+        lines.append(f"  outputs: {', '.join(self.outputs) or '-'}")
+        if self.loop_values:
+            lines.append(f"  loop-carried: {', '.join(self.loop_values)}")
+        return "\n".join(lines)

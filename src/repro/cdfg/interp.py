@@ -1,0 +1,109 @@
+"""Reference interpreter for CDFGs.
+
+Evaluates a CDFG as ordinary arithmetic on Python floats.  This gives the
+golden model against which :mod:`repro.datapath.simulate` checks allocated
+datapaths: whatever binding the allocator produced, executing the datapath
+cycle-by-cycle must compute exactly what the interpreter computes.
+
+For cyclic CDFGs (loop bodies) the interpreter runs one iteration at a time,
+threading loop-carried values from iteration to iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Const, Operation, ValueRef
+
+#: Semantics of each built-in operator kind.
+OP_SEMANTICS: Dict[str, Callable[..., float]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "and": lambda a, b: float(int(a) & int(b)),
+    "or": lambda a, b: float(int(a) | int(b)),
+    "xor": lambda a, b: float(int(a) ^ int(b)),
+    "shl": lambda a, b: float(int(a) << int(b)),
+    "shr": lambda a, b: float(int(a) >> int(b)),
+    "cmp": lambda a, b: float(a > b) - float(a < b),
+    "neg": lambda a: -a,
+    "not": lambda a: float(~int(a)),
+    "pass": lambda a: a,
+}
+
+
+def evaluate_once(graph: CDFG, env: Mapping[str, float]) -> Dict[str, float]:
+    """Evaluate one iteration of *graph*.
+
+    *env* must supply every primary input and (for cyclic graphs) every
+    loop-carried value's previous-iteration content.  Returns a dict with
+    **all** value names bound to their computed contents (loop-carried names
+    map to this iteration's newly produced contents).
+    """
+    result: Dict[str, float] = {}
+    for name in graph.inputs:
+        if name not in env:
+            raise CDFGError(f"interpreter: missing input {name!r}")
+        result[name] = float(env[name])
+
+    prev_loop: Dict[str, float] = {}
+    for name in graph.loop_values:
+        if name not in env:
+            raise CDFGError(
+                f"interpreter: missing previous-iteration value {name!r}")
+        prev_loop[name] = float(env[name])
+
+    def operand_value(op: Operation, port: int) -> float:
+        operand = op.operands[port]
+        if isinstance(operand, Const):
+            return operand.value
+        assert isinstance(operand, ValueRef)
+        val = graph.value(operand.name)
+        if val.loop_carried:
+            return prev_loop[operand.name]
+        if operand.name not in result:
+            raise CDFGError(
+                f"interpreter: {op.name!r} reads {operand.name!r} before "
+                f"it is produced")
+        return result[operand.name]
+
+    for op_name in graph.topo_order():
+        op = graph.ops[op_name]
+        fn = OP_SEMANTICS.get(op.kind)
+        if fn is None:
+            raise CDFGError(f"interpreter: no semantics for kind {op.kind!r}")
+        args = [operand_value(op, i) for i in range(op.arity)]
+        value = fn(*args)
+        if op.result is not None:
+            result[op.result] = value
+    return result
+
+
+def run_iterations(graph: CDFG, input_streams: Mapping[str, Sequence[float]],
+                   initial_state: Mapping[str, float],
+                   iterations: int) -> List[Dict[str, float]]:
+    """Run a cyclic CDFG for several iterations.
+
+    *input_streams* maps each primary input to a per-iteration sequence;
+    *initial_state* supplies iteration-0 contents for loop-carried values.
+    Returns the per-iteration environment dicts from :func:`evaluate_once`.
+    """
+    state = {name: float(initial_state.get(name, 0.0))
+             for name in graph.loop_values}
+    trace: List[Dict[str, float]] = []
+    for it in range(iterations):
+        env: Dict[str, float] = dict(state)
+        for name in graph.inputs:
+            stream = input_streams.get(name)
+            if stream is None or it >= len(stream):
+                raise CDFGError(
+                    f"interpreter: input stream for {name!r} too short "
+                    f"(iteration {it})")
+            env[name] = float(stream[it])
+        out = evaluate_once(graph, env)
+        trace.append(out)
+        state = {name: out[name] for name in graph.loop_values}
+    return trace

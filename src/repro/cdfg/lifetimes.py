@@ -1,0 +1,198 @@
+"""Value lifetime analysis under a schedule.
+
+Timing conventions (see DESIGN.md Sec. 3):
+
+* control steps ``0 .. L-1``; cyclic schedules wrap ``L-1 -> 0``;
+* an operation starting at step ``t`` with delay ``d`` produces its result
+  at the **end** of step ``t + d - 1``; the value is stored (live) from step
+  ``t + d`` onwards;
+* a consumer scheduled at step ``s`` reads its operands **during** step
+  ``s``, so the value must be live at step ``s``;
+* a primary input with arrival step ``a`` is live from step ``a``;
+* a primary output keeps its value live at least through its birth step
+  (the output port samples the holding register then);
+* loop-carried values are produced in iteration *i* and read in iteration
+  *i+1*: their live interval wraps the iteration boundary.  Analysis
+  requires ``last_read < birth`` (mod L) so only one iteration's copy is
+  live at a time; schedulers enforce this with anti-dependence edges.
+
+A :class:`LiveInterval` is the (possibly wrapping) ordered tuple of steps at
+which a value is live; one step = one **segment** in the SALSA model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """Ordered live steps of one value (wrapping allowed for cyclic graphs)."""
+
+    value: str
+    steps: Tuple[int, ...]
+    wraps: bool
+
+    @property
+    def birth(self) -> int:
+        return self.steps[0]
+
+    @property
+    def death(self) -> int:
+        return self.steps[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def covers(self, step: int) -> bool:
+        return step in self.steps
+
+    def successor_step(self, step: int) -> Optional[int]:
+        """The live step following *step*, or ``None`` at end of life."""
+        idx = self.steps.index(step)
+        if idx + 1 < len(self.steps):
+            return self.steps[idx + 1]
+        return None
+
+    def predecessor_step(self, step: int) -> Optional[int]:
+        """The live step preceding *step*, or ``None`` at birth."""
+        idx = self.steps.index(step)
+        if idx > 0:
+            return self.steps[idx - 1]
+        return None
+
+
+class LifetimeTable:
+    """Live intervals for every value of a scheduled CDFG."""
+
+    def __init__(self, graph: CDFG, start_steps: Mapping[str, int],
+                 delays: Mapping[str, int], length: int) -> None:
+        self.graph = graph
+        self.length = length
+        self.intervals: Dict[str, LiveInterval] = {}
+        self._compute(start_steps, delays)
+
+    # -- construction -------------------------------------------------------
+
+    def _end_step(self, op_name: str, start_steps: Mapping[str, int],
+                  delays: Mapping[str, int]) -> int:
+        op = self.graph.ops[op_name]
+        if op_name not in start_steps:
+            raise ScheduleError(f"operation {op_name!r} is unscheduled")
+        return start_steps[op_name] + delays[op.kind] - 1
+
+    def _compute(self, start_steps: Mapping[str, int],
+                 delays: Mapping[str, int]) -> None:
+        length = self.length
+        for name, val in self.graph.values.items():
+            # birth step (unwrapped: may equal `length` for values produced
+            # at the very end of the schedule)
+            if val.is_input:
+                birth = val.arrival_step
+                if not 0 <= birth < length:
+                    raise ScheduleError(
+                        f"input {name!r} arrives at step {birth}, outside "
+                        f"schedule of length {length}")
+            else:
+                if val.producer is None:
+                    raise ScheduleError(
+                        f"value {name!r} has no producer and no arrival step")
+                end = self._end_step(val.producer, start_steps, delays)
+                birth = end + 1
+                if birth > length:
+                    raise ScheduleError(
+                        f"value {name!r} born at step {birth}, past schedule "
+                        f"length {length}")
+
+            # read steps within one iteration
+            reads: List[int] = []
+            for op_name, _port in val.consumers:
+                if op_name not in start_steps:
+                    raise ScheduleError(f"operation {op_name!r} is unscheduled")
+                reads.append(start_steps[op_name])
+
+            if val.loop_carried:
+                interval = self._loop_interval(name, birth, reads, val.is_output)
+            else:
+                interval = self._straight_interval(name, birth, reads,
+                                                   val.is_output)
+            self.intervals[name] = interval
+
+    def _straight_interval(self, name: str, birth: int, reads: List[int],
+                           is_output: bool) -> LiveInterval:
+        if birth == self.length:
+            # produced at the very end of the schedule: only legal for pure
+            # outputs, which are captured directly off the FU output port
+            if reads:
+                raise ScheduleError(
+                    f"value {name!r} born at step {birth} (end of schedule) "
+                    f"but has consumers scheduled at {sorted(reads)}")
+            if not is_output:
+                raise ScheduleError(
+                    f"non-output value {name!r} born past the last step")
+            return LiveInterval(name, (birth,), wraps=False)
+        if reads and min(reads) < birth:
+            raise ScheduleError(
+                f"value {name!r} read at step {min(reads)} before its birth "
+                f"at step {birth}")
+        last = max(reads) if reads else birth
+        steps = tuple(range(birth, last + 1))
+        return LiveInterval(name, steps, wraps=False)
+
+    def _loop_interval(self, name: str, birth: int, reads: List[int],
+                       is_output: bool) -> LiveInterval:
+        """Cyclic interval for a loop-carried value.
+
+        All reads happen in the *next* iteration.  To keep a single live
+        copy per iteration, every read position must come strictly before
+        the (unwrapped) birth: ``read < birth``.  Schedulers guarantee this
+        with anti-dependence edges (consumer before producer).
+        """
+        length = self.length
+        for read in reads:
+            if read >= birth:
+                raise ScheduleError(
+                    f"loop value {name!r}: read at step {read} of the next "
+                    f"iteration overlaps its rebirth at step {birth}; two "
+                    f"iterations' copies would be live at once")
+        start = birth % length
+        spans = [(read - start) % length for read in reads]
+        if is_output:
+            spans.append(0)  # the output port samples during the birth step
+        best_span = max(spans) if spans else 0
+        steps = tuple((start + k) % length for k in range(best_span + 1))
+        wraps = any(steps[i + 1] < steps[i] for i in range(len(steps) - 1))
+        return LiveInterval(name, steps, wraps=wraps)
+
+    # -- queries ------------------------------------------------------------------
+
+    def interval(self, value_name: str) -> LiveInterval:
+        return self.intervals[value_name]
+
+    def live_at(self, step: int) -> List[str]:
+        """Names of all values live at *step*, sorted."""
+        return sorted(name for name, iv in self.intervals.items()
+                      if iv.covers(step))
+
+    def register_demand(self) -> List[int]:
+        """Number of live values at each step ``0 .. L-1``."""
+        demand = [0] * self.length
+        for iv in self.intervals.values():
+            for step in iv.steps:
+                if 0 <= step < self.length:
+                    demand[step] += 1
+        return demand
+
+    def min_registers(self) -> int:
+        """Lower bound on registers: the maximum simultaneous live count."""
+        demand = self.register_demand()
+        return max(demand) if demand else 0
+
+    def transfers_possible(self) -> int:
+        """Total number of segment boundaries (potential move points)."""
+        return sum(max(0, iv.length - 1) for iv in self.intervals.values())

@@ -1,0 +1,223 @@
+"""CDFG node types: operations, values, operands, and operator kinds.
+
+The control/data flow graph (CDFG) of the paper specifies *operators* that
+manipulate data, *values* that require storage, and *data transfers* (edges)
+that move information between them (Sec. 1).  This module defines the node
+objects; the graph container lives in :mod:`repro.cdfg.graph`.
+
+Operands of an operation are either :class:`ValueRef` (a named value that
+needs storage) or :class:`Const` (an immediate constant).  Following the
+paper's evaluation setup, constants do **not** contribute to interconnect or
+register cost ("constants for multiplication were not considered to
+contribute to the cost of the allocation", Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import CDFGError
+
+# ---------------------------------------------------------------------------
+# Operator kinds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpKind:
+    """Static description of an operator kind.
+
+    Attributes
+    ----------
+    name:
+        Kind identifier, e.g. ``"add"``.
+    arity:
+        Number of operands.
+    commutative:
+        Whether the two operands may be swapped without changing the result
+        (enables the paper's *Operand Reverse* move F3).
+    """
+
+    name: str
+    arity: int
+    commutative: bool
+
+
+#: Registry of built-in operator kinds.  ``pass`` is the "No-Op" performed
+#: by a slack node bound to a functional unit (Sec. 2).
+OP_KINDS: Dict[str, OpKind] = {
+    "add": OpKind("add", 2, True),
+    "sub": OpKind("sub", 2, False),
+    "mul": OpKind("mul", 2, True),
+    "div": OpKind("div", 2, False),
+    "and": OpKind("and", 2, True),
+    "or": OpKind("or", 2, True),
+    "xor": OpKind("xor", 2, True),
+    "shl": OpKind("shl", 2, False),
+    "shr": OpKind("shr", 2, False),
+    "cmp": OpKind("cmp", 2, False),
+    "neg": OpKind("neg", 1, False),
+    "not": OpKind("not", 1, False),
+    "pass": OpKind("pass", 1, False),
+}
+
+
+def op_kind(name: str) -> OpKind:
+    """Look up an operator kind by name, raising :class:`CDFGError` if unknown."""
+    try:
+        return OP_KINDS[name]
+    except KeyError:
+        raise CDFGError(f"unknown operator kind {name!r}") from None
+
+
+def register_op_kind(kind: OpKind) -> None:
+    """Register a custom operator kind (idempotent for identical entries)."""
+    existing = OP_KINDS.get(kind.name)
+    if existing is not None and existing != kind:
+        raise CDFGError(f"operator kind {kind.name!r} already registered "
+                        f"with different attributes")
+    OP_KINDS[kind.name] = kind
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """Reference to a named value used as an operand."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate constant operand (cost-free in the paper's model)."""
+
+    value: float
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.label if self.label is not None else f"#{self.value:g}"
+
+
+Operand = Union[ValueRef, Const]
+
+
+def as_operand(spec: Union[str, float, int, Operand]) -> Operand:
+    """Coerce a user-facing operand spec into an :class:`Operand`.
+
+    Strings name values; ints/floats become constants; operand objects pass
+    through unchanged.
+    """
+    if isinstance(spec, (ValueRef, Const)):
+        return spec
+    if isinstance(spec, str):
+        return ValueRef(spec)
+    if isinstance(spec, bool):
+        raise CDFGError("bool is not a valid operand")
+    if isinstance(spec, (int, float)):
+        return Const(float(spec))
+    raise CDFGError(f"cannot interpret operand spec {spec!r}")
+
+
+# ---------------------------------------------------------------------------
+# Operations and values
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Operation:
+    """A CDFG operator node.
+
+    Attributes
+    ----------
+    name:
+        Unique operation identifier.
+    kind:
+        Operator kind name (key into :data:`OP_KINDS`).
+    operands:
+        Tuple of operands, length equal to the kind's arity.
+    result:
+        Name of the value this operation produces, or ``None`` for
+        operations whose result is unused (not normally allowed; the
+        validator rejects it).
+    """
+
+    name: str
+    kind: str
+    operands: Tuple[Operand, ...]
+    result: Optional[str]
+
+    def __post_init__(self) -> None:
+        kind = op_kind(self.kind)
+        self.operands = tuple(as_operand(o) for o in self.operands)
+        if len(self.operands) != kind.arity:
+            raise CDFGError(
+                f"operation {self.name!r} of kind {self.kind!r} expects "
+                f"{kind.arity} operands, got {len(self.operands)}")
+
+    @property
+    def commutative(self) -> bool:
+        return op_kind(self.kind).commutative
+
+    @property
+    def arity(self) -> int:
+        return op_kind(self.kind).arity
+
+    def value_operands(self) -> Tuple[Tuple[int, ValueRef], ...]:
+        """Return ``(port, ValueRef)`` pairs for non-constant operands."""
+        return tuple((i, o) for i, o in enumerate(self.operands)
+                     if isinstance(o, ValueRef))
+
+    def reads(self, value_name: str) -> bool:
+        """True if any operand references *value_name*."""
+        return any(o.name == value_name for _, o in self.value_operands())
+
+    def __str__(self) -> str:
+        args = ", ".join(str(o) for o in self.operands)
+        return f"{self.result} = {self.kind}({args})  [{self.name}]"
+
+
+@dataclass
+class Value:
+    """A CDFG value node: a datum that requires storage.
+
+    A value is produced either by an operation (``producer`` set) or arrives
+    on a primary input port (``producer is None``).  ``loop_carried`` marks
+    values written in one loop iteration and read in the next (e.g. the
+    state variables of the elliptic wave filter); their lifetimes wrap
+    around the cyclic schedule.
+    """
+
+    name: str
+    producer: Optional[str] = None
+    is_input: bool = False
+    is_output: bool = False
+    loop_carried: bool = False
+    arrival_step: int = 0
+    consumers: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Producer wiring is completed by CDFG._wire(); the only invariant
+        # enforced at construction is that inputs are never op-produced.
+        if self.is_input and self.producer is not None:
+            raise CDFGError(
+                f"value {self.name!r} cannot be both a primary input and "
+                f"produced by operation {self.producer!r}")
+
+    def __str__(self) -> str:
+        tags = []
+        if self.is_input:
+            tags.append("in")
+        if self.is_output:
+            tags.append("out")
+        if self.loop_carried:
+            tags.append("loop")
+        suffix = f" <{','.join(tags)}>" if tags else ""
+        return f"{self.name}{suffix}"

@@ -1,0 +1,111 @@
+"""CDFG transformations: explicit slack-node insertion (paper Sec. 2).
+
+The SALSA model breaks each value's lifetime into one-control-step segments
+joined by *slack nodes* — "No-op" operators that pass their input value
+unmodified (paper Fig. 2).  :func:`insert_slack_nodes` materializes this as
+an ordinary CDFG: every multi-step value ``v`` becomes a chain
+
+    ``v = v@t0 --S--> v@t1 --S--> v@t2 ...``
+
+with one ``pass`` operation per step boundary, and every consumer rewired
+to the segment live at its own control step.
+
+The iterative allocator in :mod:`repro.core` works on an implicit segment
+table instead (cheaper to mutate), but this explicit form is what the paper
+draws, and round-tripping through it is a strong consistency check used by
+the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import LifetimeTable
+from repro.cdfg.nodes import Const, Operation, Value, ValueRef
+
+
+def segment_name(value: str, step: int) -> str:
+    """Canonical name of the segment of *value* live at *step* (``v@t``)."""
+    return f"{value}@{step}"
+
+
+@dataclass
+class SlackExpansion:
+    """Result of :func:`insert_slack_nodes`."""
+
+    graph: CDFG
+    #: start step of every operation in the expanded graph (original ops
+    #: keep their steps; slack op at boundary t->t' starts at step t)
+    start_steps: Dict[str, int]
+    #: (value, step) -> segment value name in the expanded graph
+    segment_of: Dict[Tuple[str, int], str]
+    #: number of slack operations inserted
+    slack_count: int
+
+
+def insert_slack_nodes(graph: CDFG, lifetimes: LifetimeTable,
+                       start_steps: Mapping[str, int]) -> SlackExpansion:
+    """Expand *graph* into its slack-node (segmented) form.
+
+    *lifetimes* must have been computed for *graph* under *start_steps*.
+    Segments are only materialized for steps after the birth step; the birth
+    segment keeps the original value name so producer wiring is unchanged.
+    """
+    new_ops = []
+    new_values = []
+    seg_of: Dict[Tuple[str, int], str] = {}
+    new_starts: Dict[str, int] = dict(start_steps)
+    slack_count = 0
+
+    for name, val in graph.values.items():
+        interval = lifetimes.interval(name)
+        seg_of[(name, interval.birth)] = name
+        # In the expanded graph, a segment is loop-carried iff it is written
+        # in iteration i and read in iteration i+1.  For the birth segment
+        # of a loop value that happens exactly when the producer finishes at
+        # the last step, i.e. the (unwrapped) birth wrapped to step 0; later
+        # wrap boundaries are handled below.
+        birth_wraps = val.loop_carried and interval.birth == 0
+        new_values.append(Value(name, producer=None, is_input=val.is_input,
+                                is_output=val.is_output,
+                                loop_carried=birth_wraps,
+                                arrival_step=val.arrival_step))
+        prev_seg = name
+        for idx in range(1, interval.length):
+            step = interval.steps[idx]
+            prev_step = interval.steps[idx - 1]
+            seg = segment_name(name, step)
+            seg_of[(name, step)] = seg
+            slack = f"S_{name}_{step}"
+            new_ops.append(Operation(slack, "pass", (ValueRef(prev_seg),), seg))
+            new_starts[slack] = prev_step
+            # a segment whose boundary wraps the iteration is produced in
+            # iteration i and read in iteration i+1, i.e. loop-carried in
+            # the expanded graph (keeps the dependence graph acyclic)
+            wraps_here = step < prev_step
+            new_values.append(Value(seg, producer=None, is_input=False,
+                                    is_output=False, loop_carried=wraps_here))
+            prev_seg = seg
+            slack_count += 1
+
+    for op in graph.ops.values():
+        step = start_steps[op.name]
+        operands = []
+        for port, operand in enumerate(op.operands):
+            if isinstance(operand, Const):
+                operands.append(operand)
+                continue
+            key = (operand.name, step)
+            if key not in seg_of:
+                raise CDFGError(
+                    f"slack expansion: {op.name!r} reads {operand.name!r} at "
+                    f"step {step} where it is not live")
+            operands.append(ValueRef(seg_of[key]))
+        new_ops.append(Operation(op.name, op.kind, tuple(operands), op.result))
+
+    expanded = CDFG(f"{graph.name}+slack", new_ops, new_values,
+                    cyclic=graph.cyclic)
+    return SlackExpansion(expanded, new_starts, seg_of, slack_count)

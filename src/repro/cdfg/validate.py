@@ -1,0 +1,59 @@
+"""Structural validation of CDFGs.
+
+:func:`validate_cdfg` checks every invariant later stages rely on and raises
+:class:`~repro.errors.CDFGError` with a precise message on the first
+violation.  :func:`validation_report` collects all violations instead, which
+the test-suite and examples use for nicer diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG
+
+
+def validation_report(graph: CDFG) -> List[str]:
+    """Return a list of human-readable problems (empty when valid)."""
+    problems: List[str] = []
+
+    for name, val in graph.values.items():
+        produced = val.producer is not None
+        if not produced and not val.is_input and not val.loop_carried:
+            problems.append(
+                f"value {name!r} is never produced and is not a primary input")
+        if not val.consumers and not val.is_output:
+            problems.append(
+                f"value {name!r} is never consumed and is not a primary output")
+        if val.is_input and val.loop_carried:
+            problems.append(
+                f"value {name!r} is both a primary input and loop-carried")
+        if val.loop_carried and not graph.cyclic:
+            problems.append(
+                f"loop-carried value {name!r} in non-cyclic CDFG")
+
+    for name, op in graph.ops.items():
+        if op.result is None:
+            problems.append(f"operation {name!r} produces no value")
+        for _, ref in op.value_operands():
+            if ref.name not in graph.values:
+                problems.append(
+                    f"operation {name!r} reads undeclared value {ref.name!r}")
+
+    # dependence acyclicity over intra-iteration edges
+    try:
+        graph.topo_order()
+    except CDFGError as exc:
+        problems.append(str(exc))
+
+    return problems
+
+
+def validate_cdfg(graph: CDFG) -> None:
+    """Raise :class:`CDFGError` when *graph* violates any structural invariant."""
+    problems = validation_report(graph)
+    if problems:
+        raise CDFGError(
+            f"CDFG {graph.name!r} failed validation "
+            f"({len(problems)} problem(s)):\n  " + "\n  ".join(problems))

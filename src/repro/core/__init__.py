@@ -1,0 +1,18 @@
+"""The paper's contribution: the SALSA extended binding model + allocator."""
+
+from repro.core.binding import Binding
+from repro.core.initial import initial_allocation
+from repro.core.moves import MoveSet, fixup_segment
+from repro.core.improve import ImproveConfig, ImproveStats, improve
+from repro.core.polish import polish
+from repro.core.anneal import AnnealConfig, anneal
+from repro.core.allocator import (AllocationResult, SalsaAllocator,
+                                  TraditionalAllocator,
+                                  salsa_from_traditional)
+
+__all__ = [
+    "AllocationResult", "AnnealConfig", "Binding", "ImproveConfig",
+    "ImproveStats", "MoveSet", "SalsaAllocator", "TraditionalAllocator",
+    "anneal", "fixup_segment", "improve", "initial_allocation", "polish",
+    "salsa_from_traditional",
+]

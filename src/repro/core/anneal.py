@@ -1,0 +1,83 @@
+"""Simulated-annealing allocation (the approach the paper tried first).
+
+"It was originally thought that allocation improvement would be implemented
+using simulated annealing.  However, attempts to use annealing produced
+poor results and seldom converged on a good solution." (Sec. 4)
+
+This module keeps a faithful annealer over the same move set so the claim
+can be reproduced as an ablation (``benchmarks/bench_ablation_anneal.py``):
+at equal move budgets, the bounded-uphill iterative-improvement scheme of
+:mod:`repro.core.improve` should reach lower cost than annealing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rng import RngLike, make_rng, weighted_choice
+from repro.core.binding import Binding
+from repro.core.improve import ImproveStats
+from repro.core.moves import MoveSet, rollback
+
+
+@dataclass
+class AnnealConfig:
+    """Classic geometric-cooling annealing schedule."""
+
+    initial_temperature: float = 12.0
+    cooling: float = 0.92
+    temperature_levels: int = 40
+    moves_per_level: int = 900
+    min_temperature: float = 0.05
+    move_set: MoveSet = field(default_factory=MoveSet)
+    seed: RngLike = 0
+
+
+def anneal(binding: Binding, config: AnnealConfig = AnnealConfig()) \
+        -> ImproveStats:
+    """Run simulated annealing in place; ends at the best state found."""
+    rng = make_rng(config.seed)
+    moves = config.move_set.enabled_moves()
+    names = [m[0] for m in moves]
+    fns = {m[0]: m[1] for m in moves}
+    weights = [m[2] for m in moves]
+
+    stats = ImproveStats()
+    stats.initial_cost = binding.cost()
+    current = stats.initial_cost.total
+    best = current
+    best_state = binding.clone_state()
+    temperature = config.initial_temperature
+
+    for _level in range(config.temperature_levels):
+        stats.trials_run += 1
+        for _ in range(config.moves_per_level):
+            stats.moves_attempted += 1
+            name = weighted_choice(rng, names, weights)
+            undos = fns[name](binding, rng)
+            if undos is None:
+                continue
+            stats.moves_applied += 1
+            new_cost = binding.cost().total
+            delta = new_cost - current
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                stats.moves_accepted += 1
+                if delta > 0:
+                    stats.uphill_accepted += 1
+                current = new_cost
+                if current < best - 1e-9:
+                    best = current
+                    best_state = binding.clone_state()
+            else:
+                rollback(undos)
+                binding.flush()
+        stats.cost_trace.append(current)
+        temperature *= config.cooling
+        if temperature < config.min_temperature:
+            break
+
+    binding.restore_state(best_state)
+    stats.final_cost = binding.cost()
+    return stats

@@ -1,0 +1,530 @@
+"""The SALSA extended binding state.
+
+A :class:`Binding` captures everything the paper's allocator decides
+(Sec. 2):
+
+* ``op_fu`` / ``op_swap`` — operator-to-functional-unit assignment and
+  operand-order reversal (moves F1–F3);
+* ``placements`` — for every value **segment** ``(value, step)`` the
+  ordered tuple of registers holding it; more than one register means live
+  copies created by *value split* (moves R1–R6).  Index 0 is the primary
+  copy (the default transfer source);
+* ``read_src`` — which register copy each consumer port reads;
+* ``out_src`` — which register the primary-output port samples;
+* ``pt_impl`` — transfers implemented as functional-unit *pass-throughs*
+  instead of direct register-to-register connections (moves F4/F5).
+
+Derived state (register/FU occupancy, the point-to-point connection ledger
+and its equivalent-2-1-mux total) is maintained incrementally: every
+primitive mutation returns an undo closure and marks the affected
+connection *sites* dirty; :meth:`Binding.flush` re-derives exactly the
+dirty sites.  The iterative-improvement engine applies a move as a list of
+primitives, flushes, inspects the cost, and either keeps the move or rolls
+the primitives back.
+
+Timing conventions are those of DESIGN.md Sec. 3; in particular a transfer
+into the segment at step ``t'`` happens during the preceding live step
+``t`` (the pass-through FU must be idle at ``t``), and values born past the
+last control step of an acyclic schedule are *port-captured*: they go
+straight from the producing FU to the output port and never occupy a
+register.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import BindingError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import LiveInterval
+from repro.datapath.cost import CostBreakdown, CostWeights
+from repro.datapath.interconnect import (ConnectionLedger, fu_in, fu_out,
+                                         in_port, out_port, reg_in, reg_out)
+from repro.datapath.units import FU, Register
+from repro.sched.schedule import Schedule
+
+Undo = Callable[[], None]
+SiteKey = Tuple
+PtImpl = Tuple[str, str, int]  # (src_reg, fu, fu_port)
+
+
+class Binding:
+    """Mutable binding of a scheduled CDFG onto FUs and registers."""
+
+    def __init__(self, schedule: Schedule, fus: Sequence[FU],
+                 registers: Sequence[Register],
+                 weights: CostWeights = CostWeights()) -> None:
+        self.schedule = schedule
+        self.graph: CDFG = schedule.graph
+        self.spec = schedule.spec
+        self.length = schedule.length
+        self.lifetimes = schedule.lifetimes
+        self.weights = weights
+
+        self.fus: Dict[str, FU] = {}
+        for fu in fus:
+            if fu.name in self.fus:
+                raise BindingError(f"duplicate FU name {fu.name!r}")
+            self.fus[fu.name] = fu
+        self.regs: Dict[str, Register] = {}
+        for reg in registers:
+            if reg.name in self.regs:
+                raise BindingError(f"duplicate register name {reg.name!r}")
+            self.regs[reg.name] = reg
+
+        # raw decision state ------------------------------------------------
+        self.op_fu: Dict[str, str] = {}
+        self.op_swap: Dict[str, bool] = {}
+        self.placements: Dict[Tuple[str, int], Tuple[str, ...]] = {}
+        self.read_src: Dict[Tuple[str, int], str] = {}
+        self.out_src: Dict[str, str] = {}
+        self.pt_impl: Dict[Tuple[str, int, str], PtImpl] = {}
+
+        # derived occupancy ---------------------------------------------------
+        self.reg_occ: Dict[Tuple[str, int], str] = {}
+        self.fu_tokens: Dict[Tuple[str, int], Tuple] = {}
+        self._fu_load: Counter = Counter()   # fu -> #tokens
+        self._reg_load: Counter = Counter()  # reg -> #segments held
+
+        self.ledger = ConnectionLedger()
+        self._site_events: Dict[SiteKey, List[Tuple]] = {}
+        self._dirty: Set[SiteKey] = set()
+
+        # static lookups -------------------------------------------------------
+        self._reads_at: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+        for vname, val in self.graph.values.items():
+            for op_name, port in val.consumers:
+                step = schedule.start[op_name]
+                self._reads_at.setdefault((vname, step), []).append(
+                    (op_name, port))
+
+    # ------------------------------------------------------------------ helpers
+
+    def interval(self, value: str) -> LiveInterval:
+        return self.lifetimes.interval(value)
+
+    def port_captured(self, value: str) -> bool:
+        """True if *value* never occupies a register (born past last step)."""
+        return self.interval(value).birth >= self.length
+
+    def reads_of(self, value: str, step: int) -> List[Tuple[str, int]]:
+        """Consumer ``(op, port)`` pairs reading *value* at *step*."""
+        return self._reads_at.get((value, step), [])
+
+    def segment_regs(self, value: str, step: int) -> Tuple[str, ...]:
+        return self.placements.get((value, step), ())
+
+    def reg_free(self, reg: str, step: int) -> bool:
+        return (reg, step) not in self.reg_occ
+
+    def fu_free(self, fu: str, step: int) -> bool:
+        return (fu, step) not in self.fu_tokens
+
+    def fu_free_all(self, fu: str, steps: Iterable[int]) -> bool:
+        return all(self.fu_free(fu, s) for s in steps)
+
+    def out_sample_step(self, value: str) -> int:
+        """Step at which the output port samples *value* (its birth step)."""
+        return self.interval(value).birth
+
+    def fus_of_type(self, type_name: str) -> List[str]:
+        return sorted(n for n, f in self.fus.items()
+                      if f.type_name == type_name)
+
+    def ops_on_fu(self, fu: str) -> List[str]:
+        """Operations currently bound to *fu* (each listed once)."""
+        ops = {tok[1] for (f, _s), tok in self.fu_tokens.items()
+               if f == fu and tok[0] == "op"}
+        return sorted(ops)
+
+    def values_in_reg(self, reg: str) -> List[Tuple[str, int]]:
+        """(value, step) segments currently placed in *reg*."""
+        return sorted((v, s) for (r, s), v in self.reg_occ.items() if r == reg)
+
+    # ------------------------------------------------------------- primitives
+
+    def set_op_fu(self, op_name: str, fu_name: Optional[str]) -> Undo:
+        """(Re)bind *op_name* to *fu_name* (``None`` unbinds)."""
+        op = self.graph.ops[op_name]
+        old = self.op_fu.get(op_name)
+        if fu_name == old:
+            return _noop
+        busy = self.schedule.busy_steps(op_name)
+        if fu_name is not None:
+            fu = self.fus.get(fu_name)
+            if fu is None:
+                raise BindingError(f"unknown FU {fu_name!r}")
+            if not fu.fu_type.supports(op.kind):
+                raise BindingError(
+                    f"FU {fu_name!r} ({fu.type_name}) cannot execute "
+                    f"{op.kind!r} operation {op_name!r}")
+            for step in busy:
+                token = self.fu_tokens.get((fu_name, step))
+                if token is not None and not (token[0] == "op"
+                                              and token[1] == op_name):
+                    raise BindingError(
+                        f"FU {fu_name!r} busy at step {step} with {token}")
+        # release old tokens, claim new
+        if old is not None:
+            for step in busy:
+                del self.fu_tokens[(old, step)]
+                self._fu_load[old] -= 1
+        if fu_name is not None:
+            for step in busy:
+                self.fu_tokens[(fu_name, step)] = ("op", op_name)
+                self._fu_load[fu_name] += 1
+            self.op_fu[op_name] = fu_name
+        else:
+            self.op_fu.pop(op_name, None)
+        self._mark(("read", op_name))
+        if op.result is not None:
+            self._mark(("write", op.result))
+
+        def undo() -> None:
+            self.set_op_fu(op_name, old)
+        return undo
+
+    def set_op_swap(self, op_name: str, flag: bool) -> Undo:
+        """Set operand-reversal for a commutative binary operation."""
+        op = self.graph.ops[op_name]
+        old = self.op_swap.get(op_name, False)
+        if flag == old:
+            return _noop
+        if flag and (op.arity != 2 or not op.commutative):
+            raise BindingError(
+                f"operand reverse illegal on {op_name!r} ({op.kind})")
+        self.op_swap[op_name] = flag
+        self._mark(("read", op_name))
+
+        def undo() -> None:
+            self.set_op_swap(op_name, old)
+        return undo
+
+    def set_placements(self, value: str, step: int,
+                       regs: Sequence[str]) -> Undo:
+        """Place the segment ``(value, step)`` into *regs* (ordered copies)."""
+        if self.port_captured(value):
+            raise BindingError(
+                f"value {value!r} is port-captured; it has no segments")
+        interval = self.interval(value)
+        if not interval.covers(step):
+            raise BindingError(
+                f"value {value!r} is not live at step {step}")
+        new = tuple(regs)
+        if len(set(new)) != len(new):
+            raise BindingError(f"duplicate registers in placement {new}")
+        old = self.placements.get((value, step), ())
+        if new == old:
+            return _noop
+        for reg in new:
+            if reg not in self.regs:
+                raise BindingError(f"unknown register {reg!r}")
+            occupant = self.reg_occ.get((reg, step))
+            if occupant is not None and occupant != value:
+                raise BindingError(
+                    f"register {reg!r} holds {occupant!r} at step {step}")
+        for reg in old:
+            del self.reg_occ[(reg, step)]
+            self._reg_load[reg] -= 1
+        for reg in new:
+            self.reg_occ[(reg, step)] = value
+            self._reg_load[reg] += 1
+        if new:
+            self.placements[(value, step)] = new
+        else:
+            self.placements.pop((value, step), None)
+        self._mark_segment_sites(value, step)
+
+        def undo() -> None:
+            self.set_placements(value, step, old)
+        return undo
+
+    def set_read_src(self, op_name: str, port: int,
+                     reg: Optional[str]) -> Undo:
+        """Choose which register copy consumer ``(op, port)`` reads."""
+        old = self.read_src.get((op_name, port))
+        if reg == old:
+            return _noop
+        if reg is not None and reg not in self.regs:
+            raise BindingError(f"unknown register {reg!r}")
+        if reg is None:
+            self.read_src.pop((op_name, port), None)
+        else:
+            self.read_src[(op_name, port)] = reg
+        self._mark(("read", op_name))
+
+        def undo() -> None:
+            self.set_read_src(op_name, port, old)
+        return undo
+
+    def set_out_src(self, value: str, reg: Optional[str]) -> Undo:
+        """Choose the register the output port of *value* samples."""
+        old = self.out_src.get(value)
+        if reg == old:
+            return _noop
+        if reg is not None and reg not in self.regs:
+            raise BindingError(f"unknown register {reg!r}")
+        if reg is None:
+            self.out_src.pop(value, None)
+        else:
+            self.out_src[value] = reg
+        self._mark(("out", value))
+
+        def undo() -> None:
+            self.set_out_src(value, old)
+        return undo
+
+    def set_pt(self, value: str, dst_step: int, dst_reg: str,
+               impl: Optional[PtImpl], _validate: bool = True) -> Undo:
+        """Set or clear the pass-through implementation of one transfer.
+
+        *impl* is ``(src_reg, fu, fu_port)``; ``None`` reverts the transfer
+        to a direct register-to-register connection.  The pass-through
+        occupies the FU during the step preceding *dst_step* in the value's
+        live interval.
+        """
+        key = (value, dst_step, dst_reg)
+        old = self.pt_impl.get(key)
+        if impl == old:
+            return _noop
+        interval = self.interval(value)
+        src_step = interval.predecessor_step(dst_step)
+        if src_step is None:
+            raise BindingError(
+                f"segment ({value!r}, {dst_step}) has no predecessor; "
+                f"no transfer to implement")
+        if impl is not None:
+            src_reg, fu_name, fu_port = impl
+            if _validate:
+                # undo closures skip these placement-relative checks: they
+                # restore a known-good state in reverse order, so placements
+                # may transiently disagree while rolling back
+                if dst_reg in self.placements.get((value, src_step), ()):
+                    raise BindingError(
+                        f"no transfer into ({value!r}, {dst_step}, "
+                        f"{dst_reg!r}): the register already holds the "
+                        f"value at step {src_step}")
+                if src_reg not in self.placements.get((value, src_step), ()):
+                    raise BindingError(
+                        f"pass-through source {src_reg!r} does not hold "
+                        f"{value!r} at step {src_step}")
+            fu = self.fus.get(fu_name)
+            if fu is None:
+                raise BindingError(f"unknown FU {fu_name!r}")
+            if not fu.fu_type.can_passthrough:
+                raise BindingError(
+                    f"FU {fu_name!r} ({fu.type_name}) cannot pass through")
+            if fu_port not in (0, 1):
+                raise BindingError(f"bad pass-through port {fu_port}")
+            token = self.fu_tokens.get((fu_name, src_step))
+            if token is not None and token != ("pt",) + key:
+                raise BindingError(
+                    f"FU {fu_name!r} busy at step {src_step} with {token}")
+        if old is not None:
+            del self.fu_tokens[(old[1], src_step)]
+            self._fu_load[old[1]] -= 1
+        if impl is not None:
+            self.fu_tokens[(impl[1], src_step)] = ("pt",) + key
+            self._fu_load[impl[1]] += 1
+            self.pt_impl[key] = impl
+        else:
+            self.pt_impl.pop(key, None)
+        self._mark(("xfer", value, dst_step))
+
+        def undo() -> None:
+            self.set_pt(value, dst_step, dst_reg, old, _validate=False)
+        return undo
+
+    # ------------------------------------------------------------ site engine
+
+    def _mark(self, key: SiteKey) -> None:
+        self._dirty.add(key)
+
+    def _mark_segment_sites(self, value: str, step: int) -> None:
+        interval = self.interval(value)
+        if step == interval.birth:
+            self._mark(("write", value))
+        self._mark(("xfer", value, step))
+        succ = interval.successor_step(step)
+        if succ is not None:
+            self._mark(("xfer", value, succ))
+        if self.graph.values[value].is_output and \
+                step == self.out_sample_step(value):
+            self._mark(("out", value))
+
+    def _derive(self, key: SiteKey) -> List[Tuple]:
+        kind = key[0]
+        if kind == "read":
+            return self._derive_read(key[1])
+        if kind == "write":
+            return self._derive_write(key[1])
+        if kind == "xfer":
+            return self._derive_xfer(key[1], key[2])
+        if kind == "out":
+            return self._derive_out(key[1])
+        raise BindingError(f"unknown site {key}")
+
+    def _derive_read(self, op_name: str) -> List[Tuple]:
+        fu_name = self.op_fu.get(op_name)
+        if fu_name is None:
+            return []
+        op = self.graph.ops[op_name]
+        swap = self.op_swap.get(op_name, False)
+        events = []
+        for port, _ref in op.value_operands():
+            reg = self.read_src.get((op_name, port))
+            if reg is None:
+                continue
+            eff_port = (1 - port) if (swap and op.arity == 2) else port
+            events.append((reg_out(reg), fu_in(fu_name, eff_port)))
+        return events
+
+    def _derive_write(self, value: str) -> List[Tuple]:
+        val = self.graph.values[value]
+        if val.is_input:
+            src = in_port(value)
+        else:
+            producer = val.producer
+            if producer is None:
+                return []
+            fu_name = self.op_fu.get(producer)
+            if fu_name is None:
+                return []
+            src = fu_out(fu_name)
+        if self.port_captured(value):
+            # straight from the FU to the output port, no register
+            return [(src, out_port(value))] if val.is_output else []
+        interval = self.interval(value)
+        return [(src, reg_in(reg))
+                for reg in self.placements.get((value, interval.birth), ())]
+
+    def _derive_xfer(self, value: str, dst_step: int) -> List[Tuple]:
+        interval = self.interval(value)
+        src_step = interval.predecessor_step(dst_step)
+        if src_step is None:
+            return []
+        prev = self.placements.get((value, src_step), ())
+        cur = self.placements.get((value, dst_step), ())
+        if not prev:
+            return []
+        events = []
+        for dst in cur:
+            if dst in prev:
+                continue  # the register keeps holding the value; no transfer
+            impl = self.pt_impl.get((value, dst_step, dst))
+            if impl is not None:
+                src_reg, fu_name, fu_port = impl
+                if src_reg not in prev:
+                    raise BindingError(
+                        f"stale pass-through for ({value!r}, {dst_step}, "
+                        f"{dst!r}): source {src_reg!r} no longer holds the "
+                        f"value at step {src_step}")
+                events.append((reg_out(src_reg), fu_in(fu_name, fu_port)))
+                events.append((fu_out(fu_name), reg_in(dst)))
+            else:
+                events.append((reg_out(prev[0]), reg_in(dst)))
+        return events
+
+    def _derive_out(self, value: str) -> List[Tuple]:
+        val = self.graph.values[value]
+        if not val.is_output or self.port_captured(value):
+            return []
+        reg = self.out_src.get(value)
+        if reg is None:
+            return []
+        return [(reg_out(reg), out_port(value))]
+
+    def flush(self) -> None:
+        """Re-derive all dirty sites and update the connection ledger."""
+        for key in self._dirty:
+            old = self._site_events.get(key, [])
+            new = self._derive(key)
+            if new == old:
+                continue
+            self.ledger.remove_events(old)
+            self.ledger.add_events(new)
+            if new:
+                self._site_events[key] = new
+            else:
+                self._site_events.pop(key, None)
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------- cost
+
+    def fu_used_count(self) -> int:
+        return sum(1 for n in self.fus if self._fu_load[n] > 0)
+
+    def fu_used_area(self) -> float:
+        return sum(self.fus[n].fu_type.area
+                   for n in self.fus if self._fu_load[n] > 0)
+
+    def reg_used_count(self) -> int:
+        return sum(1 for n in self.regs if self._reg_load[n] > 0)
+
+    def cost(self) -> CostBreakdown:
+        """Evaluate the current allocation cost (requires a flushed state)."""
+        if self._dirty:
+            self.flush()
+        return CostBreakdown(
+            fu_count=self.fu_used_count(),
+            fu_area=self.fu_used_area(),
+            register_count=self.reg_used_count(),
+            mux_count=self.ledger.mux_count,
+            wire_count=self.ledger.wire_count,
+            weights=self.weights,
+        )
+
+    # -------------------------------------------------------------- snapshots
+
+    def duplicate(self) -> "Binding":
+        """A fresh, independent Binding with the same decisions."""
+        twin = Binding(self.schedule, list(self.fus.values()),
+                       list(self.regs.values()), weights=self.weights)
+        twin.restore_state(self.clone_state())
+        return twin
+
+    def clone_state(self) -> Dict[str, object]:
+        """Deep snapshot of the raw decision state (for best-so-far)."""
+        return {
+            "op_fu": dict(self.op_fu),
+            "op_swap": dict(self.op_swap),
+            "placements": dict(self.placements),
+            "read_src": dict(self.read_src),
+            "out_src": dict(self.out_src),
+            "pt_impl": dict(self.pt_impl),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot taken with :meth:`clone_state`."""
+        # clear everything via primitives so derived state stays consistent
+        for key in list(self.pt_impl):
+            self.set_pt(key[0], key[1], key[2], None)
+        for op_name in list(self.op_swap):
+            self.set_op_swap(op_name, False)
+        for (op_name, port) in list(self.read_src):
+            self.set_read_src(op_name, port, None)
+        for value in list(self.out_src):
+            self.set_out_src(value, None)
+        for (value, step) in list(self.placements):
+            self.set_placements(value, step, ())
+        for op_name in list(self.op_fu):
+            self.set_op_fu(op_name, None)
+
+        for op_name, fu in state["op_fu"].items():          # type: ignore
+            self.set_op_fu(op_name, fu)
+        for (value, step), regs in state["placements"].items():  # type: ignore
+            self.set_placements(value, step, regs)
+        for op_name, flag in state["op_swap"].items():      # type: ignore
+            self.set_op_swap(op_name, flag)
+        for (op_name, port), reg in state["read_src"].items():  # type: ignore
+            self.set_read_src(op_name, port, reg)
+        for value, reg in state["out_src"].items():         # type: ignore
+            self.set_out_src(value, reg)
+        for key, impl in state["pt_impl"].items():          # type: ignore
+            self.set_pt(key[0], key[1], key[2], impl)
+        self.flush()
+
+
+def _noop() -> None:
+    return None

@@ -1,0 +1,140 @@
+"""Randomized iterative improvement (paper Sec. 4).
+
+The paper found simulated annealing "produced poor results and seldom
+converged" and used this scheme instead:
+
+* several **trials** are attempted (analogous to annealing temperature
+  levels); each trial attempts a fixed number of moves;
+* a move is selected by randomly picking a move *type* (weighted so that
+  complex moves are picked less often) and then random elements;
+* downhill moves (cost decrease) are always accepted; a fixed number of
+  uphill moves are accepted at the *beginning* of each trial (letting the
+  search jump to a new region), after which only downhill moves are kept;
+* the best allocation seen anywhere is recorded, and the search stops when
+  three successive trials bring no improvement (or a trial cap is hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.rng import RngLike, make_rng, weighted_choice
+from repro.core.binding import Binding
+from repro.core.moves import MoveSet, rollback
+from repro.core.polish import polish
+from repro.datapath.cost import CostBreakdown
+
+
+@dataclass
+class ImproveConfig:
+    """Knobs of the iterative-improvement search."""
+
+    max_trials: int = 24
+    moves_per_trial: int = 1500
+    uphill_per_trial: int = 12
+    idle_trials_stop: int = 3
+    #: start every trial from the best allocation seen so far (iterated
+    #: local search); the uphill budget then acts as the trial's "kick"
+    restart_from_best: bool = True
+    #: run deterministic hill-climbing sweeps (:mod:`repro.core.polish`)
+    #: before the first trial and at the end of every trial
+    polish_trials: bool = True
+    move_set: MoveSet = field(default_factory=MoveSet)
+    seed: RngLike = 0
+
+
+@dataclass
+class ImproveStats:
+    """Bookkeeping returned by :func:`improve`."""
+
+    trials_run: int = 0
+    moves_attempted: int = 0
+    moves_applied: int = 0
+    moves_accepted: int = 0
+    uphill_accepted: int = 0
+    initial_cost: Optional[CostBreakdown] = None
+    final_cost: Optional[CostBreakdown] = None
+    per_move_accepts: Dict[str, int] = field(default_factory=dict)
+    cost_trace: List[float] = field(default_factory=list)
+
+    def summary(self) -> str:
+        initial = self.initial_cost.total if self.initial_cost else float("nan")
+        final = self.final_cost.total if self.final_cost else float("nan")
+        return (f"improve: {self.trials_run} trials, "
+                f"{self.moves_attempted} attempts, "
+                f"{self.moves_accepted} accepted "
+                f"({self.uphill_accepted} uphill); cost {initial:.1f} -> "
+                f"{final:.1f}")
+
+
+def improve(binding: Binding, config: ImproveConfig = ImproveConfig()) \
+        -> ImproveStats:
+    """Run iterative improvement in place; the binding ends at the best
+    allocation found."""
+    rng = make_rng(config.seed)
+    moves = config.move_set.enabled_moves()
+    if not moves:
+        raise ValueError("no moves enabled")
+    names = [m[0] for m in moves]
+    fns = {m[0]: m[1] for m in moves}
+    weights = [m[2] for m in moves]
+
+    stats = ImproveStats()
+    stats.initial_cost = binding.cost()
+    current = stats.initial_cost.total
+    if config.polish_trials:
+        current = polish(binding, config.move_set)
+    best = current
+    best_state = binding.clone_state()
+    idle_trials = 0
+
+    for _trial in range(config.max_trials):
+        stats.trials_run += 1
+        if config.restart_from_best and current > best + 1e-9:
+            binding.restore_state(best_state)
+            current = best
+        uphill_left = config.uphill_per_trial
+        improved_this_trial = False
+        for _ in range(config.moves_per_trial):
+            stats.moves_attempted += 1
+            name = weighted_choice(rng, names, weights)
+            undos = fns[name](binding, rng)
+            if undos is None:
+                continue
+            stats.moves_applied += 1
+            new_cost = binding.cost().total
+            accept = new_cost <= current
+            if not accept and uphill_left > 0:
+                accept = True
+                uphill_left -= 1
+                stats.uphill_accepted += 1
+            if accept:
+                stats.moves_accepted += 1
+                stats.per_move_accepts[name] = \
+                    stats.per_move_accepts.get(name, 0) + 1
+                current = new_cost
+                if current < best - 1e-9:
+                    best = current
+                    best_state = binding.clone_state()
+                    improved_this_trial = True
+            else:
+                rollback(undos)
+                binding.flush()
+        if config.polish_trials:
+            current = polish(binding, config.move_set)
+            if current < best - 1e-9:
+                best = current
+                best_state = binding.clone_state()
+                improved_this_trial = True
+        stats.cost_trace.append(current)
+        if improved_this_trial:
+            idle_trials = 0
+        else:
+            idle_trials += 1
+            if idle_trials >= config.idle_trials_stop:
+                break
+
+    binding.restore_state(best_state)
+    stats.final_cost = binding.cost()
+    return stats

@@ -1,0 +1,180 @@
+"""Constructive initial allocation (paper Sec. 4).
+
+"First, a simple constructive algorithm is used to create an initial
+allocation": operators are assigned to functional units on a
+first-available basis; loop input/output values are assigned to registers
+first (consistency across iterations is automatic in the cyclic segment
+model); then values occurring in the maximum-register-demand steps; then
+remaining values, preferring registers that add the least interconnect.
+Segments of each value are kept in one register unless no contiguous space
+exists, in which case the value is split across registers (the extended
+model's fallback; with ``allow_split=False`` this raises instead, which is
+the traditional model's behaviour on tight register budgets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AllocationError
+from repro.datapath.cost import CostWeights
+from repro.datapath.units import FU, Register
+from repro.sched.schedule import Schedule
+from repro.core.binding import Binding
+
+
+def bind_ops_first_available(binding: Binding) -> None:
+    """Assign operators to FUs first-available in control-step order."""
+    schedule = binding.schedule
+    order = sorted(binding.graph.ops,
+                   key=lambda n: (schedule.start[n], n))
+    for op_name in order:
+        op = binding.graph.ops[op_name]
+        fu_type = binding.spec.type_for_kind(op.kind)
+        busy = schedule.busy_steps(op_name)
+        for fu_name in binding.fus_of_type(fu_type.name):
+            if binding.fu_free_all(fu_name, busy):
+                binding.set_op_fu(op_name, fu_name)
+                break
+        else:
+            raise AllocationError(
+                f"no free {fu_type.name!r} unit for {op_name!r} at steps "
+                f"{busy}; provide at least {schedule.min_fus()} units")
+
+
+def _placement_order(binding: Binding) -> List[str]:
+    """Paper order: loop values, then max-demand-step values, then rest."""
+    graph = binding.graph
+    demand = binding.lifetimes.register_demand()
+    max_demand = max(demand) if demand else 0
+    hot_steps = {s for s, d in enumerate(demand) if d == max_demand}
+
+    loop_vals, hot_vals, rest = [], [], []
+    for name in sorted(graph.values):
+        if binding.port_captured(name):
+            continue
+        interval = binding.interval(name)
+        if graph.values[name].loop_carried:
+            loop_vals.append(name)
+        elif any(step in hot_steps for step in interval.steps):
+            hot_vals.append(name)
+        else:
+            rest.append(name)
+    key = lambda v: (-binding.interval(v).length, v)
+    return sorted(loop_vals, key=key) + sorted(hot_vals, key=key) + \
+        sorted(rest, key=key)
+
+
+def _interconnect_score(binding: Binding, value: str, reg: str) -> int:
+    """New connections a contiguous placement of *value* in *reg* adds.
+
+    Approximates the paper's "bound to registers in a way that attempts to
+    avoid adding more interconnections": counts how many of the would-be
+    (source, sink) pairs do not exist in the ledger yet.
+    """
+    from repro.datapath.interconnect import fu_in, fu_out, in_port, reg_in, \
+        reg_out
+
+    graph = binding.graph
+    val = graph.values[value]
+    pairs = []
+    if val.is_input:
+        pairs.append((in_port(value), reg_in(reg)))
+    elif val.producer is not None:
+        fu = binding.op_fu.get(val.producer)
+        if fu is not None:
+            pairs.append((fu_out(fu), reg_in(reg)))
+    for op_name, port in val.consumers:
+        fu = binding.op_fu.get(op_name)
+        if fu is None:
+            continue
+        op = graph.ops[op_name]
+        eff = port if op.arity != 2 else port  # no swaps yet at this stage
+        pairs.append((reg_out(reg), fu_in(fu, eff)))
+    return sum(1 for src, snk in pairs if binding.ledger.uses(src, snk) == 0)
+
+
+def place_values(binding: Binding, allow_split: bool = True) -> None:
+    """Assign every value's segments to registers (contiguous if possible)."""
+    binding.flush()  # make op-read/write connections visible to the scorer
+    reg_names = sorted(binding.regs)
+    for value in _placement_order(binding):
+        interval = binding.interval(value)
+        steps = interval.steps
+        candidates = [r for r in reg_names
+                      if all(binding.reg_free(r, s) for s in steps)]
+        if candidates:
+            best = min(candidates,
+                       key=lambda r: (_interconnect_score(binding, value, r),
+                                      r))
+            for step in steps:
+                binding.set_placements(value, step, (best,))
+            binding.flush()
+            continue
+        if not allow_split:
+            raise AllocationError(
+                f"value {value!r} does not fit contiguously in any register "
+                f"(traditional binding model, {len(reg_names)} registers)")
+        # split: walk the lifetime, keeping the current register as long as
+        # it stays free, hopping to the register free for the longest run
+        current: Optional[str] = None
+        for index, step in enumerate(steps):
+            if current is not None and binding.reg_free(current, step):
+                binding.set_placements(value, step, (current,))
+                continue
+            best_reg, best_run = None, -1
+            for r in reg_names:
+                if not binding.reg_free(r, step):
+                    continue
+                run = 0
+                for future in steps[index:]:
+                    if binding.reg_free(r, future):
+                        run += 1
+                    else:
+                        break
+                if run > best_run:
+                    best_reg, best_run = r, run
+            if best_reg is None:
+                raise AllocationError(
+                    f"no register free for {value!r} at step {step}; "
+                    f"register demand exceeds the {len(reg_names)} provided")
+            binding.set_placements(value, step, (best_reg,))
+            current = best_reg
+    binding.flush()
+
+
+def wire_reads(binding: Binding) -> None:
+    """Point every consumer/output at the primary copy of its operand."""
+    graph = binding.graph
+    schedule = binding.schedule
+    for vname, val in graph.values.items():
+        if binding.port_captured(vname):
+            continue
+        for op_name, port in val.consumers:
+            step = schedule.start[op_name]
+            regs = binding.segment_regs(vname, step)
+            if not regs:
+                raise AllocationError(
+                    f"value {vname!r} unplaced at step {step} but read by "
+                    f"{op_name!r}")
+            binding.set_read_src(op_name, port, regs[0])
+        if val.is_output:
+            sample = binding.out_sample_step(vname)
+            regs = binding.segment_regs(vname, sample)
+            if not regs:
+                raise AllocationError(
+                    f"output {vname!r} unplaced at its sample step {sample}")
+            binding.set_out_src(vname, regs[0])
+    binding.flush()
+
+
+def initial_allocation(schedule: Schedule, fus: Sequence[FU],
+                       registers: Sequence[Register],
+                       weights: CostWeights = CostWeights(),
+                       allow_split: bool = True) -> Binding:
+    """Build a complete legal starting binding for iterative improvement."""
+    binding = Binding(schedule, fus, registers, weights=weights)
+    bind_ops_first_available(binding)
+    place_values(binding, allow_split=allow_split)
+    wire_reads(binding)
+    return binding

@@ -1,0 +1,550 @@
+"""The SALSA move set (paper Table 1).
+
+Functional-unit moves
+    F1  FU Exchange        exchange the FU bindings of two operations
+    F2  FU Move            reassign an operation to another (free) FU
+    F3  Operand Reverse    swap the FU input ports of a commutative op
+    F4  Bind Pass-Through  implement a segment transfer through an idle FU
+    F5  Unbind Pass-Through  revert a pass-through to a direct connection
+
+Register moves
+    R1  Segment Exchange   swap the registers of two segments in one step
+    R2  Segment Move       move one segment copy to a free register
+    R3  Value Exchange     exchange the register bindings of two values
+    R4  Value Move         put *all* segments of a value in one register
+    R5  Value Split        create a live copy of a run of segments
+    R6  Value Merge        remove a copy, re-pointing its readers
+
+Every move either applies completely (returning the list of undo closures
+that reverts it) or leaves the binding untouched and returns ``None``.
+Moves keep the binding legal: they repair consumer read sources, output
+sample sources and pass-through implementations invalidated by placement
+changes (:func:`fixup_segment`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BindingError
+from repro.core.binding import Binding, Undo
+
+MoveFn = Callable[[Binding, random.Random], Optional[List[Undo]]]
+
+#: how many random element picks a move attempts before giving up
+_TRIES = 12
+
+
+def rollback(undos: List[Undo]) -> None:
+    """Revert a sequence of primitive mutations (most recent first)."""
+    for undo in reversed(undos):
+        undo()
+
+
+# --------------------------------------------------------------------- fixups
+
+def fixup_segment(binding: Binding, value: str, step: int) -> List[Undo]:
+    """Repair read/out sources and pass-throughs after a placement change."""
+    undos: List[Undo] = []
+    regs = binding.segment_regs(value, step)
+    primary = regs[0] if regs else None
+    for op_name, port in binding.reads_of(value, step):
+        if binding.read_src.get((op_name, port)) not in regs:
+            undos.append(binding.set_read_src(op_name, port, primary))
+    val = binding.graph.values[value]
+    if val.is_output and not binding.port_captured(value) and \
+            step == binding.out_sample_step(value):
+        if binding.out_src.get(value) not in regs:
+            undos.append(binding.set_out_src(value, primary))
+
+    interval = binding.interval(value)
+    prev = interval.predecessor_step(step)
+    succ = interval.successor_step(step)
+    # pass-throughs into this step
+    if prev is not None:
+        prev_regs = binding.segment_regs(value, prev)
+        for key in [k for k in binding.pt_impl if k[0] == value
+                    and k[1] == step]:
+            _v, _t, dst = key
+            impl = binding.pt_impl[key]
+            if dst not in regs or dst in prev_regs or impl[0] not in prev_regs:
+                undos.append(binding.set_pt(value, step, dst, None))
+    # pass-throughs out of this step (into the successor)
+    if succ is not None:
+        succ_regs = binding.segment_regs(value, succ)
+        for key in [k for k in binding.pt_impl if k[0] == value
+                    and k[1] == succ]:
+            _v, _t, dst = key
+            impl = binding.pt_impl[key]
+            if impl[0] not in regs or dst in regs or dst not in succ_regs:
+                undos.append(binding.set_pt(value, succ, dst, None))
+    return undos
+
+
+def _movable_values(binding: Binding) -> List[str]:
+    return [v for v in sorted(binding.graph.values)
+            if not binding.port_captured(v)]
+
+
+# ------------------------------------------------------------------ FU moves
+
+def move_fu_exchange(binding: Binding,
+                     rng: random.Random) -> Optional[List[Undo]]:
+    """F1: exchange the FU bindings of two operations."""
+    ops = sorted(binding.op_fu)
+    if len(ops) < 2:
+        return None
+    for _ in range(_TRIES):
+        op1, op2 = rng.sample(ops, 2)
+        fu1, fu2 = binding.op_fu[op1], binding.op_fu[op2]
+        if fu1 == fu2:
+            continue
+        kind1 = binding.graph.ops[op1].kind
+        kind2 = binding.graph.ops[op2].kind
+        if not binding.fus[fu2].fu_type.supports(kind1):
+            continue
+        if not binding.fus[fu1].fu_type.supports(kind2):
+            continue
+        undos: List[Undo] = []
+        try:
+            undos.append(binding.set_op_fu(op1, None))
+            undos.append(binding.set_op_fu(op2, fu1))
+            undos.append(binding.set_op_fu(op1, fu2))
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+def move_fu_move(binding: Binding,
+                 rng: random.Random) -> Optional[List[Undo]]:
+    """F2: reassign an operation to a different free FU."""
+    ops = sorted(binding.op_fu)
+    if not ops:
+        return None
+    for _ in range(_TRIES):
+        op_name = rng.choice(ops)
+        kind = binding.graph.ops[op_name].kind
+        busy = binding.schedule.busy_steps(op_name)
+        current = binding.op_fu[op_name]
+        targets = [f for f in sorted(binding.fus)
+                   if f != current
+                   and binding.fus[f].fu_type.supports(kind)
+                   and binding.fu_free_all(f, busy)]
+        if not targets:
+            continue
+        return [binding.set_op_fu(op_name, rng.choice(targets))]
+    return None
+
+
+def move_operand_reverse(binding: Binding,
+                         rng: random.Random) -> Optional[List[Undo]]:
+    """F3: swap the input-port assignment of a commutative operation."""
+    ops = [n for n, op in binding.graph.ops.items()
+           if op.arity == 2 and op.commutative]
+    if not ops:
+        return None
+    op_name = rng.choice(sorted(ops))
+    flag = not binding.op_swap.get(op_name, False)
+    return [binding.set_op_swap(op_name, flag)]
+
+
+def _direct_transfers(binding: Binding) -> List[Tuple[str, int, str, int]]:
+    """All (value, dst_step, dst_reg, src_step) transfers not yet pass-through."""
+    found = []
+    for value in _movable_values(binding):
+        interval = binding.interval(value)
+        steps = interval.steps
+        for idx in range(1, len(steps)):
+            src_step, dst_step = steps[idx - 1], steps[idx]
+            prev = binding.segment_regs(value, src_step)
+            for dst in binding.segment_regs(value, dst_step):
+                if dst in prev:
+                    continue
+                if (value, dst_step, dst) in binding.pt_impl:
+                    continue
+                found.append((value, dst_step, dst, src_step))
+    return found
+
+
+def _best_pt_choice(binding: Binding, rng: random.Random, value: str,
+                    dst_step: int, dst_reg: str,
+                    src_step: int) -> Optional[Tuple[str, str, int]]:
+    """Pick the (src_reg, fu, port) pass-through that re-uses the most
+    existing connections (the paper's Fig. 3 rationale: a pass-through wins
+    exactly when the register->FU and FU->register wires already exist)."""
+    from repro.datapath.interconnect import fu_in, fu_out, reg_in, reg_out
+
+    pt_fus = [n for n, f in binding.fus.items()
+              if f.fu_type.can_passthrough and binding.fu_free(n, src_step)]
+    if not pt_fus:
+        return None
+    ledger = binding.ledger
+    best: List[Tuple[str, str, int]] = []
+    best_new = None
+    for src_reg in binding.segment_regs(value, src_step):
+        for fu_name in pt_fus:
+            for port in (0, 1):
+                new = int(ledger.uses(reg_out(src_reg),
+                                      fu_in(fu_name, port)) == 0)
+                new += int(ledger.uses(fu_out(fu_name), reg_in(dst_reg)) == 0)
+                if best_new is None or new < best_new:
+                    best_new, best = new, [(src_reg, fu_name, port)]
+                elif new == best_new:
+                    best.append((src_reg, fu_name, port))
+    return rng.choice(best) if best else None
+
+
+def move_bind_passthrough(binding: Binding,
+                          rng: random.Random) -> Optional[List[Undo]]:
+    """F4: assign a slack node (transfer) to an idle pass-through FU."""
+    candidates = _direct_transfers(binding)
+    if not candidates:
+        return None
+    for _ in range(_TRIES):
+        value, dst_step, dst_reg, src_step = rng.choice(candidates)
+        impl = _best_pt_choice(binding, rng, value, dst_step, dst_reg,
+                               src_step)
+        if impl is None:
+            continue
+        try:
+            return [binding.set_pt(value, dst_step, dst_reg, impl)]
+        except BindingError:
+            return None
+    return None
+
+
+def move_unbind_passthrough(binding: Binding,
+                            rng: random.Random) -> Optional[List[Undo]]:
+    """F5: revert a pass-through transfer to a direct connection."""
+    if not binding.pt_impl:
+        return None
+    key = rng.choice(sorted(binding.pt_impl))
+    return [binding.set_pt(key[0], key[1], key[2], None)]
+
+
+# ------------------------------------------------------------- register moves
+
+def _swap_segments(binding: Binding, v1: str, v2: str, step: int,
+                   undos: List[Undo]) -> None:
+    """Swap the full placement tuples of two values at one step."""
+    p1 = binding.segment_regs(v1, step)
+    p2 = binding.segment_regs(v2, step)
+    undos.append(binding.set_placements(v1, step, ()))
+    undos.append(binding.set_placements(v2, step, p1))
+    undos.append(binding.set_placements(v1, step, p2))
+    undos.extend(fixup_segment(binding, v1, step))
+    undos.extend(fixup_segment(binding, v2, step))
+
+
+def move_segment_exchange(binding: Binding,
+                          rng: random.Random) -> Optional[List[Undo]]:
+    """R1: exchange the register bindings of two segments in one step."""
+    for _ in range(_TRIES):
+        step = rng.randrange(binding.length)
+        live = binding.lifetimes.live_at(step)
+        live = [v for v in live if binding.segment_regs(v, step)]
+        if len(live) < 2:
+            continue
+        v1, v2 = rng.sample(live, 2)
+        undos: List[Undo] = []
+        try:
+            _swap_segments(binding, v1, v2, step, undos)
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+def move_segment_move(binding: Binding,
+                      rng: random.Random) -> Optional[List[Undo]]:
+    """R2: move one segment copy to an unused register."""
+    values = _movable_values(binding)
+    if not values:
+        return None
+    free_regs = sorted(binding.regs)
+    for _ in range(_TRIES):
+        value = rng.choice(values)
+        step = rng.choice(binding.interval(value).steps)
+        regs = binding.segment_regs(value, step)
+        if not regs:
+            continue
+        old = rng.choice(regs)
+        targets = [r for r in free_regs if binding.reg_free(r, step)]
+        if not targets:
+            continue
+        new = rng.choice(targets)
+        placement = tuple(new if r == old else r for r in regs)
+        undos: List[Undo] = []
+        try:
+            undos.append(binding.set_placements(value, step, placement))
+            undos.extend(fixup_segment(binding, value, step))
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+def move_segment_hop(binding: Binding,
+                     rng: random.Random) -> Optional[List[Undo]]:
+    """R2b: relocate a *suffix run* of a value's segments to another
+    register, creating exactly one mid-lifetime transfer — the canonical
+    "value moves between registers during its lifetime" transformation of
+    the extended model (Sec. 2).  With probability 1/2 the transfer is
+    immediately implemented as a pass-through (best re-use choice)."""
+    values = [v for v in _movable_values(binding)
+              if binding.interval(v).length >= 2]
+    if not values:
+        return None
+    for _ in range(_TRIES):
+        value = rng.choice(values)
+        steps = binding.interval(value).steps
+        cut = rng.randrange(1, len(steps))
+        run = steps[cut:]
+        src_step = steps[cut - 1]
+        # only hop single-copy runs (copies are R5/R6 territory)
+        if any(len(binding.segment_regs(value, s)) != 1 for s in run):
+            continue
+        current = binding.segment_regs(value, run[0])[0]
+        targets = [r for r in sorted(binding.regs)
+                   if r != current
+                   and all(binding.reg_free(r, s) for s in run)]
+        if not targets:
+            continue
+        new = rng.choice(targets)
+        undos: List[Undo] = []
+        try:
+            for step in run:
+                undos.append(binding.set_placements(value, step, (new,)))
+                undos.extend(fixup_segment(binding, value, step))
+            if rng.random() < 0.5 and \
+                    new not in binding.segment_regs(value, src_step):
+                impl = _best_pt_choice(binding, rng, value, run[0], new,
+                                       src_step)
+                if impl is not None:
+                    undos.append(binding.set_pt(value, run[0], new, impl))
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+def move_value_exchange(binding: Binding,
+                        rng: random.Random) -> Optional[List[Undo]]:
+    """R3: exchange the register bindings of two whole values."""
+    values = _movable_values(binding)
+    if len(values) < 2:
+        return None
+    for _ in range(_TRIES):
+        v1, v2 = rng.sample(values, 2)
+        steps1 = set(binding.interval(v1).steps)
+        steps2 = set(binding.interval(v2).steps)
+        shared = sorted(steps1 & steps2)
+        undos: List[Undo] = []
+        try:
+            if shared:
+                for step in shared:
+                    _swap_segments(binding, v1, v2, step, undos)
+                return undos
+            # disjoint lifetimes: swap home registers when both contiguous
+            home1 = _single_home(binding, v1)
+            home2 = _single_home(binding, v2)
+            if home1 is None or home2 is None or home1 == home2:
+                continue
+            for step in binding.interval(v1).steps:
+                if not binding.reg_free(home2, step):
+                    raise BindingError("home occupied")
+            for step in binding.interval(v1).steps:
+                undos.append(binding.set_placements(v1, step, (home2,)))
+                undos.extend(fixup_segment(binding, v1, step))
+            for step in binding.interval(v2).steps:
+                if not binding.reg_free(home1, step):
+                    raise BindingError("home occupied")
+                undos.append(binding.set_placements(v2, step, (home1,)))
+                undos.extend(fixup_segment(binding, v2, step))
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+def _single_home(binding: Binding, value: str) -> Optional[str]:
+    """The unique register of a monolithically-bound value, else ``None``."""
+    home = None
+    for step in binding.interval(value).steps:
+        regs = binding.segment_regs(value, step)
+        if len(regs) != 1:
+            return None
+        if home is None:
+            home = regs[0]
+        elif regs[0] != home:
+            return None
+    return home
+
+
+def move_value_move(binding: Binding,
+                    rng: random.Random) -> Optional[List[Undo]]:
+    """R4: assign all segments of a value to one register."""
+    values = _movable_values(binding)
+    if not values:
+        return None
+    for _ in range(_TRIES):
+        value = rng.choice(values)
+        steps = binding.interval(value).steps
+        home = _single_home(binding, value)
+        targets = []
+        for reg in sorted(binding.regs):
+            if reg == home:
+                continue
+            if all(binding.reg_occ.get((reg, s)) in (None, value)
+                   for s in steps):
+                targets.append(reg)
+        if not targets:
+            continue
+        new = rng.choice(targets)
+        undos: List[Undo] = []
+        try:
+            # drop all pass-throughs of this value first (no transfers remain)
+            for key in [k for k in binding.pt_impl if k[0] == value]:
+                undos.append(binding.set_pt(key[0], key[1], key[2], None))
+            for step in steps:
+                undos.append(binding.set_placements(value, step, (new,)))
+                undos.extend(fixup_segment(binding, value, step))
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+def move_value_split(binding: Binding,
+                     rng: random.Random) -> Optional[List[Undo]]:
+    """R5: store a live copy of a run of segments in a second register."""
+    values = _movable_values(binding)
+    if not values:
+        return None
+    for _ in range(_TRIES):
+        value = rng.choice(values)
+        steps = binding.interval(value).steps
+        i = rng.randrange(len(steps))
+        j = rng.randrange(i, len(steps))
+        run = steps[i:j + 1]
+        existing = set()
+        for step in run:
+            existing.update(binding.segment_regs(value, step))
+        targets = [r for r in sorted(binding.regs)
+                   if r not in existing
+                   and all(binding.reg_free(r, s) for s in run)]
+        if not targets:
+            continue
+        copy_reg = rng.choice(targets)
+        undos: List[Undo] = []
+        try:
+            for step in run:
+                placement = binding.segment_regs(value, step) + (copy_reg,)
+                undos.append(binding.set_placements(value, step, placement))
+                undos.extend(fixup_segment(binding, value, step))
+            # move some readers (and possibly the output port) to the copy
+            for step in run:
+                for op_name, port in binding.reads_of(value, step):
+                    if rng.random() < 0.5:
+                        undos.append(
+                            binding.set_read_src(op_name, port, copy_reg))
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+def move_value_merge(binding: Binding,
+                     rng: random.Random) -> Optional[List[Undo]]:
+    """R6: eliminate one copy of a value segment run."""
+    multi = sorted({(v, s) for (v, s), regs in binding.placements.items()
+                    if len(regs) > 1})
+    if not multi:
+        return None
+    for _ in range(_TRIES):
+        value, step = rng.choice(multi)
+        regs = binding.segment_regs(value, step)
+        victim = rng.choice(regs)
+        # grow a maximal run around `step` where victim is a removable copy
+        steps = binding.interval(value).steps
+        idx = steps.index(step)
+        lo = idx
+        while lo > 0 and victim in binding.segment_regs(value, steps[lo - 1]) \
+                and len(binding.segment_regs(value, steps[lo - 1])) > 1:
+            lo -= 1
+        hi = idx
+        while hi + 1 < len(steps) \
+                and victim in binding.segment_regs(value, steps[hi + 1]) \
+                and len(binding.segment_regs(value, steps[hi + 1])) > 1:
+            hi += 1
+        undos: List[Undo] = []
+        try:
+            for s in steps[lo:hi + 1]:
+                placement = tuple(r for r in binding.segment_regs(value, s)
+                                  if r != victim)
+                undos.append(binding.set_placements(value, s, placement))
+                undos.extend(fixup_segment(binding, value, s))
+            return undos
+        except BindingError:
+            rollback(undos)
+    return None
+
+
+# ---------------------------------------------------------------- move table
+
+@dataclass
+class MoveSet:
+    """Enabled moves with selection weights (paper Sec. 4: complex moves
+    are picked less often to control execution time)."""
+
+    segments: bool = True      # R1/R2 single-step segment moves
+    splits: bool = True        # R5/R6 value copies
+    passthroughs: bool = True  # F4/F5
+    operand_swap: bool = True  # F3
+    weights: Dict[str, float] = field(default_factory=dict)
+
+    DEFAULT_WEIGHTS = {
+        "F1": 0.10, "F2": 0.12, "F3": 0.08, "F4": 0.08, "F5": 0.03,
+        "R1": 0.14, "R2": 0.12, "R2b": 0.15, "R3": 0.04, "R4": 0.04,
+        "R5": 0.06, "R6": 0.04,
+    }
+
+    _TABLE = {
+        "F1": move_fu_exchange,
+        "F2": move_fu_move,
+        "F3": move_operand_reverse,
+        "F4": move_bind_passthrough,
+        "F5": move_unbind_passthrough,
+        "R1": move_segment_exchange,
+        "R2": move_segment_move,
+        "R2b": move_segment_hop,
+        "R3": move_value_exchange,
+        "R4": move_value_move,
+        "R5": move_value_split,
+        "R6": move_value_merge,
+    }
+
+    def enabled_moves(self) -> List[Tuple[str, MoveFn, float]]:
+        table = []
+        for name, fn in self._TABLE.items():
+            if name in ("R1", "R2", "R2b") and not self.segments:
+                continue
+            if name in ("R5", "R6") and not self.splits:
+                continue
+            if name in ("F4", "F5") and not self.passthroughs:
+                continue
+            if name == "F3" and not self.operand_swap:
+                continue
+            weight = self.weights.get(name, self.DEFAULT_WEIGHTS[name])
+            if weight > 0:
+                table.append((name, fn, weight))
+        return table
+
+    @classmethod
+    def traditional(cls) -> "MoveSet":
+        """The traditional binding model: monolithic values, no copies,
+        no pass-throughs (used by the baseline allocator)."""
+        return cls(segments=False, splits=False, passthroughs=False)

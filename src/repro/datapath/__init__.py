@@ -1,0 +1,24 @@
+"""Datapath substrate: units, interconnect ledger, netlist, simulation."""
+
+from repro.datapath.units import (ADDER, ALU, FU, FUType, HardwareSpec,
+                                  MULTIPLIER, PIPELINED_MULTIPLIER,
+                                  Register, make_registers)
+from repro.datapath.cost import CostBreakdown, CostWeights
+from repro.datapath.interconnect import (ConnectionLedger, fu_in, fu_out,
+                                         in_port, out_port, reg_in, reg_out)
+from repro.datapath.netlist import (IssueEntry, Mux, Netlist, OutEntry,
+                                    WriteEntry, build_netlist)
+from repro.datapath.muxmerge import MergeReport, MergedMux, merge_muxes
+from repro.datapath.simulate import (DatapathSimulator, SimTrace,
+                                     simulate_binding, verify_binding)
+from repro.datapath.rtl import netlist_to_verilog
+
+__all__ = [
+    "ADDER", "ALU", "ConnectionLedger", "CostBreakdown", "CostWeights",
+    "DatapathSimulator", "FU", "FUType", "HardwareSpec", "IssueEntry",
+    "MULTIPLIER", "MergeReport", "MergedMux", "Mux", "Netlist", "OutEntry",
+    "PIPELINED_MULTIPLIER", "Register", "SimTrace", "WriteEntry",
+    "build_netlist", "fu_in", "fu_out", "in_port", "make_registers",
+    "merge_muxes", "netlist_to_verilog", "out_port", "reg_in", "reg_out",
+    "simulate_binding", "verify_binding",
+]

@@ -1,0 +1,129 @@
+"""Bus-oriented interconnect extraction (paper Sec. 7, future work).
+
+"First, extensions to interconnection allocation should be investigated to
+improve on the point-to-point model currently used."  This module provides
+that extension as a post-pass: the point-to-point connections of a
+finished allocation are merged onto shared **buses**.
+
+A bus carries at most one value per control step, so two connections can
+share a bus iff they never need to transport *different* source signals in
+the same step.  Using the netlist's per-step selection schedule, each
+connection gets an activity profile ``{step: source}``; compatible
+connections (profiles that never disagree on a step's source) are packed
+greedily onto buses, largest-traffic connection first — a classic
+conflict-graph coloring in the style of the bus-oriented allocators the
+paper cites ([6], Haroun & Elmasry).
+
+Cost model: a bus with *d* distinct drivers costs ``d - 1`` equivalent 2-1
+multiplexers (the driver selector); every sink that listens to more than
+one bus/wire still pays its own input selector.  The report compares this
+against the point-to-point mux count so the trade-off is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datapath.interconnect import Endpoint
+from repro.datapath.netlist import Netlist
+
+
+@dataclass
+class Bus:
+    """One shared interconnect line."""
+
+    name: str
+    #: connections routed over this bus
+    connections: List[Tuple[Endpoint, Endpoint]] = field(default_factory=list)
+    #: per-step driving source
+    schedule: Dict[int, Endpoint] = field(default_factory=dict)
+
+    @property
+    def drivers(self) -> List[Endpoint]:
+        return sorted({src for src, _snk in self.connections})
+
+    @property
+    def readers(self) -> List[Endpoint]:
+        return sorted({snk for _src, snk in self.connections})
+
+    @property
+    def driver_mux_eq21(self) -> int:
+        return max(0, len(self.drivers) - 1)
+
+
+@dataclass
+class BusReport:
+    """Result of :func:`extract_buses`."""
+
+    buses: List[Bus]
+    point_to_point_wires: int
+    point_to_point_eq21: int
+    bus_eq21: int
+
+    @property
+    def bus_count(self) -> int:
+        return len(self.buses)
+
+    def __str__(self) -> str:
+        return (f"buses: {self.point_to_point_wires} point-to-point wires "
+                f"-> {self.bus_count} buses; eq-2:1 "
+                f"{self.point_to_point_eq21} (p2p) vs {self.bus_eq21} (bus)")
+
+
+def _connection_profiles(netlist: Netlist) \
+        -> Dict[Tuple[Endpoint, Endpoint], Dict[int, Endpoint]]:
+    """Steps at which each connection actively carries its source."""
+    selection = netlist.selection_schedule()
+    profiles: Dict[Tuple[Endpoint, Endpoint], Dict[int, Endpoint]] = {}
+    for src, snk in netlist.connections:
+        profile: Dict[int, Endpoint] = {}
+        per_step = selection.get(snk)
+        if per_step is None:
+            # single-source sink: it is fed whenever anything selects it;
+            # conservatively treat it as active at every step
+            profile = {step: src for step in range(netlist.length)}
+        else:
+            for step, chosen in per_step.items():
+                if chosen == src:
+                    profile[step] = src
+        profiles[(src, snk)] = profile
+    return profiles
+
+
+def extract_buses(netlist: Netlist) -> BusReport:
+    """Pack the netlist's connections onto shared buses."""
+    profiles = _connection_profiles(netlist)
+    order = sorted(profiles, key=lambda c: (-len(profiles[c]), c))
+
+    buses: List[Bus] = []
+    for connection in order:
+        profile = profiles[connection]
+        placed = False
+        for bus in buses:
+            if all(bus.schedule.get(step, src) == src
+                   for step, src in profile.items()):
+                bus.connections.append(connection)
+                bus.schedule.update(profile)
+                placed = True
+                break
+        if not placed:
+            bus = Bus(name=f"bus{len(buses)}")
+            bus.connections.append(connection)
+            bus.schedule.update(profile)
+            buses.append(bus)
+
+    # sink selectors: a sink pays (number of distinct buses it reads) - 1
+    sink_buses: Dict[Endpoint, set] = {}
+    for bus in buses:
+        for _src, snk in bus.connections:
+            sink_buses.setdefault(snk, set()).add(bus.name)
+    sink_eq21 = sum(max(0, len(b) - 1) for b in sink_buses.values())
+    bus_eq21 = sink_eq21 + sum(bus.driver_mux_eq21 for bus in buses)
+
+    return BusReport(
+        buses=buses,
+        point_to_point_wires=len(netlist.connections),
+        point_to_point_eq21=netlist.mux_eq21(),
+        bus_eq21=bus_eq21,
+    )

@@ -1,0 +1,181 @@
+"""Control-unit extraction from an allocated datapath.
+
+Allocation decisions determine the control signals a datapath needs each
+control step: multiplexer selects, register write enables, FU operation
+selects, and output-port strobes.  This module derives the complete
+**control word table** from a netlist, packs it into fields, and reports
+controller cost estimates (word width, distinct words, ROM bits) — the
+"controller effects" dimension the follow-up literature (Huang & Wolf,
+DAC'92 sibling paper 18.x) studies, and a practical necessity for anyone
+using the allocator's output.
+
+The table is also emitted as a one-hot FSM in Verilog so the datapath
+module from :mod:`repro.datapath.rtl` has a driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datapath.interconnect import Endpoint
+from repro.datapath.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ControlField:
+    """One field of the control word."""
+
+    name: str
+    width: int
+    #: per-step value of the field (defaults to 0 when inactive)
+    values: Tuple[int, ...]
+
+
+@dataclass
+class ControlTable:
+    """The complete per-step control specification of a datapath."""
+
+    length: int
+    fields: List[ControlField] = field(default_factory=list)
+
+    @property
+    def word_width(self) -> int:
+        return sum(f.width for f in self.fields)
+
+    def words(self) -> List[int]:
+        """The packed control word of every step (MSB = first field)."""
+        packed = []
+        for step in range(self.length):
+            word = 0
+            for f in self.fields:
+                word = (word << f.width) | f.values[step]
+            packed.append(word)
+        return packed
+
+    def distinct_words(self) -> int:
+        return len(set(self.words()))
+
+    def rom_bits(self) -> int:
+        """Bits of a simple ROM implementation (steps x word width)."""
+        return self.length * self.word_width
+
+    def summary(self) -> str:
+        return (f"controller: {self.length} steps, "
+                f"{len(self.fields)} fields, {self.word_width}-bit word, "
+                f"{self.distinct_words()} distinct words, "
+                f"{self.rom_bits()} ROM bits")
+
+
+def _select_width(n_sources: int) -> int:
+    return max(1, (n_sources - 1).bit_length()) if n_sources > 1 else 0
+
+
+def extract_control(netlist: Netlist) -> ControlTable:
+    """Build the control table of *netlist*."""
+    table = ControlTable(length=netlist.length)
+    selection = netlist.selection_schedule()
+
+    # mux select fields
+    for mux in netlist.muxes:
+        sources = list(mux.sources)
+        width = _select_width(len(sources))
+        per_step = [0] * netlist.length
+        for step, src in selection.get(mux.sink, {}).items():
+            per_step[step % netlist.length] = sources.index(src)
+        table.fields.append(ControlField(
+            name=f"sel_{_endpoint_label(mux.sink)}", width=width,
+            values=tuple(per_step)))
+
+    # register write enables
+    write_steps: Dict[str, set] = {}
+    for write in netlist.writes:
+        write_steps.setdefault(write.reg, set()).add(write.step)
+    for reg in netlist.regs:
+        steps = write_steps.get(reg, set())
+        table.fields.append(ControlField(
+            name=f"we_{reg}", width=1,
+            values=tuple(1 if s in steps else 0
+                         for s in range(netlist.length))))
+
+    # FU operation selects (idle / one code per distinct kind, plus a
+    # pass-through code when the unit forwards values)
+    pt_steps: Dict[str, set] = {}
+    for write in netlist.writes:
+        if write.source[0] == "pt":
+            pt_steps.setdefault(write.source[2], set()).add(write.step)
+    for fu in netlist.fus:
+        issues = [i for i in netlist.issues if i.fu == fu]
+        kinds = sorted({i.kind for i in issues})
+        codes = {kind: idx + 1 for idx, kind in enumerate(kinds)}
+        pass_code = len(codes) + 1 if pt_steps.get(fu) else None
+        n_codes = 1 + len(codes) + (1 if pass_code else 0)
+        width = _select_width(n_codes) or 1
+        per_step = [0] * netlist.length
+        for issue in issues:
+            per_step[issue.step] = codes[issue.kind]
+        for step in pt_steps.get(fu, ()):
+            per_step[step] = pass_code
+        table.fields.append(ControlField(
+            name=f"op_{fu}", width=width, values=tuple(per_step)))
+
+    # output strobes
+    for out in netlist.outs:
+        per_step = [0] * netlist.length
+        per_step[out.step % netlist.length] = 1
+        table.fields.append(ControlField(
+            name=f"oe_{out.value}", width=1, values=tuple(per_step)))
+
+    return table
+
+
+def _endpoint_label(endpoint: Endpoint) -> str:
+    if endpoint[0] == "fu_in":
+        return f"{endpoint[1]}_a{endpoint[2]}"
+    if endpoint[0] == "reg_in":
+        return f"{endpoint[1]}"
+    return "_".join(str(part) for part in endpoint)
+
+
+def controller_to_verilog(table: ControlTable,
+                          name: str = "controller") -> str:
+    """Emit the control table as a one-hot-state Verilog FSM."""
+    lines = [f"// generated by repro.datapath.controller",
+             f"// {table.summary()}",
+             f"module {name} (",
+             "  input  wire clk,",
+             "  input  wire rst,"]
+    for index, f in enumerate(table.fields):
+        comma = "," if index + 1 < len(table.fields) else ""
+        if f.width == 1:
+            lines.append(f"  output reg {f.name}{comma}")
+        else:
+            lines.append(f"  output reg [{f.width - 1}:0] {f.name}{comma}")
+    lines.append(");")
+    lines.append("")
+    steps = table.length
+    lines.append(f"  reg [{steps - 1}:0] state;  // one-hot")
+    lines.append("  always @(posedge clk) begin")
+    lines.append(f"    if (rst) state <= {steps}'d1;")
+    lines.append("    else state <= {state[" + str(steps - 2) +
+                 ":0], state[" + str(steps - 1) + "]};")
+    lines.append("  end")
+    lines.append("")
+    lines.append("  always @* begin")
+    for f in table.fields:
+        lines.append(f"    {f.name} = {f.width}'d0;")
+    lines.append("    case (1'b1)")
+    for step in range(steps):
+        active = [f"      state[{step}]: begin"]
+        body = []
+        for f in table.fields:
+            if f.values[step]:
+                body.append(f"        {f.name} = "
+                            f"{f.width}'d{f.values[step]};")
+        if body:
+            lines.extend(active + body + ["      end"])
+    lines.append("      default: ;")
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Allocation cost model: weighted sum of FU, register and interconnect cost.
+
+"The cost of a data path allocation is usually taken to be a weighted sum
+of the number of functional units, registers, and interconnection elements"
+(paper Sec. 1).  Since scheduling fixes the FU and register minima, "much
+of the effort in allocation involves minimizing interconnection cost" —
+the default weights therefore make one equivalent 2-1 multiplexer the unit
+and price FUs/registers high enough that the search never trades several
+muxes for an extra unit, plus a small wire term to break mux ties toward
+fewer physical connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weights of the allocation cost function (paper Sec. 4)."""
+
+    fu: float = 16.0        # per unit of FU area
+    register: float = 8.0   # per register used
+    mux: float = 1.0        # per equivalent 2-1 multiplexer
+    wire: float = 0.05      # per distinct point-to-point connection
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """A fully-evaluated allocation cost."""
+
+    fu_count: int
+    fu_area: float
+    register_count: int
+    mux_count: int
+    wire_count: int
+    weights: CostWeights = CostWeights()
+
+    @property
+    def total(self) -> float:
+        w = self.weights
+        return (w.fu * self.fu_area + w.register * self.register_count +
+                w.mux * self.mux_count + w.wire * self.wire_count)
+
+    def __str__(self) -> str:
+        return (f"cost(total={self.total:.2f}: fu={self.fu_count} "
+                f"(area {self.fu_area:g}), regs={self.register_count}, "
+                f"mux={self.mux_count}, wires={self.wire_count})")

@@ -1,0 +1,149 @@
+"""Point-to-point interconnect model with incremental cost maintenance.
+
+The paper evaluates allocations under a point-to-point interconnection
+style: module outputs connect to module inputs through a single level of
+multiplexers, and interconnect cost is the number of **equivalent 2-to-1
+multiplexers** — a sink (module input) driven by *k* distinct sources costs
+``k - 1`` (Sec. 1, 4).  Because the iterative allocator re-evaluates cost
+after every move, the ledger maintains the mux total incrementally: adding
+or removing one connection use is O(1).
+
+Sources and sinks are plain tuples:
+
+===================  =============================================
+``("fu_out", f)``    output of functional unit *f*
+``("reg_out", r)``   output of register *r*
+``("in_port", v)``   primary input port carrying value *v*
+``("fu_in", f, p)``  input port *p* (0/1) of functional unit *f*
+``("reg_in", r)``    data input of register *r*
+``("out_port", v)``  primary output port sampling value *v*
+===================  =============================================
+
+A connection may be *used* by many events (the same register feeding the
+same FU port in several control steps); the ledger reference-counts uses so
+that removing one use does not delete a connection that another control
+step still needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import DatapathError
+
+Endpoint = Tuple  # ("fu_out", name) etc.
+Connection = Tuple[Endpoint, Endpoint]
+
+
+def fu_out(fu: str) -> Endpoint:
+    return ("fu_out", fu)
+
+
+def reg_out(reg: str) -> Endpoint:
+    return ("reg_out", reg)
+
+
+def in_port(value: str) -> Endpoint:
+    return ("in_port", value)
+
+
+def fu_in(fu: str, port: int) -> Endpoint:
+    return ("fu_in", fu, port)
+
+
+def reg_in(reg: str) -> Endpoint:
+    return ("reg_in", reg)
+
+
+def out_port(value: str) -> Endpoint:
+    return ("out_port", value)
+
+
+class ConnectionLedger:
+    """Reference-counted (source, sink) connection set with O(1) mux total."""
+
+    def __init__(self) -> None:
+        #: (src, sink) -> number of events using this connection
+        self._uses: Counter = Counter()
+        #: sink -> number of *distinct* sources driving it
+        self._fanin: Counter = Counter()
+        self._mux_total = 0
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, src: Endpoint, sink: Endpoint) -> None:
+        """Record one more use of the connection *src* -> *sink*."""
+        key = (src, sink)
+        self._uses[key] += 1
+        if self._uses[key] == 1:
+            self._fanin[sink] += 1
+            if self._fanin[sink] > 1:
+                self._mux_total += 1
+
+    def remove(self, src: Endpoint, sink: Endpoint) -> None:
+        """Drop one use; deletes the connection when uses reach zero."""
+        key = (src, sink)
+        count = self._uses.get(key, 0)
+        if count <= 0:
+            raise DatapathError(f"removing non-existent connection {key}")
+        if count == 1:
+            del self._uses[key]
+            if self._fanin[sink] > 1:
+                self._mux_total -= 1
+            self._fanin[sink] -= 1
+            if self._fanin[sink] == 0:
+                del self._fanin[sink]
+        else:
+            self._uses[key] = count - 1
+
+    def add_events(self, events: Iterable[Connection]) -> None:
+        for src, sink in events:
+            self.add(src, sink)
+
+    def remove_events(self, events: Iterable[Connection]) -> None:
+        for src, sink in events:
+            self.remove(src, sink)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def mux_count(self) -> int:
+        """Total equivalent 2-1 multiplexers: Σ_sink max(0, fanin-1)."""
+        return self._mux_total
+
+    @property
+    def wire_count(self) -> int:
+        """Number of distinct point-to-point connections."""
+        return len(self._uses)
+
+    def fanin(self, sink: Endpoint) -> int:
+        return self._fanin.get(sink, 0)
+
+    def sources_of(self, sink: Endpoint) -> List[Endpoint]:
+        """Distinct sources driving *sink*, sorted for determinism."""
+        return sorted({src for (src, snk) in self._uses if snk == sink})
+
+    def sinks(self) -> List[Endpoint]:
+        return sorted(self._fanin)
+
+    def connections(self) -> List[Connection]:
+        """All distinct connections, sorted."""
+        return sorted(self._uses)
+
+    def uses(self, src: Endpoint, sink: Endpoint) -> int:
+        return self._uses.get((src, sink), 0)
+
+    def verify(self) -> None:
+        """Cross-check the incremental counters (used by tests)."""
+        fanin = Counter(sink for (_src, sink) in self._uses)
+        if fanin != self._fanin:
+            raise DatapathError("ledger fanin counters out of sync")
+        mux = sum(max(0, n - 1) for n in fanin.values())
+        if mux != self._mux_total:
+            raise DatapathError(
+                f"ledger mux total out of sync: {self._mux_total} != {mux}")
+
+    def __repr__(self) -> str:
+        return (f"ConnectionLedger(wires={self.wire_count}, "
+                f"mux={self.mux_count})")

@@ -1,0 +1,109 @@
+"""Multiplexer merging post-pass (paper Sec. 4).
+
+"After allocation improvement, the number of multiplexers can be reduced
+by merging together compatible multiplexers.  This is done using a simple
+heuristic in which an arbitrary multiplexer is selected and combined with
+as many other compatible multiplexers as possible" — repeated until every
+multiplexer has been considered.
+
+Two multiplexers are *compatible* when, at every control step where both
+are active, they select the same source — then one physical multiplexer
+can produce the shared signal and fan out to both sinks.  The merged mux's
+source set is the union of the two; the saving is in physical multiplexer
+instances and in equivalent 2-1 elements:
+``(|A|-1) + (|B|-1)  ->  (|A ∪ B| - 1)``.
+
+Note the paper's headline metric (equivalent 2-1 muxes in Tables 2/3) is
+measured *before* merging; merging is reported separately (our ablation C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datapath.interconnect import Endpoint
+from repro.datapath.netlist import Mux, Netlist
+
+
+@dataclass
+class MergedMux:
+    """A physical multiplexer shared by one or more sinks."""
+
+    sinks: Tuple[Endpoint, ...]
+    sources: Tuple[Endpoint, ...]
+    #: per-step selection (union of the members' schedules)
+    schedule: Dict[int, Endpoint] = field(default_factory=dict)
+
+    @property
+    def eq21(self) -> int:
+        return max(0, len(self.sources) - 1)
+
+
+@dataclass
+class MergeReport:
+    """Before/after statistics of the merging pass."""
+
+    before_instances: int
+    after_instances: int
+    before_eq21: int
+    after_eq21: int
+    merged: List[MergedMux] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (f"mux merge: {self.before_instances} -> "
+                f"{self.after_instances} instances, eq-2:1 "
+                f"{self.before_eq21} -> {self.after_eq21}")
+
+
+def _compatible(a: Dict[int, Endpoint], b: Dict[int, Endpoint]) -> bool:
+    """True when the two selection schedules never disagree."""
+    if len(b) < len(a):
+        a, b = b, a
+    return all(b.get(step, src) == src for step, src in a.items())
+
+
+def merge_muxes(netlist: Netlist) -> MergeReport:
+    """Greedily merge compatible multiplexers of *netlist*."""
+    selection = netlist.selection_schedule()
+    pending: List[MergedMux] = []
+    for mux in netlist.muxes:
+        pending.append(MergedMux(
+            sinks=(mux.sink,),
+            sources=tuple(mux.sources),
+            schedule=dict(selection.get(mux.sink, {}))))
+
+    before_instances = len(pending)
+    before_eq21 = sum(m.eq21 for m in pending)
+
+    merged: List[MergedMux] = []
+    while pending:
+        seed = pending.pop(0)
+        changed = True
+        while changed:
+            changed = False
+            for index, other in enumerate(pending):
+                if not _compatible(seed.schedule, other.schedule):
+                    continue
+                combined_sources = tuple(sorted(
+                    set(seed.sources) | set(other.sources)))
+                # merge only when it actually saves hardware
+                if len(combined_sources) - 1 >= seed.eq21 + other.eq21 + 1:
+                    continue
+                schedule = dict(seed.schedule)
+                schedule.update(other.schedule)
+                seed = MergedMux(
+                    sinks=tuple(sorted(set(seed.sinks) | set(other.sinks))),
+                    sources=combined_sources,
+                    schedule=schedule)
+                pending.pop(index)
+                changed = True
+                break
+        merged.append(seed)
+
+    return MergeReport(
+        before_instances=before_instances,
+        after_instances=len(merged),
+        before_eq21=before_eq21,
+        after_eq21=sum(m.eq21 for m in merged),
+        merged=merged)

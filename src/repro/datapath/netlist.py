@@ -1,0 +1,278 @@
+"""Datapath netlist construction from a finished binding.
+
+Turns a legal :class:`~repro.core.binding.Binding` into an explicit
+structural description: registers, functional units, the multiplexer in
+front of every multi-source sink, and the per-control-step control tables
+(operation issues, register writes, output samples) that the simulator
+(:mod:`repro.datapath.simulate`), the mux-merging post-pass
+(:mod:`repro.datapath.muxmerge`) and the RTL emitter
+(:mod:`repro.datapath.rtl`) all consume.
+
+Timing recap: an operation issuing at step ``t`` latches operands during
+``t`` and drives its FU output at the end of step ``t + delay - 1``; all
+register writes happen simultaneously at the end of a step; output ports
+sample during a step (before that step's writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DatapathError
+from repro.cdfg.nodes import Const
+from repro.datapath.interconnect import (Endpoint, fu_in, fu_out, in_port,
+                                         out_port, reg_in, reg_out)
+
+
+@dataclass(frozen=True)
+class IssueEntry:
+    """An operation issuing on a functional unit at some step."""
+
+    step: int
+    fu: str
+    op: str
+    kind: str
+    #: per logical operand: ("reg", name) or ("const", value)
+    operand_srcs: Tuple[Tuple, ...]
+    #: physical port of each logical operand (after operand reversal)
+    ports: Tuple[int, ...]
+    end_step: int
+
+
+@dataclass(frozen=True)
+class WriteEntry:
+    """A register write at the end of some step."""
+
+    step: int            # write happens at the END of this step
+    reg: str
+    #: ("op_result", op) | ("reg", src_reg) | ("pt", src_reg, fu, port)
+    #: | ("in_port", value, next_iteration: bool)
+    source: Tuple
+    value: str           # the CDFG value being written (for tracing)
+
+
+@dataclass(frozen=True)
+class OutEntry:
+    """An output-port sample."""
+
+    step: int            # sampled during this step ...
+    value: str
+    #: ("reg", name) | ("op_result", op)  (port-captured: at end of step)
+    source: Tuple
+    at_end: bool         # True for port-captured values
+    #: 1 when the sample lands one iteration after the value was produced
+    #: (a loop-carried output whose producer finishes at the last step)
+    iteration_offset: int = 0
+
+
+@dataclass(frozen=True)
+class Mux:
+    """A physical multiplexer in front of one sink."""
+
+    sink: Endpoint
+    sources: Tuple[Endpoint, ...]
+
+    @property
+    def eq21(self) -> int:
+        """Equivalent 2-1 multiplexer count of this mux."""
+        return max(0, len(self.sources) - 1)
+
+
+@dataclass
+class Netlist:
+    """A complete structural datapath + control description."""
+
+    name: str
+    length: int
+    cyclic: bool
+    fus: List[str]
+    regs: List[str]
+    muxes: List[Mux] = field(default_factory=list)
+    connections: List[Tuple[Endpoint, Endpoint]] = field(default_factory=list)
+    issues: List[IssueEntry] = field(default_factory=list)
+    writes: List[WriteEntry] = field(default_factory=list)
+    outs: List[OutEntry] = field(default_factory=list)
+    #: (value, reg) registers that must be preloaded before step 0 of the
+    #: first iteration (loop-carried state and arrival-step-0 inputs)
+    preloads: List[Tuple[str, str]] = field(default_factory=list)
+
+    def mux_eq21(self) -> int:
+        return sum(m.eq21 for m in self.muxes)
+
+    def selection_schedule(self) -> Dict[Endpoint, Dict[int, Endpoint]]:
+        """Per-sink, per-step selected source (for mux merging)."""
+        sel: Dict[Endpoint, Dict[int, Endpoint]] = {}
+
+        def record(sink: Endpoint, step: int, src: Endpoint) -> None:
+            per_step = sel.setdefault(sink, {})
+            if per_step.get(step, src) != src:
+                raise DatapathError(
+                    f"sink {sink} selects two sources at step {step}: "
+                    f"{per_step[step]} and {src}")
+            per_step[step] = src
+
+        for issue in self.issues:
+            for operand, port in zip(issue.operand_srcs, issue.ports):
+                if operand[0] == "reg":
+                    record(fu_in(issue.fu, port), issue.step,
+                           reg_out(operand[1]))
+        for write in self.writes:
+            src = write.source
+            if src[0] == "op_result":
+                producer_fu = self._fu_of_op(src[1])
+                record(reg_in(write.reg), write.step, fu_out(producer_fu))
+            elif src[0] == "reg":
+                record(reg_in(write.reg), write.step, reg_out(src[1]))
+            elif src[0] == "pt":
+                _src_reg, fu_name, port = src[1], src[2], src[3]
+                record(fu_in(fu_name, port), write.step, reg_out(src[1]))
+                record(reg_in(write.reg), write.step, fu_out(fu_name))
+            elif src[0] == "in_port":
+                record(reg_in(write.reg), write.step, in_port(src[1]))
+        return sel
+
+    def _fu_of_op(self, op_name: str) -> str:
+        for issue in self.issues:
+            if issue.op == op_name:
+                return issue.fu
+        raise DatapathError(f"no issue entry for operation {op_name!r}")
+
+
+def build_netlist(binding) -> Netlist:
+    """Construct the :class:`Netlist` of a complete, legal binding."""
+    graph = binding.graph
+    schedule = binding.schedule
+    length = binding.length
+    netlist = Netlist(
+        name=graph.name,
+        length=length,
+        cyclic=graph.cyclic,
+        fus=sorted(binding.fus),
+        regs=sorted(binding.regs),
+    )
+
+    # --- issues -----------------------------------------------------------
+    for op_name, op in graph.ops.items():
+        fu_name = binding.op_fu.get(op_name)
+        if fu_name is None:
+            raise DatapathError(f"operation {op_name!r} unbound")
+        swap = binding.op_swap.get(op_name, False)
+        srcs: List[Tuple] = []
+        ports: List[int] = []
+        for idx, operand in enumerate(op.operands):
+            if isinstance(operand, Const):
+                srcs.append(("const", operand.value))
+            else:
+                reg = binding.read_src.get((op_name, idx))
+                if reg is None:
+                    raise DatapathError(
+                        f"operation {op_name!r} port {idx} has no read "
+                        f"source")
+                srcs.append(("reg", reg))
+            ports.append((1 - idx) if (swap and op.arity == 2) else idx)
+        netlist.issues.append(IssueEntry(
+            step=schedule.start[op_name], fu=fu_name, op=op_name,
+            kind=op.kind, operand_srcs=tuple(srcs), ports=tuple(ports),
+            end_step=schedule.end(op_name)))
+
+    # --- writes, preloads, outputs -------------------------------------------
+    for vname, val in graph.values.items():
+        interval = binding.interval(vname)
+        if binding.port_captured(vname):
+            producer = val.producer
+            if val.is_output and producer is not None:
+                netlist.outs.append(OutEntry(
+                    step=schedule.end(producer), value=vname,
+                    source=("op_result", producer), at_end=True))
+            continue
+
+        birth_regs = binding.segment_regs(vname, interval.birth)
+        if val.is_input:
+            arrival = val.arrival_step
+            if arrival == 0 and not graph.cyclic:
+                netlist.preloads.extend((vname, r) for r in birth_regs)
+            else:
+                boundary = (arrival - 1) % length
+                next_iter = arrival == 0  # written for the next iteration
+                for reg in birth_regs:
+                    netlist.writes.append(WriteEntry(
+                        step=boundary, reg=reg,
+                        source=("in_port", vname, next_iter), value=vname))
+                if graph.cyclic and arrival == 0:
+                    netlist.preloads.extend((vname, r) for r in birth_regs)
+        else:
+            producer = val.producer
+            if producer is None:
+                raise DatapathError(f"value {vname!r} has no producer")
+            write_step = (schedule.end(producer)) % length
+            for reg in birth_regs:
+                netlist.writes.append(WriteEntry(
+                    step=write_step, reg=reg,
+                    source=("op_result", producer), value=vname))
+
+        # transfers along the lifetime
+        steps = interval.steps
+        for idx in range(1, len(steps)):
+            src_step, dst_step = steps[idx - 1], steps[idx]
+            prev = binding.segment_regs(vname, src_step)
+            for dst in binding.segment_regs(vname, dst_step):
+                if dst in prev:
+                    continue
+                impl = binding.pt_impl.get((vname, dst_step, dst))
+                if impl is not None:
+                    source = ("pt", impl[0], impl[1], impl[2])
+                else:
+                    source = ("reg", prev[0])
+                netlist.writes.append(WriteEntry(
+                    step=src_step, reg=dst, source=source, value=vname))
+
+        # loop-carried preload: the first segment of the wrapped suffix must
+        # contain the previous iteration's value before step 0
+        if val.loop_carried:
+            carried = _carried_in_step(interval)
+            if carried is not None:
+                for reg in binding.segment_regs(vname, carried):
+                    netlist.preloads.append((vname, reg))
+
+        if val.is_output:
+            sample = binding.out_sample_step(vname)
+            reg = binding.out_src.get(vname)
+            if reg is None:
+                raise DatapathError(f"output {vname!r} has no sample source")
+            offset = 0
+            if val.loop_carried and val.producer is not None and \
+                    schedule.end(val.producer) == length - 1:
+                # born exactly at the iteration boundary: the sample at
+                # step 0 reads the *previous* iteration's result
+                offset = 1
+            netlist.outs.append(OutEntry(
+                step=sample, value=vname, source=("reg", reg),
+                at_end=False, iteration_offset=offset))
+
+    # --- muxes and connections -----------------------------------------------
+    for sink in binding.ledger.sinks():
+        sources = binding.ledger.sources_of(sink)
+        for src in sources:
+            netlist.connections.append((src, sink))
+        if len(sources) > 1:
+            netlist.muxes.append(Mux(sink=sink, sources=tuple(sources)))
+
+    return netlist
+
+
+def _carried_in_step(interval) -> Optional[int]:
+    """First live step of the wrapped (next-iteration) part of a loop
+    value's interval, or ``None`` if nothing is carried across."""
+    steps = interval.steps
+    if not steps:
+        return None
+    if interval.birth == steps[0] and steps[0] == 0 and interval.wraps is False:
+        # birth wrapped to step 0 (producer finished at the last step):
+        # the whole interval is the carried-in part
+        return steps[0]
+    for idx in range(1, len(steps)):
+        if steps[idx] < steps[idx - 1]:
+            return steps[idx]
+    # no wrap inside the interval; if it starts at 0 it is all carried-in
+    return steps[0] if steps[0] == 0 else None

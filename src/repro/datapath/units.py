@@ -1,0 +1,190 @@
+"""Functional-unit and register hardware model.
+
+The paper's evaluation (Sec. 5) assumes: adders take one control step,
+multipliers take two, and pipelined multipliers have a latency (data
+introduction interval) of one control step while still taking two steps to
+produce a result.  Adder units may additionally implement *pass-through*
+operations — forwarding an input value unmodified (Sec. 2).
+
+A :class:`FUType` describes a class of functional units; a :class:`FU` is
+one physical instance.  :class:`HardwareSpec` bundles the available types
+with the operator-kind -> type mapping used by scheduling and binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FUType:
+    """A class of functional units.
+
+    Attributes
+    ----------
+    name:
+        Type identifier (``"adder"``, ``"mult"``, ``"pmult"`` ...).
+    ops:
+        Operator kinds this unit can execute (excluding ``"pass"``, which
+        is governed by ``can_passthrough``).
+    delay:
+        Control steps from operand read to result write.
+    pipelined:
+        When True the unit accepts a new operation every control step (it
+        only occupies its issue slot); otherwise it is busy for ``delay``
+        consecutive steps.
+    can_passthrough:
+        Whether an idle unit of this type may forward a value unmodified
+        (a bindable slack node, paper Sec. 2).
+    area:
+        Relative area weight used by the allocation cost function.
+    """
+
+    name: str
+    ops: FrozenSet[str]
+    delay: int
+    pipelined: bool = False
+    can_passthrough: bool = False
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 1:
+            raise ConfigError(f"FU type {self.name!r}: delay must be >= 1")
+        if not self.ops:
+            raise ConfigError(f"FU type {self.name!r}: empty op set")
+
+    def supports(self, kind: str) -> bool:
+        return kind in self.ops or (kind == "pass" and self.can_passthrough)
+
+
+@dataclass(frozen=True)
+class FU:
+    """One physical functional-unit instance, e.g. ``adder0``."""
+
+    name: str
+    fu_type: FUType
+
+    @property
+    def type_name(self) -> str:
+        return self.fu_type.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Register:
+    """One physical register instance."""
+
+    name: str
+    area: float = 1.0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# -- canonical unit types (paper Sec. 5 hardware assumptions) ------------------
+
+ADDER = FUType("adder", frozenset({"add", "sub"}), delay=1,
+               pipelined=False, can_passthrough=True, area=1.0)
+MULTIPLIER = FUType("mult", frozenset({"mul"}), delay=2,
+                    pipelined=False, can_passthrough=False, area=4.0)
+PIPELINED_MULTIPLIER = FUType("pmult", frozenset({"mul"}), delay=2,
+                              pipelined=True, can_passthrough=False, area=5.0)
+ALU = FUType("alu", frozenset({"add", "sub", "and", "or", "xor", "cmp",
+                               "neg", "not"}),
+             delay=1, pipelined=False, can_passthrough=True, area=1.5)
+
+
+class HardwareSpec:
+    """Available FU types plus the operator-kind -> type assignment.
+
+    The paper performs no module selection: each operator kind is executed
+    by exactly one FU type, chosen up front.
+    """
+
+    def __init__(self, fu_types: Iterable[FUType]) -> None:
+        self.fu_types: Dict[str, FUType] = {}
+        self.kind_to_type: Dict[str, str] = {}
+        for fu_type in fu_types:
+            if fu_type.name in self.fu_types:
+                raise ConfigError(f"duplicate FU type {fu_type.name!r}")
+            self.fu_types[fu_type.name] = fu_type
+            for kind in fu_type.ops:
+                if kind in self.kind_to_type:
+                    raise ConfigError(
+                        f"operator kind {kind!r} claimed by both "
+                        f"{self.kind_to_type[kind]!r} and {fu_type.name!r}")
+                self.kind_to_type[kind] = fu_type.name
+
+    @classmethod
+    def non_pipelined(cls) -> "HardwareSpec":
+        """Paper default: 1-step adders, 2-step non-pipelined multipliers."""
+        return cls([ADDER, MULTIPLIER])
+
+    @classmethod
+    def pipelined(cls) -> "HardwareSpec":
+        """Paper "P" rows: 1-step adders, pipelined multipliers (latency 1)."""
+        return cls([ADDER, PIPELINED_MULTIPLIER])
+
+    # -- queries -------------------------------------------------------------
+
+    def type_for_kind(self, kind: str) -> FUType:
+        if kind == "pass":
+            # explicit No-Op (slack) operators run on any unit that can
+            # pass values through (paper Sec. 2)
+            for name in sorted(self.fu_types):
+                if self.fu_types[name].can_passthrough:
+                    return self.fu_types[name]
+            raise ConfigError("no pass-through-capable FU type available")
+        try:
+            return self.fu_types[self.kind_to_type[kind]]
+        except KeyError:
+            raise ConfigError(
+                f"no FU type executes operator kind {kind!r}") from None
+
+    def type_named(self, name: str) -> FUType:
+        try:
+            return self.fu_types[name]
+        except KeyError:
+            raise ConfigError(f"no FU type named {name!r}") from None
+
+    def delays(self) -> Dict[str, int]:
+        """Operator-kind -> delay mapping (``pass`` always takes one step)."""
+        delays = {kind: self.fu_types[tname].delay
+                  for kind, tname in self.kind_to_type.items()}
+        delays["pass"] = 1
+        return delays
+
+    def passthrough_types(self) -> List[FUType]:
+        """FU types allowed to implement pass-through transfers."""
+        return [t for t in self.fu_types.values() if t.can_passthrough]
+
+    def make_fus(self, counts: Mapping[str, int]) -> List[FU]:
+        """Instantiate ``counts[type_name]`` units of each type.
+
+        Instances are named ``<type><index>`` (``adder0``, ``mult1`` ...).
+        """
+        fus: List[FU] = []
+        for type_name in sorted(counts):
+            fu_type = self.type_named(type_name)
+            count = counts[type_name]
+            if count < 0:
+                raise ConfigError(
+                    f"negative FU count for type {type_name!r}")
+            for index in range(count):
+                fus.append(FU(f"{type_name}{index}", fu_type))
+        return fus
+
+    def __repr__(self) -> str:
+        return f"HardwareSpec({sorted(self.fu_types)})"
+
+
+def make_registers(count: int, prefix: str = "R") -> List[Register]:
+    """Create *count* registers named ``R0 .. R<count-1>``."""
+    if count < 0:
+        raise ConfigError("register count must be non-negative")
+    return [Register(f"{prefix}{index}") for index in range(count)]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the SALSA reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish structural problems (bad CDFG), scheduling
+problems, and binding/allocation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CDFGError(ReproError):
+    """A control/data flow graph is malformed or an operation on it failed."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is infeasible, inconsistent, or violates constraints."""
+
+
+class BindingError(ReproError):
+    """A binding (op->FU / segment->register assignment) is illegal."""
+
+
+class AllocationError(ReproError):
+    """Allocation could not produce a legal datapath."""
+
+
+class DatapathError(ReproError):
+    """A datapath netlist is inconsistent or simulation failed."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration parameters were supplied."""

@@ -1,0 +1,144 @@
+"""Expression-language frontend: build CDFGs from assignment statements.
+
+A miniature behavioural frontend so users can write kernels as arithmetic
+instead of explicit operation lists::
+
+    from repro.io.expr import cdfg_from_assignments
+    graph = cdfg_from_assignments("biquad", '''
+        w  = x - 0.1716 * w2
+        y  = 0.2929 * (w + w2) + 0.5858 * w1
+        w2 = w1
+        w1 = w
+    ''', inputs=["x"], outputs=["y"], state=["w1", "w2"])
+
+Supported: ``+ - * /``, unary minus, parentheses, float literals, and
+named values.  Each assignment's right-hand side is decomposed into
+two-operand CDFG operations (one per arithmetic node); assigning a bare
+name to a state value becomes an explicit ``pass`` operation (a delay
+element).  State values (``state=[...]``) are loop-carried: reads refer to
+the previous iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CDFGError
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+from repro.cdfg.validate import validate_cdfg
+
+_BINOPS = {ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul", ast.Div: "div"}
+
+
+class _Lowering:
+    """Lowers python-ast expressions into builder operations."""
+
+    def __init__(self, builder: CDFGBuilder, known: set) -> None:
+        self.builder = builder
+        self.known = known
+        self.counter = 0
+
+    def fresh(self, hint: str) -> str:
+        self.counter += 1
+        return f"_{hint}{self.counter}"
+
+    def lower(self, node: ast.expr, target: Optional[str] = None):
+        """Return an operand spec (value name or float) for *node*.
+
+        When *target* is given, the node's result is produced into that
+        value name (used for the top of each assignment).
+        """
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float)) or \
+                    isinstance(node.value, bool):
+                raise CDFGError(f"unsupported literal {node.value!r}")
+            value = float(node.value)
+            if target is None:
+                return value
+            raise CDFGError("cannot assign a bare constant to a value; "
+                            "wrap it, e.g. 'y = 0 + 1.5'")
+        if isinstance(node, ast.Name):
+            if node.id not in self.known:
+                raise CDFGError(f"unknown value {node.id!r}")
+            if target is None:
+                return node.id
+            # explicit delay/copy: target = name
+            self.builder.op(self.fresh("d"), "pass", [node.id], target)
+            self.known.add(target)
+            return target
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = self.lower(node.operand)
+            if isinstance(inner, float):
+                result = -inner
+                if target is None:
+                    return result
+                raise CDFGError("cannot assign a bare constant")
+            name = target or self.fresh("n")
+            self.builder.op(self.fresh("neg"), "mul", [-1.0, inner], name)
+            self.known.add(name)
+            return name
+        if isinstance(node, ast.BinOp):
+            kind = _BINOPS.get(type(node.op))
+            if kind is None:
+                raise CDFGError(
+                    f"unsupported operator {type(node.op).__name__}")
+            left = self.lower(node.left)
+            right = self.lower(node.right)
+            if isinstance(left, float) and isinstance(right, float):
+                folded = {"add": left + right, "sub": left - right,
+                          "mul": left * right,
+                          "div": left / right}[kind]
+                if target is None:
+                    return folded
+                raise CDFGError("constant-only assignment not supported")
+            name = target or self.fresh("t")
+            self.builder.op(self.fresh(kind[0]), kind, [left, right], name)
+            self.known.add(name)
+            return name
+        raise CDFGError(
+            f"unsupported expression node {type(node).__name__}")
+
+
+def cdfg_from_assignments(name: str, source: str,
+                          inputs: Sequence[str],
+                          outputs: Sequence[str],
+                          state: Sequence[str] = ()) -> CDFG:
+    """Build a CDFG from newline-separated assignment statements."""
+    try:
+        module = ast.parse(source, mode="exec")
+    except SyntaxError as exc:
+        raise CDFGError(f"syntax error in kernel source: {exc}") from None
+
+    cyclic = bool(state)
+    builder = CDFGBuilder(name, cyclic=cyclic)
+    known = set()
+    for value in inputs:
+        builder.input(value)
+        known.add(value)
+    for value in state:
+        builder.loop_value(value)
+        known.add(value)
+
+    assigned = set()
+    lowering = _Lowering(builder, known)
+    for stmt in module.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1 or \
+                not isinstance(stmt.targets[0], ast.Name):
+            raise CDFGError(
+                "only simple single-target assignments are supported")
+        target = stmt.targets[0].id
+        if target in inputs:
+            raise CDFGError(f"cannot assign to input {target!r}")
+        if target in assigned:
+            raise CDFGError(f"value {target!r} assigned twice (the kernel "
+                            f"language is single-assignment)")
+        assigned.add(target)
+        lowering.lower(stmt.value, target=target)
+
+    for value in outputs:
+        builder.output(value)
+    graph = builder.build()
+    validate_cdfg(graph)
+    return graph

@@ -1,0 +1,211 @@
+"""JSON (de)serialization of CDFGs, schedules and bindings.
+
+Lets users persist and exchange every artifact of the flow:
+
+* :func:`cdfg_to_json` / :func:`cdfg_from_json` — the behaviour;
+* :func:`schedule_to_json` / :func:`schedule_from_json` — op start steps
+  plus the hardware assumptions (FU types are reconstructed exactly);
+* :func:`binding_to_json` / :func:`binding_from_json` — a complete
+  allocation (op->FU, segments, copies, read sources, pass-throughs),
+  restored onto a freshly rebuilt Binding and re-validated.
+
+Round-tripping is lossless for everything the allocator decides; the
+test-suite asserts cost equality and simulation equivalence after a
+round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Const, Operation, Value, ValueRef
+from repro.datapath.cost import CostWeights
+from repro.datapath.units import FU, FUType, HardwareSpec, Register
+from repro.sched.schedule import Schedule
+from repro.core.binding import Binding
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Malformed or version-incompatible serialized data."""
+
+
+# ------------------------------------------------------------------- CDFG
+
+def cdfg_to_json(graph: CDFG) -> str:
+    """Serialize a CDFG to a JSON string."""
+    ops = []
+    for op in graph.ops.values():
+        operands = []
+        for operand in op.operands:
+            if isinstance(operand, Const):
+                operands.append({"const": operand.value,
+                                 "label": operand.label})
+            else:
+                operands.append({"value": operand.name})
+        ops.append({"name": op.name, "kind": op.kind,
+                    "operands": operands, "result": op.result})
+    values = [{
+        "name": v.name,
+        "is_input": v.is_input,
+        "is_output": v.is_output,
+        "loop_carried": v.loop_carried,
+        "arrival_step": v.arrival_step,
+    } for v in graph.values.values()]
+    return json.dumps({
+        "format": FORMAT_VERSION,
+        "type": "cdfg",
+        "name": graph.name,
+        "cyclic": graph.cyclic,
+        "operations": ops,
+        "values": values,
+    }, indent=2, sort_keys=True)
+
+
+def cdfg_from_json(text: str) -> CDFG:
+    """Rebuild a CDFG from :func:`cdfg_to_json` output."""
+    data = _load(text, "cdfg")
+    ops = []
+    for entry in data["operations"]:
+        operands = []
+        for spec in entry["operands"]:
+            if "const" in spec:
+                operands.append(Const(spec["const"], spec.get("label")))
+            else:
+                operands.append(ValueRef(spec["value"]))
+        ops.append(Operation(entry["name"], entry["kind"], tuple(operands),
+                             entry["result"]))
+    values = [Value(v["name"], is_input=v["is_input"],
+                    is_output=v["is_output"],
+                    loop_carried=v["loop_carried"],
+                    arrival_step=v["arrival_step"])
+              for v in data["values"]]
+    return CDFG(data["name"], ops, values, cyclic=data["cyclic"])
+
+
+# --------------------------------------------------------------- hardware
+
+def _spec_to_dict(spec: HardwareSpec) -> Dict[str, Any]:
+    return {"fu_types": [{
+        "name": t.name, "ops": sorted(t.ops), "delay": t.delay,
+        "pipelined": t.pipelined, "can_passthrough": t.can_passthrough,
+        "area": t.area,
+    } for t in spec.fu_types.values()]}
+
+
+def _spec_from_dict(data: Dict[str, Any]) -> HardwareSpec:
+    return HardwareSpec([
+        FUType(t["name"], frozenset(t["ops"]), t["delay"],
+               pipelined=t["pipelined"],
+               can_passthrough=t["can_passthrough"], area=t["area"])
+        for t in data["fu_types"]])
+
+
+# --------------------------------------------------------------- schedule
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule together with its CDFG and hardware spec."""
+    return json.dumps({
+        "format": FORMAT_VERSION,
+        "type": "schedule",
+        "cdfg": json.loads(cdfg_to_json(schedule.graph)),
+        "spec": _spec_to_dict(schedule.spec),
+        "length": schedule.length,
+        "label": schedule.label,
+        "start": dict(sorted(schedule.start.items())),
+    }, indent=2, sort_keys=True)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    data = _load(text, "schedule")
+    graph = cdfg_from_json(json.dumps(data["cdfg"]))
+    spec = _spec_from_dict(data["spec"])
+    return Schedule(graph, spec, data["length"], data["start"],
+                    label=data["label"])
+
+
+# ---------------------------------------------------------------- binding
+
+def binding_to_json(binding: Binding) -> str:
+    """Serialize a complete allocation."""
+    return json.dumps({
+        "format": FORMAT_VERSION,
+        "type": "binding",
+        "schedule": json.loads(schedule_to_json(binding.schedule)),
+        "fus": [{"name": f.name, "type": f.type_name}
+                for f in binding.fus.values()],
+        "registers": sorted(binding.regs),
+        "weights": {
+            "fu": binding.weights.fu,
+            "register": binding.weights.register,
+            "mux": binding.weights.mux,
+            "wire": binding.weights.wire,
+        },
+        "op_fu": dict(sorted(binding.op_fu.items())),
+        "op_swap": {k: v for k, v in sorted(binding.op_swap.items()) if v},
+        "placements": [
+            {"value": value, "step": step, "regs": list(regs)}
+            for (value, step), regs in sorted(binding.placements.items())],
+        "read_src": [
+            {"op": op, "port": port, "reg": reg}
+            for (op, port), reg in sorted(binding.read_src.items())],
+        "out_src": dict(sorted(binding.out_src.items())),
+        "passthroughs": [
+            {"value": v, "dst_step": s, "dst_reg": r,
+             "src_reg": impl[0], "fu": impl[1], "port": impl[2]}
+            for (v, s, r), impl in sorted(binding.pt_impl.items())],
+    }, indent=2, sort_keys=True)
+
+
+def binding_from_json(text: str) -> Binding:
+    """Rebuild (and re-validate) a binding from JSON."""
+    data = _load(text, "binding")
+    schedule = schedule_from_json(json.dumps(data["schedule"]))
+    spec = schedule.spec
+    fus = [FU(f["name"], spec.type_named(f["type"])) for f in data["fus"]]
+    regs = [Register(name) for name in data["registers"]]
+    w = data["weights"]
+    binding = Binding(schedule, fus, regs,
+                      weights=CostWeights(fu=w["fu"],
+                                          register=w["register"],
+                                          mux=w["mux"], wire=w["wire"]))
+    for op, fu in data["op_fu"].items():
+        binding.set_op_fu(op, fu)
+    for entry in data["placements"]:
+        binding.set_placements(entry["value"], entry["step"],
+                               tuple(entry["regs"]))
+    for op, flag in data["op_swap"].items():
+        binding.set_op_swap(op, flag)
+    for entry in data["read_src"]:
+        binding.set_read_src(entry["op"], entry["port"], entry["reg"])
+    for value, reg in data["out_src"].items():
+        binding.set_out_src(value, reg)
+    for entry in data["passthroughs"]:
+        binding.set_pt(entry["value"], entry["dst_step"], entry["dst_reg"],
+                       (entry["src_reg"], entry["fu"], entry["port"]))
+    binding.flush()
+    return binding
+
+
+# ------------------------------------------------------------------ utils
+
+def _load(text: str, expected_type: str) -> Dict[str, Any]:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise SerializationError("top-level JSON value must be an object")
+    if data.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {data.get('format')!r} "
+            f"(expected {FORMAT_VERSION})")
+    if data.get("type") != expected_type:
+        raise SerializationError(
+            f"expected a {expected_type!r} document, got "
+            f"{data.get('type')!r}")
+    return data

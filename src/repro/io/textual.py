@@ -1,0 +1,131 @@
+"""A small textual CDFG netlist format (``.cdfg``).
+
+A line-oriented format in the spirit of the 1990s HLS benchmark
+distributions, convenient for writing behaviours by hand::
+
+    # comments start with '#'
+    graph ewf cyclic
+    input  inp
+    loop   sv1 sv2
+    output outp
+    op a1 add inp sv1 -> t1       # operands may be value names ...
+    op m1 mul t1 #0.5 -> t2       # ... or '#'-prefixed constants
+    op a2 add t2 sv2 -> outp
+    op a3 add t1 t2 -> sv1
+    op a4 add t2 t2 -> sv2
+
+:func:`parse_cdfg` turns such text into a validated CDFG;
+:func:`format_cdfg` writes one back out (round-trip stable).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CDFGError
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Const
+from repro.cdfg.validate import validate_cdfg
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing comment.
+
+    ``#`` introduces a comment unless it is immediately followed by a
+    numeric character — ``#0.5``-style tokens are constants.
+    """
+    for index, char in enumerate(line):
+        if char != "#":
+            continue
+        nxt = line[index + 1] if index + 1 < len(line) else ""
+        if nxt and (nxt.isdigit() or nxt in ".-+"):
+            continue  # a constant operand, not a comment
+        if index == 0 or line[index - 1].isspace():
+            return line[:index]
+    return line
+
+
+def parse_cdfg(text: str) -> CDFG:
+    """Parse the textual netlist format into a validated CDFG."""
+    builder = None
+    pending: List[tuple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+
+        if keyword == "graph":
+            if builder is not None:
+                raise CDFGError(f"line {lineno}: duplicate 'graph' line")
+            if len(tokens) < 2:
+                raise CDFGError(f"line {lineno}: 'graph' needs a name")
+            cyclic = len(tokens) > 2 and tokens[2] == "cyclic"
+            builder = CDFGBuilder(tokens[1], cyclic=cyclic)
+            continue
+        if builder is None:
+            raise CDFGError(
+                f"line {lineno}: file must start with a 'graph' line")
+
+        if keyword == "input":
+            for name in tokens[1:]:
+                builder.input(name)
+        elif keyword == "loop":
+            for name in tokens[1:]:
+                builder.loop_value(name)
+        elif keyword == "output":
+            for name in tokens[1:]:
+                builder.output(name)
+        elif keyword == "op":
+            if "->" not in tokens:
+                raise CDFGError(
+                    f"line {lineno}: 'op' line needs '-> result'")
+            arrow = tokens.index("->")
+            if arrow < 3 or arrow + 2 != len(tokens):
+                raise CDFGError(f"line {lineno}: malformed 'op' line")
+            name, kind = tokens[1], tokens[2]
+            operands = []
+            for token in tokens[3:arrow]:
+                if token.startswith("#"):
+                    try:
+                        operands.append(float(token[1:]))
+                    except ValueError:
+                        raise CDFGError(
+                            f"line {lineno}: bad constant {token!r}") \
+                            from None
+                else:
+                    operands.append(token)
+            builder.op(name, kind, operands, tokens[arrow + 1])
+        else:
+            raise CDFGError(
+                f"line {lineno}: unknown keyword {keyword!r}")
+
+    if builder is None:
+        raise CDFGError("empty CDFG text")
+    graph = builder.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def format_cdfg(graph: CDFG) -> str:
+    """Write a CDFG in the textual netlist format."""
+    lines = [f"graph {graph.name}{' cyclic' if graph.cyclic else ''}"]
+    if graph.inputs:
+        lines.append("input  " + " ".join(graph.inputs))
+    if graph.loop_values:
+        lines.append("loop   " + " ".join(graph.loop_values))
+    if graph.outputs:
+        lines.append("output " + " ".join(graph.outputs))
+    for op_name in graph.topo_order():
+        op = graph.ops[op_name]
+        operands = []
+        for operand in op.operands:
+            if isinstance(operand, Const):
+                operands.append(f"#{operand.value:g}")
+            else:
+                operands.append(operand.name)
+        lines.append(f"op {op.name} {op.kind} {' '.join(operands)} "
+                     f"-> {op.result}")
+    return "\n".join(lines) + "\n"

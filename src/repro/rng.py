@@ -1,0 +1,54 @@
+"""Seeded random-number helpers.
+
+The iterative-improvement allocator in the paper is randomized ("moves are
+selected by randomly picking a move type and then randomly picking the CDFG
+and datapath elements").  To keep every experiment reproducible the library
+never touches the global :mod:`random` state; every randomized component
+takes a :class:`random.Random` instance (or a seed) explicitly, created
+through :func:`make_rng`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+
+RngLike = Union[int, random.Random, None]
+
+
+def make_rng(seed: RngLike = None) -> random.Random:
+    """Return a :class:`random.Random` for *seed*.
+
+    Accepts an existing ``Random`` (returned unchanged), an integer seed, or
+    ``None`` (seeds from entropy; only sensible for interactive use).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T],
+                    weights: Sequence[float]) -> T:
+    """Pick one of *items* with the given non-negative *weights*.
+
+    Raises ``ValueError`` when the sequences are empty, differ in length, or
+    all weights are zero.
+    """
+    if not items:
+        raise ValueError("weighted_choice: empty item sequence")
+    if len(items) != len(weights):
+        raise ValueError("weighted_choice: items and weights differ in length")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weighted_choice: negative weight")
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("weighted_choice: weights sum to zero")
+    pick = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if pick < acc:
+            return item
+    return items[-1]

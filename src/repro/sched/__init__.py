@@ -1,0 +1,24 @@
+"""Scheduling substrate: ASAP/ALAP, list, force-directed, exploration."""
+
+from repro.datapath.units import (ADDER, ALU, FU, FUType, HardwareSpec,
+                                  MULTIPLIER, PIPELINED_MULTIPLIER, Register,
+                                  make_registers)
+from repro.sched.schedule import (Schedule, anti_predecessors,
+                                  data_predecessors)
+from repro.sched.asap import (alap_schedule, asap_length, asap_schedule,
+                              mobility)
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.forcedirected import force_directed_schedule
+from repro.sched.bnb import branch_and_bound_schedule
+from repro.sched.explore import (lower_bounds, minimal_fu_counts,
+                                 schedule_graph)
+
+__all__ = [
+    "ADDER", "ALU", "FU", "FUType", "HardwareSpec", "MULTIPLIER",
+    "PIPELINED_MULTIPLIER", "Register", "Schedule", "alap_schedule",
+    "anti_predecessors", "asap_length", "asap_schedule",
+    "branch_and_bound_schedule",
+    "data_predecessors", "force_directed_schedule", "list_schedule",
+    "lower_bounds", "make_registers", "minimal_fu_counts", "mobility",
+    "schedule_graph",
+]

@@ -1,0 +1,105 @@
+"""Latency/resource exploration: minimum FU counts for a target latency.
+
+Scheduling "fixes the minimum number of functional units and registers"
+(paper Sec. 1); this module finds those minima.  The search enumerates FU
+count vectors in order of increasing total area and returns the first one
+the list scheduler proves feasible — exact for the monotone feasibility
+predicate list scheduling provides in practice on these benchmark sizes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG
+from repro.datapath.units import HardwareSpec
+from repro.sched.asap import asap_length
+from repro.sched.forcedirected import force_directed_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.schedule import Schedule
+
+
+def _occupancy(graph: CDFG, spec: HardwareSpec) -> Dict[str, int]:
+    """Total busy-steps demanded of each FU type over one iteration."""
+    occupancy = {name: 0 for name in spec.fu_types}
+    for op in graph.ops.values():
+        fu_type = spec.type_for_kind(op.kind)
+        occupancy[fu_type.name] += 1 if fu_type.pipelined else fu_type.delay
+    return occupancy
+
+
+def lower_bounds(graph: CDFG, spec: HardwareSpec,
+                 length: int) -> Dict[str, int]:
+    """Utilization lower bound: ceil(total busy steps / length) per type."""
+    occupancy = _occupancy(graph, spec)
+    return {name: max((occ + length - 1) // length, 1 if occ else 0)
+            for name, occ in occupancy.items()}
+
+
+def minimal_fu_counts(graph: CDFG, spec: HardwareSpec,
+                      length: int) -> Dict[str, int]:
+    """Smallest-area FU count vector for which list scheduling meets *length*.
+
+    Explores count vectors best-first by total area starting from the
+    utilization lower bounds; each expansion bumps one type by one unit.
+    """
+    if length < asap_length(graph, spec):
+        raise ScheduleError(
+            f"target length {length} below critical path "
+            f"{asap_length(graph, spec)} of {graph.name!r}")
+    base = lower_bounds(graph, spec, length)
+    type_names = sorted(base)
+    caps = {name: max(base[name], _occupancy(graph, spec)[name], 1)
+            for name in type_names}
+
+    def area(counts: Mapping[str, int]) -> float:
+        return sum(spec.type_named(n).area * c for n, c in counts.items())
+
+    start = tuple(base[n] for n in type_names)
+    heap: list = [(area(base), start)]
+    seen = {start}
+    while heap:
+        _, vector = heapq.heappop(heap)
+        counts = dict(zip(type_names, vector))
+        try:
+            list_schedule(graph, spec, counts, target_length=length)
+            return counts
+        except ScheduleError:
+            pass
+        for index, name in enumerate(type_names):
+            if vector[index] >= caps[name]:
+                continue
+            bumped = vector[:index] + (vector[index] + 1,) + vector[index + 1:]
+            if bumped not in seen:
+                seen.add(bumped)
+                bumped_counts = dict(zip(type_names, bumped))
+                heapq.heappush(heap, (area(bumped_counts), bumped))
+    raise ScheduleError(
+        f"no feasible FU allocation meets length {length} for {graph.name!r}")
+
+
+def schedule_graph(graph: CDFG, spec: HardwareSpec,
+                   length: Optional[int] = None,
+                   fu_counts: Optional[Mapping[str, int]] = None,
+                   method: str = "list",
+                   label: str = "") -> Schedule:
+    """One-stop scheduling entry point.
+
+    * *length* ``None`` ⇒ critical-path length (fastest schedule).
+    * *fu_counts* ``None`` ⇒ minimal counts found by :func:`minimal_fu_counts`.
+    * *method* ``"list"`` (resource-constrained list scheduling) or
+      ``"fds"`` (force-directed; balances concurrency, same FU minima are
+      verified afterwards).
+    """
+    if length is None:
+        length = asap_length(graph, spec)
+    if method not in ("list", "fds"):
+        raise ScheduleError(f"unknown scheduling method {method!r}")
+    if method == "fds":
+        return force_directed_schedule(graph, spec, length, label=label)
+    counts = dict(fu_counts) if fu_counts is not None else \
+        minimal_fu_counts(graph, spec, length)
+    return list_schedule(graph, spec, counts, target_length=length,
+                         label=label)

@@ -1,0 +1,152 @@
+"""Force-directed (distribution-balancing) time-constrained scheduling.
+
+A Paulin/Knight-style scheduler used when a schedule should *balance*
+concurrency across control steps (lower FU peaks and usually lower register
+pressure) instead of packing greedily like the list scheduler.
+
+This implementation uses the quadratic-energy formulation: every
+unscheduled operation spreads unit probability uniformly over its feasible
+window; the *energy* of a distribution graph is the sum of squared
+per-step demands, and operations are fixed one at a time (least-mobility
+first) to the step that minimizes total energy after constraint
+propagation.  Minimizing Σ d(s)² with fixed Σ d(s) is exactly the
+"flatten the distribution graphs" objective of force-directed scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG
+from repro.datapath.units import HardwareSpec
+from repro.sched.asap import alap_schedule, asap_schedule, asap_length
+from repro.sched.schedule import (Schedule, anti_predecessors,
+                                  data_predecessors)
+
+
+class _Windows:
+    """Feasible [lo, hi] start windows with forward/backward propagation."""
+
+    def __init__(self, graph: CDFG, spec: HardwareSpec, length: int) -> None:
+        self.graph = graph
+        self.delays = spec.delays()
+        self.length = length
+        asap = asap_schedule(graph, spec)
+        alap = alap_schedule(graph, spec, length)
+        self.lo = dict(asap)
+        self.hi = dict(alap)
+
+    def fix(self, op_name: str, step: int) -> None:
+        if not self.lo[op_name] <= step <= self.hi[op_name]:
+            raise ScheduleError(
+                f"FDS: cannot fix {op_name!r} at {step}, window "
+                f"[{self.lo[op_name]}, {self.hi[op_name]}]")
+        self.lo[op_name] = self.hi[op_name] = step
+        self.propagate()
+
+    def propagate(self) -> None:
+        graph, delays = self.graph, self.delays
+        order = graph.topo_order()
+        for _round in range(len(order) + 2):
+            changed = False
+            for name in order:
+                kind = graph.ops[name].kind
+                lo = self.lo[name]
+                for pred in data_predecessors(graph, name):
+                    lo = max(lo, self.lo[pred] + delays[graph.ops[pred].kind])
+                for anti in anti_predecessors(graph, name):
+                    lo = max(lo, self.lo[anti])
+                if lo > self.lo[name]:
+                    self.lo[name] = lo
+                    changed = True
+            for name in reversed(order):
+                kind = graph.ops[name].kind
+                hi = self.hi[name]
+                for succ in graph.op_successors(name):
+                    hi = min(hi, self.hi[succ] - delays[kind])
+                for _, ref in graph.ops[name].value_operands():
+                    val = graph.values[ref.name]
+                    if val.loop_carried and val.producer not in (None, name):
+                        hi = min(hi, self.hi[val.producer])
+                if hi < self.hi[name]:
+                    self.hi[name] = hi
+                    changed = True
+            if not changed:
+                break
+        for name in order:
+            if self.lo[name] > self.hi[name]:
+                raise ScheduleError(
+                    f"FDS: window of {name!r} collapsed "
+                    f"([{self.lo[name]}, {self.hi[name]}])")
+
+
+def _occupied(step: int, delay: int, pipelined: bool) -> Tuple[int, ...]:
+    return (step,) if pipelined else tuple(range(step, step + delay))
+
+
+def force_directed_schedule(graph: CDFG, spec: HardwareSpec, length: int,
+                            label: str = "") -> Schedule:
+    """Time-constrained scheduling of *graph* into exactly *length* steps."""
+    if length < asap_length(graph, spec):
+        raise ScheduleError(
+            f"FDS: target length {length} below critical path "
+            f"{asap_length(graph, spec)}")
+    windows = _Windows(graph, spec, length)
+    delays = spec.delays()
+    fixed: Dict[str, int] = {}
+
+    def distribution() -> Dict[str, List[float]]:
+        dist = {name: [0.0] * length for name in spec.fu_types}
+        for op_name, op in graph.ops.items():
+            fu_type = spec.type_for_kind(op.kind)
+            lo, hi = windows.lo[op_name], windows.hi[op_name]
+            weight = 1.0 / (hi - lo + 1)
+            for start in range(lo, hi + 1):
+                for s in _occupied(start, fu_type.delay, fu_type.pipelined):
+                    dist[fu_type.name][s] += weight
+        return dist
+
+    def energy(dist: Dict[str, List[float]]) -> float:
+        return sum(d * d for per_type in dist.values() for d in per_type)
+
+    while len(fixed) < len(graph.ops):
+        # choose the unscheduled op with the tightest window (ties by name)
+        pending = sorted(
+            (name for name in graph.ops if name not in fixed),
+            key=lambda n: (windows.hi[n] - windows.lo[n], n))
+        op_name = pending[0]
+        lo, hi = windows.lo[op_name], windows.hi[op_name]
+        if lo == hi:
+            fixed[op_name] = lo
+            windows.fix(op_name, lo)
+            continue
+        best_step, best_energy = None, None
+        for step in range(lo, hi + 1):
+            trial = _snapshot(windows)
+            try:
+                windows.fix(op_name, step)
+            except ScheduleError:
+                _restore(windows, trial)
+                continue
+            e = energy(distribution())
+            _restore(windows, trial)
+            if best_energy is None or e < best_energy:
+                best_step, best_energy = step, e
+        if best_step is None:
+            raise ScheduleError(
+                f"FDS: no feasible step for {op_name!r} in [{lo}, {hi}]")
+        windows.fix(op_name, best_step)
+        fixed[op_name] = best_step
+
+    return Schedule(graph, spec, length, fixed,
+                    label=label or f"{graph.name}@fds{length}")
+
+
+def _snapshot(windows: _Windows) -> Tuple[Dict[str, int], Dict[str, int]]:
+    return dict(windows.lo), dict(windows.hi)
+
+
+def _restore(windows: _Windows,
+             snap: Tuple[Dict[str, int], Dict[str, int]]) -> None:
+    windows.lo, windows.hi = dict(snap[0]), dict(snap[1])

@@ -1,0 +1,104 @@
+"""Resource-constrained list scheduling.
+
+The stand-in for the SALSA scheduler [16] the paper pairs its allocator
+with: a classic priority-list scheduler that honours multi-cycle and
+pipelined functional units and the loop anti-dependence rule (producers of
+loop-carried values never start before their next-iteration consumers).
+
+Priority is *urgency* (ALAP start ascending, i.e. least slack first), which
+for the benchmark CDFGs reproduces the canonical minimum-resource schedules
+(e.g. EWF in 17 steps on 3 adders / 3 multipliers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG
+from repro.datapath.units import HardwareSpec
+from repro.sched.asap import alap_schedule, asap_length
+from repro.sched.schedule import (Schedule, anti_predecessors,
+                                  data_predecessors)
+
+
+def list_schedule(graph: CDFG, spec: HardwareSpec,
+                  fu_counts: Mapping[str, int],
+                  target_length: Optional[int] = None,
+                  label: str = "") -> Schedule:
+    """Schedule *graph* on at most ``fu_counts[type]`` units of each type.
+
+    When *target_length* is given the result is padded/validated to exactly
+    that many control steps (raising :class:`ScheduleError` if the resources
+    cannot meet it); otherwise the makespan becomes the schedule length.
+    """
+    delays = spec.delays()
+    for op in graph.ops.values():
+        type_name = spec.type_for_kind(op.kind).name
+        if fu_counts.get(type_name, 0) < 1:
+            raise ScheduleError(
+                f"no {type_name!r} units provided but operation "
+                f"{op.name!r} ({op.kind}) needs one")
+
+    horizon = target_length if target_length is not None else \
+        2 * max(asap_length(graph, spec), 1) + len(graph.ops)
+    priority = alap_schedule(graph, spec,
+                             max(horizon, asap_length(graph, spec)))
+
+    max_delay = max(delays.values())
+    max_steps = horizon + len(graph.ops) * max_delay
+    busy: Dict[str, List[int]] = {
+        name: [0] * (max_steps + max_delay + 2) for name in spec.fu_types}
+    start: Dict[str, int] = {}
+    unscheduled = set(graph.ops)
+    step = 0
+
+    def ready_at(op_name: str, when: int) -> bool:
+        for pred in data_predecessors(graph, op_name):
+            if pred in unscheduled:
+                return False
+            if when <= start[pred] + delays[graph.ops[pred].kind] - 1:
+                return False
+        for anti in anti_predecessors(graph, op_name):
+            if anti in unscheduled:
+                return False
+        return True
+
+    while unscheduled:
+        if step > max_steps:
+            raise ScheduleError(
+                f"list scheduler on {graph.name!r} exceeded {max_steps} "
+                f"steps; resources {dict(fu_counts)} look infeasible")
+        # anti-dependence edges allow a loop-value producer to start in the
+        # *same* step as its last consumer, so an op can become ready midway
+        # through filling a step: iterate to a fixed point within the step
+        progress = True
+        while progress:
+            progress = False
+            candidates = sorted(
+                (name for name in unscheduled if ready_at(name, step)),
+                key=lambda n: (priority[n], n))
+            for op_name in candidates:
+                op = graph.ops[op_name]
+                fu_type = spec.type_for_kind(op.kind)
+                limit = fu_counts[fu_type.name]
+                occupied = ((step,) if fu_type.pipelined
+                            else tuple(range(step, step + fu_type.delay)))
+                if any(busy[fu_type.name][s] >= limit for s in occupied):
+                    continue
+                for s in occupied:
+                    busy[fu_type.name][s] += 1
+                start[op_name] = step
+                unscheduled.discard(op_name)
+                progress = True
+        step += 1
+
+    makespan = max(start[name] + delays[graph.ops[name].kind]
+                   for name in graph.ops)
+    length = target_length if target_length is not None else makespan
+    if makespan > length:
+        raise ScheduleError(
+            f"list scheduler needed {makespan} steps for {graph.name!r}, "
+            f"exceeding target {length} with resources {dict(fu_counts)}")
+    return Schedule(graph, spec, length, start,
+                    label=label or f"{graph.name}@{length}")

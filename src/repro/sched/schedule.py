@@ -1,0 +1,163 @@
+"""The :class:`Schedule` object: op start steps + derived analyses.
+
+A schedule fixes the minimum number of functional units and registers
+(paper Sec. 1); those minima are exposed here (:meth:`Schedule.min_fus`,
+:meth:`Schedule.min_registers`) and drive the experiment parameterization
+of Tables 2 and 3.
+
+Loop bodies use *non-overlapped* cyclic schedules: each iteration occupies
+steps ``0 .. length-1``, operations never straddle the iteration boundary,
+and only value lifetimes wrap (handled by
+:class:`repro.cdfg.lifetimes.LifetimeTable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import LifetimeTable
+from repro.datapath.units import FUType, HardwareSpec
+
+
+def data_predecessors(graph: CDFG, op_name: str) -> List[str]:
+    """Intra-iteration data predecessors (must *finish* before we start)."""
+    return graph.op_predecessors(op_name)
+
+
+def anti_predecessors(graph: CDFG, op_name: str) -> List[str]:
+    """Anti-dependence predecessors (must *start* no later than we start).
+
+    The producer of a loop-carried value must not overwrite it before every
+    next-iteration consumer has read it.  We enforce the conservative form
+    ``producer_start >= consumer_start`` which guarantees
+    ``read_step < birth_step`` for every delay >= 1.
+    """
+    op = graph.ops[op_name]
+    if op.result is None:
+        return []
+    val = graph.values[op.result]
+    if not val.loop_carried:
+        return []
+    return sorted({consumer for consumer, _ in val.consumers
+                   if consumer != op_name})
+
+
+class Schedule:
+    """An assignment of start control steps to every operation."""
+
+    def __init__(self, graph: CDFG, spec: HardwareSpec, length: int,
+                 start: Mapping[str, int], label: str = "") -> None:
+        self.graph = graph
+        self.spec = spec
+        self.length = length
+        self.start: Dict[str, int] = dict(start)
+        self.label = label or f"{graph.name}@{length}"
+        self._lifetimes: Optional[LifetimeTable] = None
+        self.validate()
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def delays(self) -> Dict[str, int]:
+        return self.spec.delays()
+
+    def delay_of(self, op_name: str) -> int:
+        return self.delays[self.graph.ops[op_name].kind]
+
+    def end(self, op_name: str) -> int:
+        """Last step the operation is executing (result at end of it)."""
+        return self.start[op_name] + self.delay_of(op_name) - 1
+
+    def busy_steps(self, op_name: str) -> Tuple[int, ...]:
+        """Steps on which the op occupies its FU (issue slot if pipelined)."""
+        op = self.graph.ops[op_name]
+        fu_type = self.spec.type_for_kind(op.kind)
+        if fu_type.pipelined:
+            return (self.start[op_name],)
+        return tuple(range(self.start[op_name], self.end(op_name) + 1))
+
+    # -- derived analyses ---------------------------------------------------------
+
+    @property
+    def lifetimes(self) -> LifetimeTable:
+        if self._lifetimes is None:
+            self._lifetimes = LifetimeTable(self.graph, self.start,
+                                            self.delays, self.length)
+        return self._lifetimes
+
+    def min_registers(self) -> int:
+        return self.lifetimes.min_registers()
+
+    def fu_demand(self) -> Dict[str, List[int]]:
+        """Per-type, per-step count of busy units."""
+        demand = {name: [0] * self.length for name in self.spec.fu_types}
+        for op_name, op in self.graph.ops.items():
+            type_name = self.spec.type_for_kind(op.kind).name
+            for step in self.busy_steps(op_name):
+                demand[type_name][step] += 1
+        return demand
+
+    def min_fus(self) -> Dict[str, int]:
+        """Minimum FU count per type implied by this schedule."""
+        return {name: (max(steps) if steps else 0)
+                for name, steps in self.fu_demand().items()}
+
+    def ops_at(self, step: int) -> List[str]:
+        """Ops busy at *step*, sorted by name."""
+        return sorted(op for op in self.graph.ops
+                      if step in self.busy_steps(op))
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ScheduleError` on any violated constraint."""
+        graph, length = self.graph, self.length
+        if length < 1:
+            raise ScheduleError("schedule length must be >= 1")
+        for op_name in graph.ops:
+            if op_name not in self.start:
+                raise ScheduleError(f"operation {op_name!r} unscheduled")
+            start = self.start[op_name]
+            end = start + self.delay_of(op_name) - 1
+            if start < 0 or end >= length:
+                raise ScheduleError(
+                    f"operation {op_name!r} at steps [{start}, {end}] "
+                    f"outside schedule of length {length}")
+        for op_name in graph.ops:
+            for pred in data_predecessors(graph, op_name):
+                if self.start[op_name] <= self.end(pred):
+                    raise ScheduleError(
+                        f"{op_name!r} starts at {self.start[op_name]} before "
+                        f"its data predecessor {pred!r} finishes at "
+                        f"{self.end(pred)}")
+            for anti in anti_predecessors(graph, op_name):
+                if self.start[op_name] < self.start[anti]:
+                    raise ScheduleError(
+                        f"loop producer {op_name!r} starts at "
+                        f"{self.start[op_name]}, before next-iteration "
+                        f"consumer {anti!r} at {self.start[anti]}")
+        # building lifetimes performs the remaining read-before-birth checks
+        LifetimeTable(graph, self.start, self.delays, length)
+
+    # -- presentation -------------------------------------------------------------
+
+    def table(self) -> str:
+        """ASCII Gantt-style table of the schedule (used by examples)."""
+        lines = [f"Schedule {self.label}: {self.length} control steps, "
+                 f"min FUs {self.min_fus()}, min registers "
+                 f"{self.min_registers()}"]
+        for step in range(self.length):
+            ops = []
+            for op_name in self.ops_at(step):
+                mark = "*" if self.start[op_name] == step else "."
+                ops.append(f"{op_name}{mark}")
+            live = len(self.lifetimes.live_at(step))
+            lines.append(f"  s{step:>2}: {' '.join(ops):<60} |live {live}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Schedule({self.label!r}, length={self.length}, "
+                f"ops={len(self.start)})")

@@ -1,0 +1,61 @@
+"""Unit tests for the binding legality checker (it must catch sabotage)."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.alloc.checker import assert_legal, check_binding
+
+
+class TestCheckerCatchesCorruption:
+    def test_clean_binding_passes(self, diffeq_binding):
+        assert check_binding(diffeq_binding) == []
+        assert_legal(diffeq_binding)
+
+    def test_unbound_op(self, diffeq_binding):
+        diffeq_binding.set_op_fu("a1", None)
+        assert any("unbound" in p for p in check_binding(diffeq_binding))
+
+    def test_assert_legal_raises(self, diffeq_binding):
+        diffeq_binding.set_op_fu("a1", None)
+        with pytest.raises(BindingError, match="legality"):
+            assert_legal(diffeq_binding)
+
+    def test_missing_segment(self, diffeq_binding):
+        b = diffeq_binding
+        (value, step), _regs = next(iter(sorted(b.placements.items())))
+        b.set_placements(value, step, ())
+        assert any("no register" in p for p in check_binding(b))
+
+    def test_wrong_read_source(self, diffeq_binding):
+        b = diffeq_binding
+        # point some consumer at a register that never holds its operand
+        for (op_name, port), reg in sorted(b.read_src.items()):
+            step = b.schedule.start[op_name]
+            other = next(r for r in sorted(b.regs)
+                         if b.reg_free(r, step))
+            b.read_src[(op_name, port)] = other  # bypass the primitive
+            break
+        assert any("does not hold" in p for p in check_binding(b))
+
+    def test_stale_occupancy(self, diffeq_binding):
+        b = diffeq_binding
+        key = next(iter(sorted(b.reg_occ)))
+        del b.reg_occ[key]
+        assert any("occupancy" in p or "reg_occ" in p
+                   for p in check_binding(b))
+
+    def test_missing_out_src(self, diffeq_binding):
+        b = diffeq_binding
+        for out in b.graph.outputs:
+            if not b.port_captured(out):
+                b.set_out_src(out, None)
+                assert any("sample register" in p
+                           for p in check_binding(b))
+                return
+        pytest.skip("all outputs port-captured")
+
+    def test_token_table_mismatch(self, diffeq_binding):
+        b = diffeq_binding
+        key = next(iter(sorted(b.fu_tokens)))
+        del b.fu_tokens[key]
+        assert any("token" in p for p in check_binding(b))

@@ -1,0 +1,82 @@
+"""Unit tests for clique-partitioning and bipartite-matching baselines."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.bench import discrete_cosine_transform, hal_diffeq, \
+    elliptic_wave_filter
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import schedule_graph
+from repro.alloc.clique import clique_partition_registers
+from repro.alloc.bipartite import bipartite_fu_binding
+from repro.alloc.leftedge import left_edge
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+class TestClique:
+    def test_no_overlap_within_register(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        assignment = clique_partition_registers(schedule)
+        occupancy = {}
+        for value, reg in assignment.items():
+            for step in schedule.lifetimes.interval(value).steps:
+                assert (reg, step) not in occupancy
+                occupancy[(reg, step)] = value
+
+    def test_register_count_at_most_value_count(self):
+        graph = discrete_cosine_transform()
+        schedule = schedule_graph(graph, SPEC, 10)
+        assignment = clique_partition_registers(schedule)
+        assert len(set(assignment.values())) <= len(assignment)
+
+    def test_merging_actually_happens(self):
+        graph = discrete_cosine_transform()
+        schedule = schedule_graph(graph, SPEC, 10)
+        assignment = clique_partition_registers(schedule)
+        # strictly fewer registers than values proves cliques merged
+        assert len(set(assignment.values())) < len(assignment)
+
+    def test_budget_enforced(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        with pytest.raises(AllocationError):
+            clique_partition_registers(schedule, register_names=["R0"])
+
+
+class TestBipartite:
+    def binding_for(self, graph, length):
+        schedule = schedule_graph(graph, SPEC, length)
+        fus = SPEC.make_fus(schedule.min_fus())
+        value_reg = left_edge(schedule)
+        return schedule, fus, bipartite_fu_binding(schedule, fus, value_reg)
+
+    def test_every_op_bound(self):
+        graph = hal_diffeq()
+        schedule, fus, op_fu = self.binding_for(graph, 6)
+        assert set(op_fu) == set(graph.ops)
+
+    def test_no_fu_conflicts(self):
+        graph = elliptic_wave_filter()
+        schedule, fus, op_fu = self.binding_for(graph, 19)
+        busy = {}
+        for op_name, fu in op_fu.items():
+            for step in schedule.busy_steps(op_name):
+                assert (fu, step) not in busy, (op_name, fu, step)
+                busy[(fu, step)] = op_name
+
+    def test_type_compatibility(self):
+        graph = hal_diffeq()
+        schedule, fus, op_fu = self.binding_for(graph, 6)
+        by_name = {f.name: f for f in fus}
+        for op_name, fu in op_fu.items():
+            kind = graph.ops[op_name].kind
+            assert by_name[fu].fu_type.supports(kind)
+
+    def test_insufficient_units_rejected(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        fus = SPEC.make_fus({"adder": 1, "mult": 1})
+        with pytest.raises(AllocationError):
+            bipartite_fu_binding(schedule, fus, left_edge(schedule))

@@ -1,0 +1,65 @@
+"""Unit tests for complete constructive traditional-model allocations."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.bench import discrete_cosine_transform, hal_diffeq
+from repro.datapath.simulate import verify_binding
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.alloc import constructive_allocation, check_binding
+from repro.alloc.leftedge import left_edge_register_count
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+def build(graph, length, rm, fm, extra=1):
+    schedule = schedule_graph(graph, SPEC, length)
+    regs = max(left_edge_register_count(schedule),
+               schedule.min_registers()) + extra
+    return constructive_allocation(
+        schedule, SPEC.make_fus(schedule.min_fus()), make_registers(regs),
+        register_method=rm, fu_method=fm)
+
+
+@pytest.mark.parametrize("rm", ["leftedge", "clique"])
+@pytest.mark.parametrize("fm", ["first", "bipartite"])
+class TestCombinations:
+    def test_legal(self, rm, fm):
+        binding = build(hal_diffeq(), 6, rm, fm)
+        assert check_binding(binding) == []
+
+    def test_simulates_correctly(self, rm, fm):
+        binding = build(hal_diffeq(), 6, rm, fm)
+        verify_binding(binding, iterations=3)
+
+    def test_monolithic(self, rm, fm):
+        binding = build(discrete_cosine_transform(), 10, rm, fm)
+        assert all(len(r) == 1 for r in binding.placements.values())
+        assert not binding.pt_impl
+
+
+class TestErrors:
+    def test_unknown_register_method(self):
+        schedule = schedule_graph(hal_diffeq(), SPEC, 6)
+        with pytest.raises(AllocationError, match="register method"):
+            constructive_allocation(
+                schedule, SPEC.make_fus(schedule.min_fus()),
+                make_registers(10), register_method="magic")
+
+    def test_unknown_fu_method(self):
+        schedule = schedule_graph(hal_diffeq(), SPEC, 6)
+        with pytest.raises(AllocationError, match="FU method"):
+            constructive_allocation(
+                schedule, SPEC.make_fus(schedule.min_fus()),
+                make_registers(10), fu_method="magic")
+
+
+class TestQualityOrdering:
+    def test_bipartite_no_worse_than_first_for_fixed_registers(self):
+        """Matching minimizes new connections given the register map; it
+        should rarely lose to first-available — allow small noise but
+        catch gross regressions."""
+        a = build(discrete_cosine_transform(), 10, "leftedge", "first")
+        b = build(discrete_cosine_transform(), 10, "leftedge", "bipartite")
+        assert b.cost().mux_count <= a.cost().mux_count + 3

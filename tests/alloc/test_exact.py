@@ -1,0 +1,76 @@
+"""Exact-allocator tests: certify the heuristics reach true optima."""
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.errors import AllocationError
+from repro.sched.explore import schedule_graph
+from repro.alloc.checker import check_binding
+from repro.alloc.exact import exact_traditional_allocation
+from repro.core import ImproveConfig, MoveSet, TraditionalAllocator
+from repro.datapath.simulate import verify_binding
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+def tiny_graph():
+    b = CDFGBuilder("tiny")
+    b.input("a").input("b").input("c")
+    b.add("o1", "a", "b", "v1")
+    b.add("o2", "b", "c", "v2")
+    b.add("o3", "v1", "v2", "v3")
+    b.add("o4", "v3", "a", "v4")
+    b.output("v4")
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def exact_setup():
+    graph = tiny_graph()
+    schedule = schedule_graph(graph, SPEC, 4, fu_counts={"adder": 2,
+                                                         "mult": 0})
+    fus = SPEC.make_fus({"adder": 2})
+    regs = make_registers(schedule.min_registers())
+    return graph, schedule, fus, regs
+
+
+class TestExact:
+    def test_exact_is_legal_and_correct(self, exact_setup):
+        _graph, schedule, fus, regs = exact_setup
+        binding = exact_traditional_allocation(schedule, fus, regs)
+        assert check_binding(binding) == []
+        verify_binding(binding)
+
+    def test_iterative_matches_exact_optimum(self, exact_setup):
+        graph, schedule, fus, regs = exact_setup
+        exact = exact_traditional_allocation(schedule, fus, regs)
+        optimum = exact.cost().total
+
+        best = None
+        for seed in range(3):
+            result = TraditionalAllocator(
+                seed=seed, restarts=2,
+                config=ImproveConfig(max_trials=6,
+                                     moves_per_trial=300)).allocate(
+                graph, schedule=schedule, registers=len(regs))
+            if best is None or result.cost.total < best:
+                best = result.cost.total
+        assert best == pytest.approx(optimum)
+
+    def test_search_space_guard(self):
+        from repro.bench import elliptic_wave_filter
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, 19)
+        fus = SPEC.make_fus(schedule.min_fus())
+        regs = make_registers(schedule.min_registers())
+        with pytest.raises(AllocationError, match="search space"):
+            exact_traditional_allocation(schedule, fus, regs)
+
+    def test_swap_optimization_helps_or_ties(self, exact_setup):
+        _graph, schedule, fus, regs = exact_setup
+        with_swaps = exact_traditional_allocation(schedule, fus, regs,
+                                                  optimize_swaps=True)
+        without = exact_traditional_allocation(schedule, fus, regs,
+                                               optimize_swaps=False)
+        assert with_swaps.cost().total <= without.cost().total + 1e-9

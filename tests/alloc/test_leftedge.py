@@ -1,0 +1,68 @@
+"""Unit tests for left-edge register allocation."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.bench import (discrete_cosine_transform, elliptic_wave_filter,
+                         hal_diffeq, random_cdfg)
+from repro.cdfg.builder import CDFGBuilder
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import schedule_graph
+from repro.sched.schedule import Schedule
+from repro.alloc.leftedge import left_edge, left_edge_register_count
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+def assignment_is_legal(schedule, assignment):
+    """No two overlapping values share a register."""
+    occupancy = {}
+    for value, reg in assignment.items():
+        for step in schedule.lifetimes.interval(value).steps:
+            key = (reg, step)
+            assert key not in occupancy, \
+                f"{value} and {occupancy[key]} share {key}"
+            occupancy[key] = value
+
+
+class TestLeftEdge:
+    def test_linear_lifetimes_use_max_overlap(self):
+        graph = discrete_cosine_transform()
+        schedule = schedule_graph(graph, SPEC, 10)
+        assert left_edge_register_count(schedule) == \
+            schedule.min_registers()
+
+    def test_assignment_legal_on_benchmarks(self):
+        for graph, length in ((discrete_cosine_transform(), 10),
+                              (elliptic_wave_filter(), 19),
+                              (hal_diffeq(), 6)):
+            schedule = schedule_graph(graph, SPEC, length)
+            assignment_is_legal(schedule, left_edge(schedule))
+
+    def test_every_stored_value_assigned(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        assignment = left_edge(schedule)
+        for name in graph.values:
+            if schedule.lifetimes.interval(name).birth < schedule.length:
+                assert name in assignment
+
+    def test_too_few_names_rejected(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        with pytest.raises(AllocationError, match="needs"):
+            left_edge(schedule, ["R0", "R1"])
+
+    def test_cyclic_may_exceed_max_overlap(self):
+        """Circular-arc coloring can need more than the clique bound —
+        the theory gap segment-level binding closes."""
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, 17)
+        used = left_edge_register_count(schedule)
+        assert used >= schedule.min_registers()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        graph = random_cdfg(20, seed=seed)
+        schedule = schedule_graph(graph, SPEC)
+        assignment_is_legal(schedule, left_edge(schedule))

@@ -1,0 +1,62 @@
+"""Unit tests for table rendering and the figure/ablation drivers."""
+
+import pytest
+
+from repro.analysis import (ablation_anneal, ablation_features,
+                            figure3_experiment, figure4_experiment,
+                            passthrough_demo, render_table,
+                            value_split_demo)
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "n"], [["alpha", 1], ["b", 22]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_handles_none(self):
+        text = render_table(["a"], [[None]])
+        assert text.split("\n")[-1] == ""  # None renders as empty cell
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["col"], [["123"], ["4"]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("123")
+        assert rows[1].endswith("  4")
+
+
+class TestFigureDemos:
+    def test_figure3_passthrough_saves_exactly_one_mux(self):
+        demo = passthrough_demo()
+        assert demo["direct_mux"] - demo["pt_mux"] == 1
+        assert demo["pt_wires"] < demo["direct_wires"]
+
+    def test_figure4_split_saves_exactly_one_mux(self):
+        demo = value_split_demo()
+        assert demo["single_mux"] - demo["split_mux"] == 1
+
+    def test_experiment_tables_render(self):
+        for table in (figure3_experiment(), figure4_experiment()):
+            text = table.render()
+            assert "equiv 2-1 mux" in text
+            assert len(table.rows) == 2
+
+
+class TestAblations:
+    def test_anneal_ablation_runs(self):
+        table = ablation_anneal(fast=True)
+        assert len(table.rows) == 2
+        names = [row[0] for row in table.rows]
+        assert "iterative improvement" in names
+        assert "simulated annealing" in names
+
+    def test_feature_ablation_monotone_enough(self):
+        """Adding model features must not lose more than noise allows —
+        with the traditional warm start each variant starts at the same
+        baseline, so mux counts must be non-increasing within 1."""
+        table = ablation_features(fast=True)
+        muxes = [row[1] for row in table.rows]
+        assert muxes[-1] <= muxes[0] + 1

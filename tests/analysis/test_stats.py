@@ -1,0 +1,63 @@
+"""Unit tests for run-to-run statistics."""
+
+import pytest
+
+from repro.analysis.stats import SeedStudy, seed_study
+from repro.bench import hal_diffeq
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig
+
+
+class TestSeedStudyMath:
+    def study(self):
+        return SeedStudy(label="x", mux_counts=[5, 5, 6, 7, 9])
+
+    def test_basic_stats(self):
+        s = self.study()
+        assert s.best == 5 and s.worst == 9
+        assert s.mean == pytest.approx(6.4)
+        assert s.spread == 4
+
+    def test_expected_best_of_one_is_mean(self):
+        s = self.study()
+        assert s.expected_best_of(1) == pytest.approx(s.mean)
+
+    def test_expected_best_of_decreases(self):
+        s = self.study()
+        values = [s.expected_best_of(k) for k in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] >= s.best
+
+    def test_expected_best_of_large_k_approaches_best(self):
+        s = self.study()
+        assert s.expected_best_of(200) == pytest.approx(s.best, abs=0.01)
+
+    def test_restarts_for_near_best(self):
+        # 3/5 runs are within best+1 -> p=0.6; P(hit in k) = 1-0.4^k
+        s = self.study()
+        k = s.restarts_for_near_best(tolerance=1, confidence=0.9)
+        assert k == 3  # 1-0.4^3 = 0.936 >= 0.9, 1-0.4^2 = 0.84 < 0.9
+
+    def test_all_good_means_one_restart(self):
+        s = SeedStudy(label="x", mux_counts=[4, 4, 4])
+        assert s.restarts_for_near_best() == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            self.study().expected_best_of(0)
+
+    def test_summary(self):
+        assert "best 5" in self.study().summary()
+
+
+class TestSeedStudyRun:
+    def test_runs_on_diffeq(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, HardwareSpec.non_pipelined(), 7)
+        study = seed_study(
+            graph, schedule, seeds=range(3),
+            config=ImproveConfig(max_trials=2, moves_per_trial=100))
+        assert len(study.mux_counts) == 3
+        assert study.best <= study.worst
+        assert "salsa" in study.label

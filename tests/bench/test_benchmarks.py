@@ -1,0 +1,180 @@
+"""Invariant tests for the benchmark CDFGs (the paper's evaluation inputs)."""
+
+import math
+
+import pytest
+
+from repro.bench import (EWF_COEFFICIENTS, ar_lattice, dct_invariants,
+                         discrete_cosine_transform, elliptic_wave_filter,
+                         ewf_invariants, figure1_cdfg, figure3_fragment,
+                         figure4_fragment, fir_filter, hal_diffeq,
+                         random_cdfg)
+from repro.cdfg.interp import evaluate_once, run_iterations
+from repro.cdfg.validate import validate_cdfg
+from repro.datapath.units import HardwareSpec
+from repro.sched.asap import asap_length
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+class TestEWF:
+    def test_pinned_invariants(self):
+        graph = elliptic_wave_filter()
+        inv = ewf_invariants()
+        counts = graph.op_count_by_kind()
+        assert len(graph) == inv["ops"]
+        assert counts["add"] == inv["adds"]
+        assert counts["mul"] == inv["muls"]
+        assert len(graph.loop_values) == inv["loop_values"]
+        assert graph.inputs == inv["inputs"]
+        assert graph.outputs == inv["outputs"]
+
+    def test_critical_path_is_17(self):
+        graph = elliptic_wave_filter()
+        assert asap_length(graph, SPEC) == 17
+        assert asap_length(graph, HardwareSpec.pipelined()) == 17
+
+    def test_all_multiplications_have_constant_coefficient(self):
+        from repro.cdfg.nodes import Const
+        graph = elliptic_wave_filter()
+        for op in graph.ops.values():
+            if op.kind == "mul":
+                assert any(isinstance(o, Const) for o in op.operands)
+
+    def test_coefficient_count_enforced(self):
+        with pytest.raises(ValueError, match="8 adaptor"):
+            elliptic_wave_filter(coefficients=(0.1, 0.2))
+
+    def test_filter_is_stable(self):
+        """A constant input drives the filter to a bounded steady state
+        (the negative adaptor coefficients make the loops contractive)."""
+        graph = elliptic_wave_filter()
+        trace = run_iterations(graph, {"inp": [1.0] * 60},
+                               {sv: 0.0 for sv in graph.loop_values}, 60)
+        assert all(abs(t["outp"]) < 10.0 for t in trace)
+        assert abs(trace[-1]["outp"] - trace[-2]["outp"]) < 1e-3
+
+    def test_deterministic_construction(self):
+        a = elliptic_wave_filter()
+        b = elliptic_wave_filter()
+        assert sorted(a.ops) == sorted(b.ops)
+
+
+class TestDCT:
+    def test_pinned_invariants(self):
+        graph = discrete_cosine_transform()
+        inv = dct_invariants()
+        counts = graph.op_count_by_kind()
+        assert len(graph) == inv["ops"]
+        assert counts["add"] == inv["adds"]
+        assert counts["sub"] == inv["subs"]
+        assert counts["mul"] == inv["muls"]
+        assert len(graph.inputs) == inv["inputs"]
+        assert len(graph.outputs) == inv["outputs"]
+
+    def test_acyclic(self):
+        graph = discrete_cosine_transform()
+        assert not graph.cyclic
+        assert not graph.loop_values
+
+    def test_linearity(self):
+        """The DCT is linear: T(a x + b y) == a T(x) + b T(y)."""
+        graph = discrete_cosine_transform()
+        x = {f"x{i}": float(i + 1) for i in range(8)}
+        y = {f"x{i}": float((i * 3) % 5 - 2) for i in range(8)}
+        combo = {k: 2.0 * x[k] - 0.5 * y[k] for k in x}
+        tx = evaluate_once(graph, x)
+        ty = evaluate_once(graph, y)
+        tc = evaluate_once(graph, combo)
+        for k in range(8):
+            out = f"X{k}"
+            assert tc[out] == pytest.approx(2.0 * tx[out] - 0.5 * ty[out])
+
+    def test_even_half_is_exact_dct(self):
+        """X0/X2/X4/X6 match the analytic 8-point DCT-II (scaled)."""
+        graph = discrete_cosine_transform()
+        xs = [1.0, 2.0, -1.0, 0.5, 3.0, -2.0, 0.0, 1.5]
+        out = evaluate_once(graph, {f"x{i}": xs[i] for i in range(8)})
+        for k in (0, 2, 4, 6):
+            expected = sum(
+                xs[n] * math.cos((2 * n + 1) * k * math.pi / 16.0)
+                for n in range(8))
+            if k == 0:
+                expected *= math.cos(math.pi / 4.0)  # fast-DCT X0 scaling
+            assert out[f"X{k}"] == pytest.approx(expected, abs=1e-9)
+
+    def test_constant_coefficients_only(self):
+        from repro.cdfg.nodes import Const
+        graph = discrete_cosine_transform()
+        for op in graph.ops.values():
+            if op.kind == "mul":
+                assert any(isinstance(o, Const) for o in op.operands)
+
+
+class TestExtras:
+    def test_diffeq_shape(self):
+        graph = hal_diffeq()
+        counts = graph.op_count_by_kind()
+        assert counts == {"mul": 6, "add": 2, "sub": 2}
+        assert set(graph.loop_values) == {"x", "y", "u"}
+
+    def test_fir_shape(self):
+        graph = fir_filter(taps=8)
+        counts = graph.op_count_by_kind()
+        assert counts["mul"] == 8
+        assert counts["add"] == 8
+        assert len(graph.loop_values) == 7
+
+    def test_fir_validates_other_sizes(self):
+        for taps in (2, 4, 12):
+            validate_cdfg(fir_filter(taps=taps))
+
+    def test_fir_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            fir_filter(taps=1)
+
+    def test_ar_lattice_shape(self):
+        graph = ar_lattice()
+        counts = graph.op_count_by_kind()
+        assert counts["mul"] == 16
+        assert counts["add"] == 12
+
+    def test_figure_fragments_validate(self):
+        for graph in (figure1_cdfg(), figure3_fragment(),
+                      figure4_fragment()):
+            validate_cdfg(graph)
+
+
+class TestRandomCDFG:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_acyclic(self, seed):
+        validate_cdfg(random_cdfg(18, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_cyclic(self, seed):
+        graph = random_cdfg(24, seed=seed, loop_fraction=0.15)
+        validate_cdfg(graph)
+        assert graph.cyclic and graph.loop_values
+
+    def test_reproducible(self):
+        a = random_cdfg(20, seed=5)
+        b = random_cdfg(20, seed=5)
+        assert sorted(a.ops) == sorted(b.ops)
+        assert all(str(a.ops[o]) == str(b.ops[o]) for o in a.ops)
+
+    def test_op_count_respected(self):
+        assert len(random_cdfg(33, seed=1)) == 33
+
+    def test_input_guards(self):
+        with pytest.raises(ValueError):
+            random_cdfg(1)
+        with pytest.raises(ValueError):
+            random_cdfg(5, n_inputs=0)
+        with pytest.raises(ValueError, match="need at least"):
+            random_cdfg(4, n_inputs=4, loop_fraction=0.5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_schedulable(self, seed):
+        graph = random_cdfg(20, seed=seed, loop_fraction=0.1)
+        from repro.sched.explore import schedule_graph
+        schedule_graph(graph, SPEC).validate()

@@ -1,0 +1,81 @@
+"""Unit tests for the CDFG builder."""
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.cdfg.builder import CDFGBuilder
+
+
+class TestBuilder:
+    def test_convenience_wrappers(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        b.add("a", "x", 1.0, "y").sub("s", "y", "x", "z") \
+         .mul("m", "z", 2.0, "w")
+        b.output("w")
+        g = b.build()
+        assert g.op_count_by_kind() == {"add": 1, "sub": 1, "mul": 1}
+
+    def test_duplicate_input_rejected(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        with pytest.raises(CDFGError, match="declared twice"):
+            b.input("x")
+
+    def test_duplicate_output_rejected(self):
+        b = CDFGBuilder("g")
+        b.output("x")
+        with pytest.raises(CDFGError, match="declared twice"):
+            b.output("x")
+
+    def test_duplicate_op_rejected(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        b.add("a", "x", "x", "y")
+        with pytest.raises(CDFGError, match="declared twice"):
+            b.add("a", "x", "x", "z")
+
+    def test_duplicate_loop_value_rejected(self):
+        b = CDFGBuilder("g", cyclic=True)
+        b.loop_value("sv")
+        with pytest.raises(CDFGError, match="declared twice"):
+            b.loop_value("sv")
+
+    def test_output_must_exist(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        b.add("a", "x", "x", "y")
+        b.output("ghost")
+        with pytest.raises(CDFGError, match="never produced"):
+            b.build()
+
+    def test_loop_value_requires_cyclic(self):
+        b = CDFGBuilder("g", cyclic=False)
+        b.input("x")
+        b.add("a", "x", "sv", "sv")
+        b.loop_value("sv")
+        with pytest.raises(CDFGError, match="not.*marked cyclic"):
+            b.build()
+
+    def test_values_declared_implicitly(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        b.add("a", "x", "x", "mid")
+        b.add("b", "mid", "mid", "out")
+        b.output("out")
+        g = b.build()
+        assert set(g.values) == {"x", "mid", "out"}
+
+    def test_arrival_step_recorded(self):
+        b = CDFGBuilder("g")
+        b.input("x", arrival_step=2)
+        b.add("a", "x", "x", "y")
+        b.output("y")
+        g = b.build()
+        assert g.value("x").arrival_step == 2
+
+    def test_fluent_chaining(self):
+        b = CDFGBuilder("g")
+        assert b.input("x") is b
+        assert b.add("a", "x", "x", "y") is b
+        assert b.output("y") is b

@@ -1,0 +1,40 @@
+"""Unit tests for DOT export."""
+
+from repro.bench import figure1_cdfg, hal_diffeq
+from repro.cdfg.dot import cdfg_to_dot
+
+
+class TestDot:
+    def test_all_ops_and_values_present(self):
+        g = figure1_cdfg()
+        dot = cdfg_to_dot(g)
+        for op in g.ops:
+            assert f'"{op}"' in dot
+        for val in g.values:
+            assert f'"v_{val}"' in dot
+
+    def test_digraph_wrapper(self):
+        dot = cdfg_to_dot(figure1_cdfg())
+        assert dot.startswith('digraph "fig1"')
+        assert dot.rstrip().endswith("}")
+
+    def test_schedule_ranks(self):
+        g = figure1_cdfg()
+        dot = cdfg_to_dot(g, schedule={"o1": 0, "o2": 0, "o3": 1,
+                                       "o4": 1, "o5": 2})
+        assert "rank=same" in dot
+
+    def test_without_values_uses_op_edges(self):
+        g = hal_diffeq()
+        dot = cdfg_to_dot(g, show_values=False)
+        assert "v_" not in dot
+        assert "->" in dot
+
+    def test_input_values_styled(self):
+        dot = cdfg_to_dot(figure1_cdfg())
+        assert "lightblue" in dot    # inputs
+        assert "lightyellow" in dot  # outputs
+
+    def test_loop_values_styled(self):
+        dot = cdfg_to_dot(hal_diffeq())
+        assert "lightgrey" in dot

@@ -1,0 +1,158 @@
+"""Unit tests for the CDFG container."""
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Operation, Value
+
+
+def build_toy():
+    b = CDFGBuilder("toy")
+    b.input("x").input("y")
+    b.op("a1", "add", ["x", "y"], "s")
+    b.op("m1", "mul", ["s", 0.5], "p")
+    b.op("a2", "add", ["s", "p"], "q")
+    b.output("q")
+    return b.build()
+
+
+class TestWiring:
+    def test_producer_links(self):
+        g = build_toy()
+        assert g.value("s").producer == "a1"
+        assert g.value("q").producer == "a2"
+        assert g.producer_of("x") is None
+
+    def test_consumer_links(self):
+        g = build_toy()
+        assert set(g.consumers_of("s")) == {("m1", 0), ("a2", 0)}
+        assert g.consumers_of("q") == ()
+
+    def test_duplicate_op_rejected(self):
+        ops = [Operation("a", "add", ("x", "y"), "z"),
+               Operation("a", "add", ("x", "y"), "w")]
+        vals = [Value("x", is_input=True), Value("y", is_input=True),
+                Value("z"), Value("w")]
+        with pytest.raises(CDFGError, match="duplicate operation"):
+            CDFG("bad", ops, vals)
+
+    def test_two_producers_rejected(self):
+        ops = [Operation("a", "add", ("x", "y"), "z"),
+               Operation("b", "add", ("x", "y"), "z")]
+        vals = [Value("x", is_input=True), Value("y", is_input=True),
+                Value("z")]
+        with pytest.raises(CDFGError, match="produced by both"):
+            CDFG("bad", ops, vals)
+
+    def test_writing_input_rejected(self):
+        ops = [Operation("a", "add", ("x", "x"), "x")]
+        with pytest.raises(CDFGError):
+            CDFG("bad", ops, [Value("x", is_input=True)])
+
+    def test_undeclared_operand_rejected(self):
+        ops = [Operation("a", "add", ("x", "ghost"), "z")]
+        vals = [Value("x", is_input=True), Value("z")]
+        with pytest.raises(CDFGError, match="undeclared"):
+            CDFG("bad", ops, vals)
+
+
+class TestQueries:
+    def test_inputs_outputs_sorted(self):
+        g = build_toy()
+        assert g.inputs == ["x", "y"]
+        assert g.outputs == ["q"]
+
+    def test_op_predecessors(self):
+        g = build_toy()
+        assert g.op_predecessors("a2") == ["a1", "m1"]
+        assert g.op_predecessors("a1") == []
+
+    def test_op_successors(self):
+        g = build_toy()
+        assert sorted(g.op_successors("a1")) == ["a2", "m1"]
+
+    def test_loop_carried_edges_skipped(self):
+        b = CDFGBuilder("loop", cyclic=True)
+        b.input("i")
+        b.op("a1", "add", ["i", "sv"], "t")
+        b.op("a2", "add", ["t", "t"], "sv")
+        b.loop_value("sv").output("t")
+        g = b.build()
+        # a1 reads sv from the previous iteration: no intra-iteration edge
+        assert g.op_predecessors("a1") == []
+        assert g.op_predecessors("a2") == ["a1", "a1"]
+        assert g.op_successors("a2") == []
+
+    def test_op_count_by_kind(self):
+        assert build_toy().op_count_by_kind() == {"add": 2, "mul": 1}
+
+    def test_unknown_names_raise(self):
+        g = build_toy()
+        with pytest.raises(CDFGError):
+            g.op("nope")
+        with pytest.raises(CDFGError):
+            g.value("nope")
+
+
+class TestTopoAndCriticalPath:
+    def test_topo_order_respects_edges(self):
+        g = build_toy()
+        order = g.topo_order()
+        assert order.index("a1") < order.index("m1") < order.index("a2")
+
+    def test_topo_detects_cycle(self):
+        ops = [Operation("a", "add", ("x", "w"), "z"),
+               Operation("b", "add", ("z", "z"), "w")]
+        vals = [Value("x", is_input=True), Value("z"), Value("w")]
+        g = CDFG("cyc", ops, vals)
+        with pytest.raises(CDFGError, match="cycle"):
+            g.topo_order()
+
+    def test_duplicate_operand_edge_counted(self):
+        # a2 reads s twice (via s and p->s chain); x*x style duplicates
+        b = CDFGBuilder("sq")
+        b.input("x")
+        b.op("m", "mul", ["x", "x"], "y")
+        b.op("m2", "mul", ["y", "y"], "z")
+        b.output("z")
+        g = b.build()
+        assert g.topo_order() == ["m", "m2"]
+
+    def test_critical_path(self):
+        g = build_toy()
+        assert g.critical_path({"add": 1, "mul": 2}) == 4
+
+    def test_critical_path_needs_delays(self):
+        g = build_toy()
+        with pytest.raises(CDFGError, match="no delay"):
+            g.critical_path({"add": 1})
+
+    def test_critical_path_rejects_zero_delay(self):
+        g = build_toy()
+        with pytest.raises(CDFGError, match="must be >= 1"):
+            g.critical_path({"add": 0, "mul": 2})
+
+
+class TestCopyAndRepr:
+    def test_copy_is_equivalent(self):
+        g = build_toy()
+        h = g.copy()
+        assert set(h.ops) == set(g.ops)
+        assert set(h.values) == set(g.values)
+        assert h.value("s").producer == "a1"
+        assert h.inputs == g.inputs and h.outputs == g.outputs
+
+    def test_copy_is_independent(self):
+        g = build_toy()
+        h = g.copy("other")
+        assert h.name == "other"
+        assert h.ops["a1"] is not g.ops["a1"]
+
+    def test_len_iter_repr_summary(self):
+        g = build_toy()
+        assert len(g) == 3
+        assert {op.name for op in g} == {"a1", "m1", "a2"}
+        assert "toy" in repr(g)
+        assert "inputs : x, y" in g.summary()

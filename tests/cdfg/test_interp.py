@@ -1,0 +1,95 @@
+"""Unit tests for the CDFG reference interpreter."""
+
+import math
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.interp import OP_SEMANTICS, evaluate_once, run_iterations
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("kind,args,expected", [
+        ("add", (2, 3), 5), ("sub", (2, 3), -1), ("mul", (2, 3), 6),
+        ("div", (6, 3), 2), ("and", (6, 3), 2), ("or", (6, 3), 7),
+        ("xor", (6, 3), 5), ("shl", (1, 3), 8), ("shr", (8, 2), 2),
+        ("cmp", (2, 3), -1), ("cmp", (3, 2), 1), ("cmp", (3, 3), 0),
+        ("neg", (4,), -4), ("pass", (7,), 7),
+    ])
+    def test_builtin(self, kind, args, expected):
+        assert OP_SEMANTICS[kind](*args) == expected
+
+
+class TestEvaluateOnce:
+    def graph(self):
+        b = CDFGBuilder("g")
+        b.input("x").input("y")
+        b.add("a", "x", "y", "s")
+        b.mul("m", "s", 0.5, "p")
+        b.sub("d", "s", "p", "q")
+        b.output("q")
+        return b.build()
+
+    def test_values_computed(self):
+        out = evaluate_once(self.graph(), {"x": 2, "y": 4})
+        assert out["s"] == 6 and out["p"] == 3 and out["q"] == 3
+
+    def test_missing_input_raises(self):
+        with pytest.raises(CDFGError, match="missing input"):
+            evaluate_once(self.graph(), {"x": 2})
+
+    def test_missing_loop_state_raises(self):
+        b = CDFGBuilder("l", cyclic=True)
+        b.input("i")
+        b.add("a", "i", "sv", "sv")
+        b.loop_value("sv").output("sv")
+        g = b.build()
+        with pytest.raises(CDFGError, match="previous-iteration"):
+            evaluate_once(g, {"i": 1})
+
+    def test_unknown_kind_raises(self):
+        from repro.cdfg.nodes import OP_KINDS, OpKind, register_op_kind
+        from repro.cdfg.graph import CDFG
+        from repro.cdfg.nodes import Operation, Value
+        register_op_kind(OpKind("weird", 1, False))
+        try:
+            g = CDFG("w", [Operation("o", "weird", ("x",), "y")],
+                     [Value("x", is_input=True), Value("y", is_output=True)])
+            with pytest.raises(CDFGError, match="no semantics"):
+                evaluate_once(g, {"x": 1})
+        finally:
+            del OP_KINDS["weird"]
+
+
+class TestRunIterations:
+    def accumulator(self):
+        b = CDFGBuilder("acc", cyclic=True)
+        b.input("i")
+        b.add("a", "i", "sv", "sv")
+        b.loop_value("sv").output("sv")
+        return b.build()
+
+    def test_state_threads_through(self):
+        trace = run_iterations(self.accumulator(), {"i": [1, 2, 3]},
+                               {"sv": 0}, 3)
+        assert [t["sv"] for t in trace] == [1, 3, 6]
+
+    def test_default_state_zero(self):
+        trace = run_iterations(self.accumulator(), {"i": [5]}, {}, 1)
+        assert trace[0]["sv"] == 5
+
+    def test_short_stream_raises(self):
+        with pytest.raises(CDFGError, match="too short"):
+            run_iterations(self.accumulator(), {"i": [1]}, {"sv": 0}, 2)
+
+    def test_diffeq_euler_step(self):
+        from repro.bench import hal_diffeq
+        g = hal_diffeq()
+        trace = run_iterations(g, {"dx": [0.1]}, {"x": 1.0, "y": 2.0,
+                                                  "u": 3.0}, 1)
+        out = trace[0]
+        assert math.isclose(out["x"], 1.1)
+        u1 = 3.0 - 3 * 1.0 * 3.0 * 0.1 - 3 * 2.0 * 0.1
+        assert math.isclose(out["u"], u1)
+        assert math.isclose(out["y"], 2.0 + 3.0 * 0.1)

@@ -1,0 +1,115 @@
+"""Unit tests for value lifetime analysis (linear and cyclic)."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.lifetimes import LifetimeTable, LiveInterval
+
+DELAYS = {"add": 1, "mul": 2, "pass": 1}
+
+
+def toy():
+    b = CDFGBuilder("toy")
+    b.input("x").input("y")
+    b.op("a1", "add", ["x", "y"], "s")
+    b.op("m1", "mul", ["s", 0.5], "p")
+    b.op("a2", "add", ["s", "p"], "q")
+    b.output("q")
+    return b.build()
+
+
+def loop():
+    b = CDFGBuilder("loop", cyclic=True)
+    b.input("inp")
+    b.op("a1", "add", ["inp", "sv"], "t")
+    b.op("a2", "add", ["t", "t"], "sv")
+    b.loop_value("sv").output("t")
+    return b.build()
+
+
+class TestLinearLifetimes:
+    def test_birth_after_producer(self):
+        lt = LifetimeTable(toy(), {"a1": 0, "m1": 1, "a2": 3}, DELAYS, 4)
+        assert lt.interval("s").steps == (1, 2, 3)
+        assert lt.interval("p").steps == (3,)
+
+    def test_input_lives_from_arrival(self):
+        lt = LifetimeTable(toy(), {"a1": 0, "m1": 1, "a2": 3}, DELAYS, 4)
+        assert lt.interval("x").steps == (0,)
+
+    def test_port_captured_output(self):
+        lt = LifetimeTable(toy(), {"a1": 0, "m1": 1, "a2": 3}, DELAYS, 4)
+        # q is born at step 4 == length: captured straight off the FU
+        assert lt.interval("q").steps == (4,)
+
+    def test_output_with_slack_occupies_register(self):
+        # with a longer schedule the output is born inside it and gets a
+        # real register step instead of being port-captured
+        lt = LifetimeTable(toy(), {"a1": 0, "m1": 1, "a2": 3}, DELAYS, 5)
+        assert lt.interval("q").steps == (4,)
+        assert lt.interval("q").birth < 5
+
+    def test_read_before_birth_rejected(self):
+        with pytest.raises(ScheduleError, match="before its birth"):
+            LifetimeTable(toy(), {"a1": 0, "m1": 0, "a2": 3}, DELAYS, 4)
+
+    def test_unscheduled_op_rejected(self):
+        with pytest.raises(ScheduleError, match="unscheduled"):
+            LifetimeTable(toy(), {"a1": 0, "m1": 1}, DELAYS, 4)
+
+    def test_born_past_length_with_consumers_rejected(self):
+        with pytest.raises(ScheduleError):
+            LifetimeTable(toy(), {"a1": 3, "m1": 4, "a2": 6}, DELAYS, 4)
+
+
+class TestCyclicLifetimes:
+    def test_loop_value_wraps(self):
+        lt = LifetimeTable(loop(), {"a1": 0, "a2": 1}, DELAYS, 3)
+        assert lt.interval("sv").steps == (2, 0)
+        assert lt.interval("sv").wraps
+
+    def test_loop_value_born_at_boundary(self):
+        lt = LifetimeTable(loop(), {"a1": 0, "a2": 2}, DELAYS, 3)
+        # producer ends at last step: birth wraps to step 0, read at 0
+        assert lt.interval("sv").steps == (0,)
+        assert not lt.interval("sv").wraps
+
+    def test_loop_read_overlapping_rebirth_rejected(self):
+        b = CDFGBuilder("bad", cyclic=True)
+        b.input("i")
+        b.op("p", "add", ["i", "i"], "sv")   # early producer
+        b.op("c", "add", ["sv", "sv"], "o")  # late consumer
+        b.loop_value("sv").output("o")
+        g = b.build()
+        with pytest.raises(ScheduleError, match="two iterations"):
+            LifetimeTable(g, {"p": 0, "c": 2}, DELAYS, 4)
+
+    def test_register_demand_counts_wrapped_steps(self):
+        lt = LifetimeTable(loop(), {"a1": 0, "a2": 1}, DELAYS, 3)
+        demand = lt.register_demand()
+        assert len(demand) == 3
+        # sv live at 2 and 0; inp at 0; t at 1
+        assert demand == [2, 1, 1]
+
+    def test_min_registers(self):
+        lt = LifetimeTable(loop(), {"a1": 0, "a2": 1}, DELAYS, 3)
+        assert lt.min_registers() == 2
+
+
+class TestLiveInterval:
+    def test_navigation(self):
+        iv = LiveInterval("v", (5, 6, 0, 1), wraps=True)
+        assert iv.birth == 5 and iv.death == 1 and iv.length == 4
+        assert iv.successor_step(6) == 0
+        assert iv.predecessor_step(0) == 6
+        assert iv.successor_step(1) is None
+        assert iv.predecessor_step(5) is None
+        assert iv.covers(0) and not iv.covers(3)
+
+    def test_live_at_and_transfers(self):
+        lt = LifetimeTable(toy(), {"a1": 0, "m1": 1, "a2": 3}, DELAYS, 4)
+        assert lt.live_at(1) == ["s"]
+        assert lt.live_at(3) == ["p", "s"]
+        # s spans 3 steps -> 2 boundaries; others have none within schedule
+        assert lt.transfers_possible() == 2

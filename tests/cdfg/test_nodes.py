@@ -1,0 +1,101 @@
+"""Unit tests for CDFG node types and operand coercion."""
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.cdfg.nodes import (Const, OpKind, Operation, Value, ValueRef,
+                              OP_KINDS, as_operand, op_kind,
+                              register_op_kind)
+
+
+class TestOpKinds:
+    def test_builtin_add_is_commutative(self):
+        assert op_kind("add").commutative
+
+    def test_builtin_sub_is_not_commutative(self):
+        assert not op_kind("sub").commutative
+
+    def test_pass_kind_is_unary(self):
+        assert op_kind("pass").arity == 1
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(CDFGError, match="unknown operator kind"):
+            op_kind("frobnicate")
+
+    def test_register_custom_kind(self):
+        kind = OpKind("mac3", 2, False)
+        register_op_kind(kind)
+        assert op_kind("mac3") is kind
+        register_op_kind(kind)  # idempotent
+        del OP_KINDS["mac3"]
+
+    def test_register_conflicting_kind_raises(self):
+        with pytest.raises(CDFGError, match="already registered"):
+            register_op_kind(OpKind("add", 2, False))
+
+
+class TestOperands:
+    def test_string_becomes_value_ref(self):
+        assert as_operand("v") == ValueRef("v")
+
+    def test_number_becomes_const(self):
+        operand = as_operand(3)
+        assert isinstance(operand, Const)
+        assert operand.value == 3.0
+
+    def test_float_becomes_const(self):
+        assert as_operand(0.5) == Const(0.5)
+
+    def test_operand_passthrough(self):
+        ref = ValueRef("x")
+        assert as_operand(ref) is ref
+
+    def test_bool_rejected(self):
+        with pytest.raises(CDFGError):
+            as_operand(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CDFGError):
+            as_operand(object())
+
+    def test_const_str_uses_label(self):
+        assert str(Const(1.0, label="k1")) == "k1"
+        assert str(Const(2.0)) == "#2"
+
+
+class TestOperation:
+    def test_operands_coerced(self):
+        op = Operation("m", "mul", ("x", 2.0), "y")
+        assert op.operands == (ValueRef("x"), Const(2.0))
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(CDFGError, match="expects 2 operands"):
+            Operation("m", "mul", ("x",), "y")
+
+    def test_value_operands_skips_consts(self):
+        op = Operation("m", "mul", ("x", 2.0), "y")
+        assert op.value_operands() == ((0, ValueRef("x")),)
+
+    def test_reads(self):
+        op = Operation("a", "add", ("x", "y"), "z")
+        assert op.reads("x") and op.reads("y") and not op.reads("z")
+
+    def test_commutative_property(self):
+        assert Operation("a", "add", ("x", "y"), "z").commutative
+        assert not Operation("s", "sub", ("x", "y"), "z").commutative
+
+    def test_str_shows_result_and_kind(self):
+        text = str(Operation("a", "add", ("x", "y"), "z"))
+        assert "z = add(x, y)" in text
+
+
+class TestValue:
+    def test_input_with_producer_rejected(self):
+        with pytest.raises(CDFGError):
+            Value("v", producer="op", is_input=True)
+
+    def test_tags_in_str(self):
+        v = Value("v", is_input=True)
+        assert "<in>" in str(v)
+        w = Value("w", producer="p", is_output=True, loop_carried=True)
+        assert "out" in str(w) and "loop" in str(w)

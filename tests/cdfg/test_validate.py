@@ -1,0 +1,59 @@
+"""Unit tests for structural CDFG validation."""
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Operation, Value
+from repro.cdfg.validate import validate_cdfg, validation_report
+
+
+def make(ops, vals, cyclic=False):
+    return CDFG("g", ops, vals, cyclic=cyclic)
+
+
+class TestValidation:
+    def test_valid_graph_has_empty_report(self):
+        g = make([Operation("a", "add", ("x", "x"), "y")],
+                 [Value("x", is_input=True), Value("y", is_output=True)])
+        assert validation_report(g) == []
+        validate_cdfg(g)
+
+    def test_unproduced_value_reported(self):
+        g = make([Operation("a", "add", ("x", "ghost"), "y")],
+                 [Value("x", is_input=True), Value("ghost"),
+                  Value("y", is_output=True)])
+        report = validation_report(g)
+        assert any("never produced" in p for p in report)
+
+    def test_unconsumed_value_reported(self):
+        g = make([Operation("a", "add", ("x", "x"), "y")],
+                 [Value("x", is_input=True), Value("y")])
+        assert any("never consumed" in p for p in validation_report(g))
+
+    def test_loop_value_in_acyclic_graph_reported(self):
+        g = make([Operation("a", "add", ("x", "sv"), "sv")],
+                 [Value("x", is_input=True),
+                  Value("sv", loop_carried=True, is_output=True)])
+        assert any("non-cyclic" in p for p in validation_report(g))
+
+    def test_input_and_loop_carried_reported(self):
+        g = make([Operation("a", "add", ("x", "x"), "y")],
+                 [Value("x", is_input=True, loop_carried=True),
+                  Value("y", is_output=True)], cyclic=True)
+        assert any("both a primary input and loop-carried" in p
+                   for p in validation_report(g))
+
+    def test_validate_raises_with_all_problems(self):
+        g = make([Operation("a", "add", ("x", "x"), "y")],
+                 [Value("x", is_input=True), Value("y")])
+        with pytest.raises(CDFGError, match="failed validation"):
+            validate_cdfg(g)
+
+    def test_benchmarks_validate(self):
+        from repro import bench
+        for graph in (bench.elliptic_wave_filter(),
+                      bench.discrete_cosine_transform(),
+                      bench.hal_diffeq(), bench.fir_filter(),
+                      bench.ar_lattice(), bench.figure1_cdfg()):
+            validate_cdfg(graph)

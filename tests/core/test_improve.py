@@ -1,0 +1,117 @@
+"""Unit tests for iterative improvement, polish and annealing."""
+
+import pytest
+
+from repro.bench import elliptic_wave_filter, hal_diffeq
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core import (AnnealConfig, ImproveConfig, MoveSet, anneal,
+                        improve, initial_allocation, polish)
+from repro.alloc.checker import check_binding
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+def fresh_binding(length=19, extra_regs=1):
+    graph = elliptic_wave_filter()
+    schedule = schedule_graph(graph, SPEC, length)
+    return initial_allocation(
+        schedule, SPEC.make_fus(schedule.min_fus()),
+        make_registers(schedule.min_registers() + extra_regs))
+
+
+class TestImprove:
+    def test_never_worse_than_initial(self):
+        binding = fresh_binding()
+        initial = binding.cost().total
+        stats = improve(binding, ImproveConfig(max_trials=4,
+                                               moves_per_trial=300, seed=1))
+        assert stats.final_cost.total <= initial
+        assert check_binding(binding) == []
+
+    def test_stats_populated(self):
+        binding = fresh_binding()
+        stats = improve(binding, ImproveConfig(max_trials=3,
+                                               moves_per_trial=150, seed=2))
+        assert stats.trials_run >= 1
+        assert stats.moves_attempted >= stats.moves_applied
+        assert stats.moves_applied >= stats.moves_accepted
+        assert len(stats.cost_trace) == stats.trials_run
+        assert "improve:" in stats.summary()
+
+    def test_stops_after_idle_trials(self):
+        binding = fresh_binding()
+        stats = improve(binding, ImproveConfig(
+            max_trials=50, moves_per_trial=40, uphill_per_trial=0,
+            idle_trials_stop=2, polish_trials=False, seed=3))
+        assert stats.trials_run < 50
+
+    def test_no_moves_enabled_rejected(self):
+        binding = fresh_binding()
+        with pytest.raises(ValueError, match="no moves"):
+            improve(binding, ImproveConfig(
+                move_set=MoveSet(weights={k: 0.0 for k in
+                                          MoveSet.DEFAULT_WEIGHTS})))
+
+    def test_deterministic_for_fixed_seed(self):
+        results = []
+        for _ in range(2):
+            binding = fresh_binding()
+            improve(binding, ImproveConfig(max_trials=3,
+                                           moves_per_trial=200, seed=42))
+            results.append(binding.cost().total)
+        assert results[0] == results[1]
+
+    def test_traditional_move_set_keeps_values_monolithic(self):
+        binding = fresh_binding()
+        improve(binding, ImproveConfig(max_trials=3, moves_per_trial=300,
+                                       move_set=MoveSet.traditional(),
+                                       seed=4))
+        assert not binding.pt_impl
+        assert all(len(r) == 1 for r in binding.placements.values())
+
+
+class TestPolish:
+    def test_polish_monotone(self):
+        binding = fresh_binding()
+        start = binding.cost().total
+        final = polish(binding)
+        assert final <= start
+        assert binding.cost().total == pytest.approx(final)
+        assert check_binding(binding) == []
+
+    def test_polish_idempotent(self):
+        binding = fresh_binding()
+        first = polish(binding)
+        second = polish(binding)
+        assert second == pytest.approx(first)
+
+    def test_polish_respects_traditional_move_set(self):
+        binding = fresh_binding()
+        polish(binding, MoveSet.traditional())
+        assert not binding.pt_impl
+
+
+class TestAnneal:
+    def test_anneal_runs_and_stays_legal(self):
+        binding = fresh_binding()
+        initial = binding.cost().total
+        stats = anneal(binding, AnnealConfig(temperature_levels=5,
+                                             moves_per_level=150, seed=5))
+        assert stats.final_cost.total <= initial
+        assert check_binding(binding) == []
+
+    def test_improvement_beats_annealing_at_equal_budget(self):
+        """The paper's Sec. 4 claim, at a modest equal move budget."""
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 7)
+        fus = SPEC.make_fus(schedule.min_fus())
+        regs = make_registers(schedule.min_registers() + 1)
+
+        imp = initial_allocation(schedule, fus, regs)
+        improve(imp, ImproveConfig(max_trials=6, moves_per_trial=400,
+                                   seed=6))
+        ann = initial_allocation(schedule, fus, regs)
+        anneal(ann, AnnealConfig(temperature_levels=8, moves_per_level=300,
+                                 seed=6))
+        assert imp.cost().total <= ann.cost().total + 1e-9

@@ -1,0 +1,96 @@
+"""Unit tests for the constructive initial allocation (paper Sec. 4)."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.bench import (discrete_cosine_transform, elliptic_wave_filter,
+                         hal_diffeq, random_cdfg)
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core.initial import (bind_ops_first_available,
+                                initial_allocation, place_values)
+from repro.core.binding import Binding
+from repro.alloc.checker import check_binding
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+class TestFirstAvailable:
+    def test_all_ops_bound(self, ewf19, nonpipe_spec):
+        binding = Binding(ewf19, nonpipe_spec.make_fus(ewf19.min_fus()),
+                          make_registers(ewf19.min_registers()))
+        bind_ops_first_available(binding)
+        assert set(binding.op_fu) == set(ewf19.graph.ops)
+
+    def test_insufficient_fus_rejected(self, ewf19, nonpipe_spec):
+        binding = Binding(ewf19, nonpipe_spec.make_fus({"adder": 1,
+                                                        "mult": 1}),
+                          make_registers(ewf19.min_registers()))
+        with pytest.raises(AllocationError, match="no free"):
+            bind_ops_first_available(binding)
+
+    def test_deterministic(self, ewf19, nonpipe_spec):
+        fus = nonpipe_spec.make_fus(ewf19.min_fus())
+        regs = make_registers(ewf19.min_registers())
+        a = Binding(ewf19, fus, regs)
+        bind_ops_first_available(a)
+        b = Binding(ewf19, fus, regs)
+        bind_ops_first_available(b)
+        assert a.op_fu == b.op_fu
+
+
+class TestPlacement:
+    def test_min_registers_suffice_with_splits(self, ewf19, nonpipe_spec):
+        binding = initial_allocation(
+            ewf19, nonpipe_spec.make_fus(ewf19.min_fus()),
+            make_registers(ewf19.min_registers()))
+        assert check_binding(binding) == []
+
+    def test_too_few_registers_rejected(self, ewf19, nonpipe_spec):
+        with pytest.raises(AllocationError, match="no register free"):
+            initial_allocation(
+                ewf19, nonpipe_spec.make_fus(ewf19.min_fus()),
+                make_registers(ewf19.min_registers() - 1))
+
+    def test_loop_values_placed_first_contiguously(self, nonpipe_spec):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, nonpipe_spec, 7)
+        binding = initial_allocation(
+            schedule, nonpipe_spec.make_fus(schedule.min_fus()),
+            make_registers(schedule.min_registers() + 2))
+        for name in graph.loop_values:
+            regs = {binding.segment_regs(name, s)[0]
+                    for s in binding.interval(name).steps}
+            assert len(regs) == 1
+
+    def test_strict_mode_may_reject_tight_cyclic_budgets(self, ewf19,
+                                                         nonpipe_spec):
+        """allow_split=False can fail where the segment model succeeds."""
+        fus = nonpipe_spec.make_fus(ewf19.min_fus())
+        n = ewf19.min_registers()
+        split_ok = initial_allocation(ewf19, fus, make_registers(n),
+                                      allow_split=True)
+        assert check_binding(split_ok) == []
+        try:
+            initial_allocation(ewf19, fus, make_registers(n),
+                               allow_split=False)
+        except AllocationError as exc:
+            assert "contiguously" in str(exc)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_allocate_legally(self, seed, nonpipe_spec):
+        graph = random_cdfg(22, seed=seed, loop_fraction=0.1)
+        schedule = schedule_graph(graph, nonpipe_spec)
+        binding = initial_allocation(
+            schedule, nonpipe_spec.make_fus(schedule.min_fus()),
+            make_registers(schedule.min_registers() + 1))
+        assert check_binding(binding) == []
+
+    def test_dct_allocates(self, nonpipe_spec):
+        graph = discrete_cosine_transform()
+        schedule = schedule_graph(graph, nonpipe_spec, 10)
+        binding = initial_allocation(
+            schedule, nonpipe_spec.make_fus(schedule.min_fus()),
+            make_registers(schedule.min_registers()))
+        assert check_binding(binding) == []
+        assert binding.cost().mux_count > 0

@@ -1,0 +1,152 @@
+"""Unit tests for the SALSA move set (paper Table 1).
+
+Every move is exercised through a randomized harness that checks three
+properties after each application: the binding stays legal, the undo
+closures restore the exact cost, and the ledger stays consistent.
+"""
+
+import random
+
+import pytest
+
+from repro.core import moves as M
+from repro.alloc.checker import check_binding
+
+
+ALL_MOVES = dict(M.MoveSet._TABLE)
+
+
+def run_move_many(binding, fn, seed=0, n=60, accept=lambda d: d <= 2.0):
+    """Apply a move repeatedly, sometimes keeping it, checking legality."""
+    rng = random.Random(seed)
+    base = binding.cost().total
+    applied = 0
+    for _ in range(n):
+        undos = fn(binding, rng)
+        if undos is None:
+            continue
+        applied += 1
+        new = binding.cost().total
+        problems = check_binding(binding)
+        assert problems == [], (fn.__name__, problems[:3])
+        if not accept(new - base):
+            M.rollback(undos)
+            binding.flush()
+            assert binding.cost().total == pytest.approx(base)
+            assert check_binding(binding) == []
+        else:
+            base = new
+    return applied
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MOVES))
+def test_move_preserves_legality_and_undo(name, ewf19_binding):
+    fn = ALL_MOVES[name]
+    applied = run_move_many(ewf19_binding, fn, seed=11)
+    # every move must actually fire on a real benchmark binding, except
+    # F4/F5/R6 which need transfers/pass-throughs/copies to exist first
+    if name not in ("F4", "F5", "R6"):
+        assert applied > 0, f"move {name} never applied"
+
+
+def test_f5_fires_after_f4(ewf19_binding):
+    rng = random.Random(2)
+    # create transfers (R2b hops), then pass-throughs, then unbind them
+    for _ in range(40):
+        M.move_segment_hop(ewf19_binding, rng)
+    for _ in range(40):
+        M.move_bind_passthrough(ewf19_binding, rng)
+    if not ewf19_binding.pt_impl:
+        pytest.skip("randomness produced no pass-through to unbind")
+    undos = M.move_unbind_passthrough(ewf19_binding, rng)
+    assert undos is not None
+    assert check_binding(ewf19_binding) == []
+
+
+def test_r6_fires_after_r5(ewf19_binding):
+    rng = random.Random(3)
+    made = None
+    for _ in range(60):
+        made = M.move_value_split(ewf19_binding, rng) or made
+    assert made is not None
+    assert any(len(r) > 1 for r in ewf19_binding.placements.values())
+    undos = M.move_value_merge(ewf19_binding, rng)
+    assert undos is not None
+    assert check_binding(ewf19_binding) == []
+
+
+def test_operand_reverse_toggles(diffeq_binding):
+    rng = random.Random(0)
+    before = dict(diffeq_binding.op_swap)
+    undos = M.move_operand_reverse(diffeq_binding, rng)
+    assert undos is not None
+    assert diffeq_binding.op_swap != before
+    M.rollback(undos)
+    assert {k: v for k, v in diffeq_binding.op_swap.items() if v} == \
+        {k: v for k, v in before.items() if v}
+
+
+def test_fu_exchange_swaps_assignments(ewf19_binding):
+    rng = random.Random(5)
+    before = dict(ewf19_binding.op_fu)
+    for _ in range(30):
+        undos = M.move_fu_exchange(ewf19_binding, rng)
+        if undos is not None:
+            break
+    else:
+        pytest.fail("F1 never applied")
+    changed = {op for op in before
+               if ewf19_binding.op_fu[op] != before[op]}
+    assert len(changed) == 2
+    a, b = sorted(changed)
+    assert ewf19_binding.op_fu[a] == before[b] or \
+        ewf19_binding.op_fu[b] == before[a]
+
+
+def test_value_move_collapses_to_single_register(ewf19_binding):
+    rng = random.Random(9)
+    for _ in range(30):
+        M.move_segment_hop(ewf19_binding, rng)  # create some splits
+    for _ in range(60):
+        undos = M.move_value_move(ewf19_binding, rng)
+        if undos is not None:
+            break
+    assert check_binding(ewf19_binding) == []
+
+
+def test_move_set_gating():
+    full = {name for name, _f, _w in M.MoveSet().enabled_moves()}
+    assert full == set(ALL_MOVES)
+    trad = {name for name, _f, _w in
+            M.MoveSet.traditional().enabled_moves()}
+    assert trad == {"F1", "F2", "F3", "R3", "R4"}
+    no_pt = {name for name, _f, _w in
+             M.MoveSet(passthroughs=False).enabled_moves()}
+    assert "F4" not in no_pt and "F5" not in no_pt
+
+
+def test_custom_weights_respected():
+    ms = M.MoveSet(weights={"F1": 0.0, "F2": 5.0})
+    enabled = {name: w for name, _f, w in ms.enabled_moves()}
+    assert "F1" not in enabled
+    assert enabled["F2"] == 5.0
+
+
+def test_fixup_repairs_read_sources(ewf19_binding):
+    binding = ewf19_binding
+    # find a single-copy segment with a reader and move it manually
+    for (value, step), regs in sorted(binding.placements.items()):
+        readers = binding.reads_of(value, step)
+        if len(regs) == 1 and readers:
+            free = [r for r in sorted(binding.regs)
+                    if binding.reg_free(r, step)]
+            if not free:
+                continue
+            binding.set_placements(value, step, (free[0],))
+            M.fixup_segment(binding, value, step)
+            binding.flush()
+            for op_name, port in readers:
+                assert binding.read_src[(op_name, port)] == free[0]
+            assert check_binding(binding) == []
+            return
+    pytest.fail("no movable read segment found")

@@ -1,0 +1,102 @@
+"""Unit tests for control-unit extraction."""
+
+import pytest
+
+from repro.bench import elliptic_wave_filter, hal_diffeq
+from repro.datapath.controller import (ControlTable, controller_to_verilog,
+                                       extract_control)
+from repro.datapath.netlist import build_netlist
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig, SalsaAllocator
+from repro.core.initial import initial_allocation
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+@pytest.fixture(scope="module")
+def diffeq_control():
+    graph = hal_diffeq()
+    schedule = schedule_graph(graph, SPEC, 6)
+    binding = initial_allocation(
+        schedule, SPEC.make_fus(schedule.min_fus()),
+        make_registers(schedule.min_registers()))
+    netlist = build_netlist(binding)
+    return netlist, extract_control(netlist)
+
+
+class TestExtraction:
+    def test_field_lengths_match_schedule(self, diffeq_control):
+        netlist, table = diffeq_control
+        assert table.length == netlist.length
+        for f in table.fields:
+            assert len(f.values) == netlist.length
+
+    def test_every_register_has_write_enable(self, diffeq_control):
+        netlist, table = diffeq_control
+        we = {f.name for f in table.fields if f.name.startswith("we_")}
+        assert we == {f"we_{r}" for r in netlist.regs}
+
+    def test_write_enables_match_writes(self, diffeq_control):
+        netlist, table = diffeq_control
+        for f in table.fields:
+            if not f.name.startswith("we_"):
+                continue
+            reg = f.name[3:]
+            expected = {w.step for w in netlist.writes if w.reg == reg}
+            assert {s for s, v in enumerate(f.values) if v} == expected
+
+    def test_fu_codes_cover_issues(self, diffeq_control):
+        netlist, table = diffeq_control
+        for fu in netlist.fus:
+            f = next(f for f in table.fields if f.name == f"op_{fu}")
+            issue_steps = {i.step for i in netlist.issues if i.fu == fu}
+            active = {s for s, v in enumerate(f.values) if v}
+            assert issue_steps <= active
+
+    def test_mux_select_width(self, diffeq_control):
+        _netlist, table = diffeq_control
+        for f in table.fields:
+            if f.name.startswith("sel_"):
+                assert f.width >= 1
+                assert max(f.values) < 2 ** f.width
+
+    def test_word_packing(self, diffeq_control):
+        _netlist, table = diffeq_control
+        words = table.words()
+        assert len(words) == table.length
+        assert all(w < 2 ** table.word_width for w in words)
+        assert table.distinct_words() <= table.length
+        assert table.rom_bits() == table.length * table.word_width
+        assert "controller:" in table.summary()
+
+
+class TestVerilog:
+    def test_emission(self, diffeq_control):
+        _netlist, table = diffeq_control
+        text = controller_to_verilog(table)
+        assert text.startswith("// generated")
+        assert text.rstrip().endswith("endmodule")
+        for f in table.fields:
+            assert f.name in text
+        assert "one-hot" in text
+
+    def test_passthrough_gets_own_code(self):
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, 21)
+        result = SalsaAllocator(
+            seed=7, restarts=3,
+            config=ImproveConfig(max_trials=10,
+                                 moves_per_trial=600)).allocate(
+            graph, schedule=schedule,
+            registers=schedule.min_registers() + 1)
+        if not result.binding.pt_impl:
+            pytest.skip("no pass-through in this allocation")
+        netlist = build_netlist(result.binding)
+        table = extract_control(netlist)
+        pt_fus = {impl[1] for impl in result.binding.pt_impl.values()}
+        for fu in pt_fus:
+            f = next(f for f in table.fields if f.name == f"op_{fu}")
+            kinds = {i.kind for i in netlist.issues if i.fu == fu}
+            # the pass code is one beyond the operation codes
+            assert max(f.values) == len(kinds) + 1

@@ -1,0 +1,30 @@
+"""Unit tests for the allocation cost model."""
+
+from repro.datapath.cost import CostBreakdown, CostWeights
+
+
+class TestCost:
+    def test_total_is_weighted_sum(self):
+        weights = CostWeights(fu=10.0, register=5.0, mux=1.0, wire=0.0)
+        cost = CostBreakdown(fu_count=2, fu_area=3.0, register_count=4,
+                             mux_count=7, wire_count=20, weights=weights)
+        assert cost.total == 10 * 3.0 + 5 * 4 + 7
+
+    def test_default_weights_prioritize_structure(self):
+        """One FU area unit must outweigh several muxes (schedule fixes the
+        FU minimum; the search must not buy units to shave muxes)."""
+        w = CostWeights()
+        assert w.fu > 4 * w.mux
+        assert w.register > 2 * w.mux
+        assert w.wire < w.mux
+
+    def test_str_mentions_all_terms(self):
+        text = str(CostBreakdown(1, 1.0, 2, 3, 4))
+        for token in ("fu=1", "regs=2", "mux=3", "wires=4"):
+            assert token in text
+
+    def test_mux_difference_dominates_wire_difference(self):
+        w = CostWeights()
+        better = CostBreakdown(1, 1.0, 2, 3, 25, weights=w)
+        worse = CostBreakdown(1, 1.0, 2, 4, 10, weights=w)
+        assert better.total < worse.total

@@ -1,0 +1,68 @@
+"""Unit tests for the multiplexer-merging post-pass."""
+
+from repro.bench import elliptic_wave_filter, hal_diffeq
+from repro.datapath.muxmerge import MergedMux, _compatible, merge_muxes
+from repro.datapath.netlist import build_netlist
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig, SalsaAllocator
+from repro.core.initial import initial_allocation
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+class TestCompatibility:
+    def test_disjoint_schedules_compatible(self):
+        assert _compatible({0: "a"}, {1: "b"})
+
+    def test_agreeing_schedules_compatible(self):
+        assert _compatible({0: "a", 1: "b"}, {1: "b", 2: "c"})
+
+    def test_conflicting_schedules_incompatible(self):
+        assert not _compatible({1: "a"}, {1: "b"})
+
+    def test_symmetric(self):
+        a, b = {0: "x", 2: "y"}, {2: "y"}
+        assert _compatible(a, b) == _compatible(b, a)
+
+
+class TestMerge:
+    def report(self, length=19):
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, length)
+        result = SalsaAllocator(
+            seed=1, restarts=1,
+            config=ImproveConfig(max_trials=4, moves_per_trial=200)
+        ).allocate(graph, schedule=schedule)
+        return merge_muxes(build_netlist(result.binding))
+
+    def test_never_increases_instances(self):
+        report = self.report()
+        assert report.after_instances <= report.before_instances
+
+    def test_never_increases_eq21(self):
+        report = self.report()
+        assert report.after_eq21 <= report.before_eq21
+
+    def test_merged_schedules_stay_consistent(self):
+        report = self.report()
+        for mux in report.merged:
+            for step, src in mux.schedule.items():
+                assert src in mux.sources
+
+    def test_all_sinks_preserved(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        binding = initial_allocation(
+            schedule, SPEC.make_fus(schedule.min_fus()),
+            make_registers(schedule.min_registers()))
+        netlist = build_netlist(binding)
+        report = merge_muxes(netlist)
+        before = {m.sink for m in netlist.muxes}
+        after = set()
+        for mux in report.merged:
+            after.update(mux.sinks)
+        assert before == after
+
+    def test_str(self):
+        assert "mux merge" in str(self.report())

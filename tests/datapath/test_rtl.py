@@ -1,0 +1,82 @@
+"""Unit tests for the Verilog emitter (structural sanity of the text)."""
+
+import re
+
+import pytest
+
+from repro.bench import hal_diffeq, elliptic_wave_filter
+from repro.datapath.netlist import build_netlist
+from repro.datapath.rtl import netlist_to_verilog
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig, SalsaAllocator
+
+SPEC = HardwareSpec.non_pipelined()
+FAST = ImproveConfig(max_trials=4, moves_per_trial=200)
+
+
+@pytest.fixture(scope="module")
+def diffeq_rtl():
+    graph = hal_diffeq()
+    schedule = schedule_graph(graph, SPEC, 6)
+    result = SalsaAllocator(seed=1, restarts=1, config=FAST).allocate(
+        graph, schedule=schedule)
+    netlist = build_netlist(result.binding)
+    return netlist, netlist_to_verilog(netlist)
+
+
+class TestVerilog:
+    def test_module_header_and_footer(self, diffeq_rtl):
+        _netlist, text = diffeq_rtl
+        assert text.splitlines()[0].startswith("// generated")
+        assert "module diffeq_datapath (" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_all_registers_declared(self, diffeq_rtl):
+        netlist, text = diffeq_rtl
+        for reg in netlist.regs:
+            assert f"reg signed [15:0] {reg}_q;" in text
+
+    def test_all_fus_have_outputs(self, diffeq_rtl):
+        netlist, text = diffeq_rtl
+        for fu in netlist.fus:
+            assert f"{fu}_out" in text
+
+    def test_io_ports(self, diffeq_rtl):
+        _netlist, text = diffeq_rtl
+        assert "input  wire signed [15:0] in_dx" in text
+        assert "output reg  signed [15:0] out_y" in text
+
+    def test_counter_wraps_at_schedule_length(self, diffeq_rtl):
+        _netlist, text = diffeq_rtl
+        assert "(cstep == 5) ? 0 : cstep + 1" in text
+
+    def test_multicycle_fu_has_pipeline_stage(self, diffeq_rtl):
+        netlist, text = diffeq_rtl
+        mults = [f for f in netlist.fus if f.startswith("mult")]
+        assert mults
+        assert any(f"{m}_p1" in text for m in mults)
+
+    def test_balanced_case_endcase(self, diffeq_rtl):
+        _netlist, text = diffeq_rtl
+        assert text.count("case (") == text.count("endcase")
+
+    def test_custom_width(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 6)
+        result = SalsaAllocator(seed=1, restarts=1, config=FAST).allocate(
+            graph, schedule=schedule)
+        text = netlist_to_verilog(build_netlist(result.binding), width=32)
+        assert "[31:0]" in text
+
+    def test_passthrough_annotated(self):
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, 21)
+        result = SalsaAllocator(
+            seed=7, restarts=3,
+            config=ImproveConfig(max_trials=10, moves_per_trial=600)
+        ).allocate(graph, schedule=schedule,
+                   registers=schedule.min_registers() + 1)
+        text = netlist_to_verilog(build_netlist(result.binding))
+        if result.binding.pt_impl:
+            assert "pass-through" in text

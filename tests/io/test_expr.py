@@ -1,0 +1,109 @@
+"""Tests for the expression-language frontend."""
+
+import math
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.cdfg.interp import evaluate_once, run_iterations
+from repro.io import cdfg_from_assignments
+
+
+class TestLowering:
+    def test_simple_dataflow(self):
+        graph = cdfg_from_assignments(
+            "g", "y = a * b + c\n", inputs=["a", "b", "c"], outputs=["y"])
+        out = evaluate_once(graph, {"a": 2, "b": 3, "c": 4})
+        assert out["y"] == 10
+
+    def test_operator_coverage(self):
+        graph = cdfg_from_assignments(
+            "g", "y = (a + b) * (a - b) / 2.0\n",
+            inputs=["a", "b"], outputs=["y"])
+        out = evaluate_once(graph, {"a": 5, "b": 3})
+        assert out["y"] == pytest.approx((5 + 3) * (5 - 3) / 2.0)
+
+    def test_unary_minus(self):
+        graph = cdfg_from_assignments(
+            "g", "y = -a + 1.0\n", inputs=["a"], outputs=["y"])
+        assert evaluate_once(graph, {"a": 4})["y"] == -3
+
+    def test_constant_folding(self):
+        graph = cdfg_from_assignments(
+            "g", "y = a * (2.0 * 3.0)\n", inputs=["a"], outputs=["y"])
+        # 2*3 folds: exactly one multiplication remains
+        assert graph.op_count_by_kind()["mul"] == 1
+
+    def test_state_reads_previous_iteration(self):
+        graph = cdfg_from_assignments(
+            "acc", "s = s0 + x\ns0 = s\n",
+            inputs=["x"], outputs=["s"], state=["s0"])
+        trace = run_iterations(graph, {"x": [1, 2, 3]}, {"s0": 0}, 3)
+        assert [t["s"] for t in trace] == [1, 3, 6]
+
+    def test_bare_copy_becomes_pass(self):
+        graph = cdfg_from_assignments(
+            "d", "y = x + w1\nw1 = y\n",
+            inputs=["x"], outputs=["y"], state=["w1"])
+        assert graph.op_count_by_kind().get("pass", 0) == 1
+
+
+class TestErrors:
+    def test_unknown_value(self):
+        with pytest.raises(CDFGError, match="unknown value"):
+            cdfg_from_assignments("g", "y = ghost + 1.0\n",
+                                  inputs=["a"], outputs=["y"])
+
+    def test_double_assignment(self):
+        with pytest.raises(CDFGError, match="assigned twice"):
+            cdfg_from_assignments("g", "y = a + 1.0\ny = a + 2.0\n",
+                                  inputs=["a"], outputs=["y"])
+
+    def test_assign_to_input(self):
+        with pytest.raises(CDFGError, match="cannot assign to input"):
+            cdfg_from_assignments("g", "a = a + 1.0\n",
+                                  inputs=["a"], outputs=["a"])
+
+    def test_constant_assignment_rejected(self):
+        with pytest.raises(CDFGError):
+            cdfg_from_assignments("g", "y = 1.0\n", inputs=["a"],
+                                  outputs=["y"])
+
+    def test_unsupported_syntax(self):
+        with pytest.raises(CDFGError):
+            cdfg_from_assignments("g", "y = a ** 2\n", inputs=["a"],
+                                  outputs=["y"])
+        with pytest.raises(CDFGError, match="syntax error"):
+            cdfg_from_assignments("g", "y = = a\n", inputs=["a"],
+                                  outputs=["y"])
+
+
+class TestEndToEnd:
+    def test_biquad_allocates_and_verifies(self):
+        from repro.sched import HardwareSpec, schedule_graph
+        from repro.core import ImproveConfig, SalsaAllocator
+        from repro.datapath.simulate import verify_binding
+
+        graph = cdfg_from_assignments("biquad", """
+w  = x - 0.1716 * w2
+y  = 0.2929 * (w + w2) + 0.5858 * w1
+w2 = w1
+w1 = w
+""", inputs=["x"], outputs=["y"], state=["w1", "w2"])
+        schedule = schedule_graph(graph, HardwareSpec.non_pipelined())
+        result = SalsaAllocator(
+            seed=1, restarts=1,
+            config=ImproveConfig(max_trials=3,
+                                 moves_per_trial=150)).allocate(
+            graph, schedule=schedule)
+        verify_binding(result.binding, iterations=6)
+
+    def test_expr_filter_matches_direct_math(self):
+        graph = cdfg_from_assignments(
+            "ma", "y = 0.5 * (x + xp)\nxp = x\n",
+            inputs=["x"], outputs=["y"], state=["xp"])
+        xs = [1.0, 5.0, -2.0, 4.0]
+        trace = run_iterations(graph, {"x": xs}, {"xp": 0.0}, 4)
+        for i, t in enumerate(trace):
+            prev = xs[i - 1] if i else 0.0
+            assert t["y"] == pytest.approx(0.5 * (xs[i] + prev))

@@ -1,0 +1,105 @@
+"""Round-trip tests for JSON serialization of CDFGs/schedules/bindings."""
+
+import json
+
+import pytest
+
+from repro.bench import elliptic_wave_filter, hal_diffeq
+from repro.cdfg.interp import evaluate_once
+from repro.cdfg.validate import validate_cdfg
+from repro.datapath.simulate import verify_binding
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig, SalsaAllocator
+from repro.alloc.checker import check_binding
+from repro.io import (SerializationError, binding_from_json,
+                      binding_to_json, cdfg_from_json, cdfg_to_json,
+                      schedule_from_json, schedule_to_json)
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+class TestCdfgJson:
+    def test_roundtrip_structure(self):
+        graph = elliptic_wave_filter()
+        twin = cdfg_from_json(cdfg_to_json(graph))
+        validate_cdfg(twin)
+        assert sorted(twin.ops) == sorted(graph.ops)
+        assert sorted(twin.values) == sorted(graph.values)
+        assert twin.cyclic == graph.cyclic
+        assert twin.loop_values == graph.loop_values
+
+    def test_roundtrip_semantics(self):
+        graph = hal_diffeq()
+        twin = cdfg_from_json(cdfg_to_json(graph))
+        env = {"dx": 0.1, "x": 1.0, "y": 2.0, "u": 3.0}
+        assert evaluate_once(twin, env) == evaluate_once(graph, env)
+
+    def test_constants_preserved(self):
+        graph = hal_diffeq()
+        twin = cdfg_from_json(cdfg_to_json(graph))
+        for name, op in graph.ops.items():
+            assert str(twin.ops[name]) == str(op)
+
+    def test_type_mismatch_rejected(self):
+        graph = hal_diffeq()
+        text = cdfg_to_json(graph)
+        with pytest.raises(SerializationError, match="expected a"):
+            schedule_from_json(text)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            cdfg_from_json("{nope")
+
+    def test_bad_version_rejected(self):
+        data = json.loads(cdfg_to_json(hal_diffeq()))
+        data["format"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            cdfg_from_json(json.dumps(data))
+
+
+class TestScheduleJson:
+    def test_roundtrip(self):
+        schedule = schedule_graph(hal_diffeq(), SPEC, 7)
+        twin = schedule_from_json(schedule_to_json(schedule))
+        assert twin.start == schedule.start
+        assert twin.length == schedule.length
+        assert twin.min_fus() == schedule.min_fus()
+        assert twin.min_registers() == schedule.min_registers()
+
+    def test_pipelined_spec_preserved(self):
+        schedule = schedule_graph(elliptic_wave_filter(),
+                                  HardwareSpec.pipelined(), 17)
+        twin = schedule_from_json(schedule_to_json(schedule))
+        assert twin.spec.type_for_kind("mul").pipelined
+
+
+class TestBindingJson:
+    @pytest.fixture(scope="class")
+    def allocated(self):
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, SPEC, 19)
+        return SalsaAllocator(
+            seed=3, restarts=1,
+            config=ImproveConfig(max_trials=4,
+                                 moves_per_trial=250)).allocate(
+            graph, schedule=schedule)
+
+    def test_roundtrip_cost_identical(self, allocated):
+        twin = binding_from_json(binding_to_json(allocated.binding))
+        assert twin.cost().total == pytest.approx(allocated.cost.total)
+        assert twin.cost().mux_count == allocated.cost.mux_count
+
+    def test_roundtrip_stays_legal_and_correct(self, allocated):
+        twin = binding_from_json(binding_to_json(allocated.binding))
+        assert check_binding(twin) == []
+        verify_binding(twin, iterations=3)
+
+    def test_passthroughs_preserved(self, allocated):
+        twin = binding_from_json(binding_to_json(allocated.binding))
+        assert twin.pt_impl == allocated.binding.pt_impl
+
+    def test_stable_output(self, allocated):
+        a = binding_to_json(allocated.binding)
+        b = binding_to_json(binding_from_json(a))
+        assert a == b

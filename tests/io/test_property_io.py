@@ -1,0 +1,47 @@
+"""Property tests: serialization round-trips over random CDFGs."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench import random_cdfg
+from repro.cdfg.interp import evaluate_once, run_iterations
+from repro.cdfg.validate import validate_cdfg
+from repro.io import (cdfg_from_json, cdfg_to_json, format_cdfg,
+                      parse_cdfg)
+
+SLOW = settings(deadline=None, max_examples=30,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(st.integers(0, 500), st.integers(6, 30),
+       st.sampled_from([0.0, 0.15]))
+@SLOW
+def test_json_roundtrip_random_graphs(seed, n_ops, loop_fraction):
+    graph = random_cdfg(n_ops, seed=seed, loop_fraction=loop_fraction)
+    twin = cdfg_from_json(cdfg_to_json(graph))
+    validate_cdfg(twin)
+    assert sorted(twin.ops) == sorted(graph.ops)
+    assert {n: str(o) for n, o in twin.ops.items()} == \
+        {n: str(o) for n, o in graph.ops.items()}
+    assert twin.loop_values == graph.loop_values
+
+
+@given(st.integers(0, 500), st.integers(6, 30))
+@SLOW
+def test_textual_roundtrip_random_graphs(seed, n_ops):
+    graph = random_cdfg(n_ops, seed=seed)
+    twin = parse_cdfg(format_cdfg(graph))
+    validate_cdfg(twin)
+    assert sorted(twin.ops) == sorted(graph.ops)
+    env = {name: float(i + 1) for i, name in enumerate(graph.inputs)}
+    assert evaluate_once(twin, env) == evaluate_once(graph, env)
+
+
+@given(st.integers(0, 300), st.integers(10, 24))
+@SLOW
+def test_cyclic_textual_roundtrip_semantics(seed, n_ops):
+    graph = random_cdfg(n_ops, seed=seed, loop_fraction=0.15)
+    twin = parse_cdfg(format_cdfg(graph))
+    streams = {name: [0.5, -1.0, 2.0] for name in graph.inputs}
+    state = {name: 0.25 for name in graph.loop_values}
+    assert run_iterations(twin, streams, state, 3) == \
+        run_iterations(graph, streams, state, 3)

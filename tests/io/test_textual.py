@@ -1,0 +1,91 @@
+"""Tests for the textual CDFG netlist format."""
+
+import pytest
+
+from repro.errors import CDFGError
+from repro.bench import elliptic_wave_filter, hal_diffeq, \
+    discrete_cosine_transform
+from repro.cdfg.interp import evaluate_once
+from repro.io import format_cdfg, parse_cdfg
+
+
+SAMPLE = """
+# a tiny accumulator
+graph acc cyclic
+input  x
+loop   sv
+output y
+op a1 add x sv -> y
+op a2 add y #0.0 -> sv
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        graph = parse_cdfg(SAMPLE)
+        assert graph.cyclic
+        assert graph.inputs == ["x"]
+        assert graph.loop_values == ["sv"]
+        assert len(graph) == 2
+
+    def test_comments_and_constants_coexist(self):
+        graph = parse_cdfg("graph g\ninput a\noutput y\n"
+                           "op m mul a #-0.5 -> y  # halve and negate\n")
+        op = graph.ops["m"]
+        from repro.cdfg.nodes import Const
+        assert any(isinstance(o, Const) and o.value == -0.5
+                   for o in op.operands)
+
+    def test_missing_graph_line(self):
+        with pytest.raises(CDFGError, match="must start"):
+            parse_cdfg("input x\n")
+
+    def test_duplicate_graph_line(self):
+        with pytest.raises(CDFGError, match="duplicate"):
+            parse_cdfg("graph a\ngraph b\n")
+
+    def test_malformed_op(self):
+        with pytest.raises(CDFGError, match="needs '-> result'"):
+            parse_cdfg("graph g\ninput x\nop a add x x\n")
+
+    def test_bad_constant(self):
+        with pytest.raises(CDFGError, match="bad constant"):
+            parse_cdfg("graph g\ninput x\noutput y\nop a add x #1x2 -> y\n")
+
+    def test_word_after_hash_is_a_comment(self):
+        # '#zz' does not look numeric, so it starts a comment: the op line
+        # is then malformed (no '->' remains)
+        with pytest.raises(CDFGError, match="->"):
+            parse_cdfg("graph g\ninput x\noutput y\nop a add x #zz -> y\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(CDFGError, match="unknown keyword"):
+            parse_cdfg("graph g\nwibble x\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CDFGError, match="empty"):
+            parse_cdfg("  \n# nothing\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [
+        elliptic_wave_filter, hal_diffeq, discrete_cosine_transform])
+    def test_benchmarks_roundtrip(self, factory):
+        graph = factory()
+        twin = parse_cdfg(format_cdfg(graph))
+        assert sorted(twin.ops) == sorted(graph.ops)
+        assert twin.cyclic == graph.cyclic
+        assert twin.inputs == graph.inputs
+        assert twin.outputs == graph.outputs
+
+    def test_semantics_survive(self):
+        graph = hal_diffeq()
+        twin = parse_cdfg(format_cdfg(graph))
+        env = {"dx": 0.25, "x": -1.0, "y": 0.5, "u": 2.0}
+        assert evaluate_once(twin, env) == evaluate_once(graph, env)
+
+    def test_format_stable(self):
+        graph = hal_diffeq()
+        once = format_cdfg(graph)
+        twice = format_cdfg(parse_cdfg(once))
+        assert once == twice

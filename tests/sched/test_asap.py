@@ -1,0 +1,93 @@
+"""Unit tests for ASAP/ALAP scheduling and mobility."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.cdfg.builder import CDFGBuilder
+from repro.datapath.units import HardwareSpec
+from repro.sched.asap import (alap_schedule, asap_length, asap_schedule,
+                              mobility)
+
+
+def toy():
+    b = CDFGBuilder("toy")
+    b.input("x").input("y")
+    b.op("a1", "add", ["x", "y"], "s")
+    b.op("m1", "mul", ["s", 0.5], "p")
+    b.op("a2", "add", ["s", "p"], "q")
+    b.output("q")
+    return b.build()
+
+
+def loop():
+    b = CDFGBuilder("loop", cyclic=True)
+    b.input("inp")
+    b.op("a1", "add", ["inp", "sv"], "t")
+    b.op("a2", "add", ["t", "t"], "sv")
+    b.loop_value("sv").output("t")
+    return b.build()
+
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+class TestAsap:
+    def test_chain_timing(self):
+        start = asap_schedule(toy(), SPEC)
+        assert start == {"a1": 0, "m1": 1, "a2": 3}
+
+    def test_length_is_critical_path(self):
+        assert asap_length(toy(), SPEC) == 4
+
+    def test_anti_dependence_pushes_producer(self):
+        start = asap_schedule(loop(), SPEC)
+        # a2 produces loop value read by a1 -> a2 must start >= a1
+        assert start["a2"] >= start["a1"]
+
+    def test_pipelined_same_critical_path_for_single_chain(self):
+        assert asap_length(toy(), HardwareSpec.pipelined()) == 4
+
+    def test_ewf_critical_path_17(self):
+        from repro.bench import elliptic_wave_filter
+        assert asap_length(elliptic_wave_filter(), SPEC) == 17
+
+    def test_dct_critical_path(self):
+        from repro.bench import discrete_cosine_transform
+        assert asap_length(discrete_cosine_transform(), SPEC) == 6
+
+
+class TestAlap:
+    def test_sink_at_end(self):
+        alap = alap_schedule(toy(), SPEC, 6)
+        assert alap["a2"] == 5
+        assert alap["m1"] == 3
+        assert alap["a1"] == 2
+
+    def test_too_short_raises(self):
+        with pytest.raises(ScheduleError, match="below critical path"):
+            alap_schedule(toy(), SPEC, 3)
+
+    def test_alap_respects_anti_dependence(self):
+        alap = alap_schedule(loop(), SPEC, 4)
+        assert alap["a1"] <= alap["a2"]
+
+
+class TestMobility:
+    def test_critical_ops_have_zero_slack(self):
+        slack = mobility(toy(), SPEC, 4)
+        assert slack == {"a1": 0, "m1": 0, "a2": 0}
+
+    def test_slack_grows_with_length(self):
+        slack = mobility(toy(), SPEC, 7)
+        assert all(s == 3 for s in slack.values())
+
+    def test_offpath_op_has_slack(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        b.op("m", "mul", ["x", "x"], "p")   # 2 steps, critical
+        b.op("a", "add", ["x", "x"], "q")   # 1 step, slack 1
+        b.op("j", "add", ["p", "q"], "r")
+        b.output("r")
+        g = b.build()
+        slack = mobility(g, SPEC, 3)
+        assert slack["m"] == 0 and slack["a"] == 1

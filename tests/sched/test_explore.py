@@ -1,0 +1,77 @@
+"""Unit tests for latency/resource exploration."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.bench import (discrete_cosine_transform, elliptic_wave_filter,
+                         hal_diffeq)
+from repro.datapath.units import HardwareSpec
+from repro.sched.explore import (lower_bounds, minimal_fu_counts,
+                                 schedule_graph)
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+class TestLowerBounds:
+    def test_utilization_bound(self):
+        g = elliptic_wave_filter()
+        lb = lower_bounds(g, SPEC, 17)
+        # 26 adds / 17 steps -> 2 adders; 8 muls * 2 steps / 17 -> 1 mult
+        assert lb["adder"] == 2
+        assert lb["mult"] == 1
+
+    def test_pipelined_occupancy_is_one(self):
+        g = elliptic_wave_filter()
+        lb = lower_bounds(g, HardwareSpec.pipelined(), 17)
+        assert lb["pmult"] == 1
+
+
+class TestMinimalCounts:
+    def test_ewf_19_matches_classic(self):
+        g = elliptic_wave_filter()
+        assert minimal_fu_counts(g, SPEC, 19) == {"adder": 2, "mult": 2}
+
+    def test_ewf_21_single_multiplier(self):
+        g = elliptic_wave_filter()
+        counts = minimal_fu_counts(g, SPEC, 21)
+        assert counts["mult"] == 1
+
+    def test_below_critical_path_rejected(self):
+        with pytest.raises(ScheduleError, match="below critical path"):
+            minimal_fu_counts(elliptic_wave_filter(), SPEC, 10)
+
+    def test_counts_shrink_with_length(self):
+        g = discrete_cosine_transform()
+        area = {}
+        for length in (8, 12):
+            counts = minimal_fu_counts(g, SPEC, length)
+            area[length] = sum(SPEC.type_named(t).area * c
+                               for t, c in counts.items())
+        assert area[12] <= area[8]
+
+
+class TestScheduleGraph:
+    def test_defaults_to_critical_path(self):
+        g = hal_diffeq()
+        schedule = schedule_graph(g, SPEC)
+        assert schedule.length == 6
+
+    def test_explicit_counts_respected(self):
+        g = hal_diffeq()
+        schedule = schedule_graph(g, SPEC, 8,
+                                  fu_counts={"adder": 1, "mult": 2})
+        assert schedule.min_fus()["mult"] <= 2
+
+    def test_fds_method(self):
+        g = hal_diffeq()
+        schedule = schedule_graph(g, SPEC, 8, method="fds")
+        schedule.validate()
+        assert schedule.length == 8
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown scheduling"):
+            schedule_graph(hal_diffeq(), SPEC, 8, method="magic")
+
+    def test_labels(self):
+        schedule = schedule_graph(hal_diffeq(), SPEC, 7, label="mylabel")
+        assert schedule.label == "mylabel"

@@ -1,0 +1,97 @@
+"""Unit tests for the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.bench import elliptic_wave_filter, discrete_cosine_transform
+from repro.cdfg.builder import CDFGBuilder
+from repro.datapath.units import HardwareSpec
+from repro.sched.list_scheduler import list_schedule
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+def parallel_adds(n):
+    b = CDFGBuilder("par")
+    b.input("x")
+    for i in range(n):
+        b.add(f"a{i}", "x", float(i), f"y{i}")
+        b.output(f"y{i}")
+    return b.build()
+
+
+class TestResourceLimits:
+    def test_serializes_on_one_adder(self):
+        schedule = list_schedule(parallel_adds(4), SPEC, {"adder": 1,
+                                                          "mult": 0})
+        assert schedule.length == 4
+        assert sorted(schedule.start.values()) == [0, 1, 2, 3]
+
+    def test_two_adders_halve_length(self):
+        schedule = list_schedule(parallel_adds(4), SPEC, {"adder": 2,
+                                                          "mult": 0})
+        assert schedule.length == 2
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ScheduleError, match="no 'adder' units"):
+            list_schedule(parallel_adds(2), SPEC, {"adder": 0, "mult": 0})
+
+    def test_target_length_enforced(self):
+        with pytest.raises(ScheduleError, match="exceeding target"):
+            list_schedule(parallel_adds(4), SPEC, {"adder": 1, "mult": 0},
+                          target_length=2)
+
+    def test_multicycle_blocks_unit(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        b.mul("m1", "x", 2.0, "p")
+        b.mul("m2", "x", 3.0, "q")
+        b.add("a", "p", "q", "r")
+        b.output("r")
+        schedule = list_schedule(b.build(), SPEC, {"adder": 1, "mult": 1})
+        # one 2-cycle multiplier: second mul waits 2 steps
+        assert abs(schedule.start["m1"] - schedule.start["m2"]) >= 2
+
+    def test_pipelined_multiplier_issues_every_step(self):
+        b = CDFGBuilder("g")
+        b.input("x")
+        b.mul("m1", "x", 2.0, "p")
+        b.mul("m2", "x", 3.0, "q")
+        b.add("a", "p", "q", "r")
+        b.output("r")
+        schedule = list_schedule(b.build(), HardwareSpec.pipelined(),
+                                 {"adder": 1, "pmult": 1})
+        assert abs(schedule.start["m1"] - schedule.start["m2"]) == 1
+
+
+class TestBenchmarks:
+    def test_ewf_17_with_minimal_units(self):
+        g = elliptic_wave_filter()
+        schedule = list_schedule(g, SPEC, {"adder": 5, "mult": 2},
+                                 target_length=17)
+        assert schedule.length == 17
+        schedule.validate()
+
+    def test_ewf_19_two_by_two(self):
+        g = elliptic_wave_filter()
+        schedule = list_schedule(g, SPEC, {"adder": 2, "mult": 2},
+                                 target_length=19)
+        schedule.validate()
+
+    def test_dct_schedules(self):
+        g = discrete_cosine_transform()
+        schedule = list_schedule(g, SPEC, {"adder": 4, "mult": 4},
+                                 target_length=10)
+        schedule.validate()
+
+    def test_loop_producer_after_consumers(self):
+        from repro.bench import hal_diffeq
+        g = hal_diffeq()
+        schedule = list_schedule(g, SPEC, {"adder": 2, "mult": 3})
+        for name, val in g.values.items():
+            if not val.loop_carried or val.producer is None:
+                continue
+            for consumer, _ in val.consumers:
+                if consumer != val.producer:
+                    assert schedule.start[val.producer] >= \
+                        schedule.start[consumer]

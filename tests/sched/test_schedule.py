@@ -1,0 +1,91 @@
+"""Unit tests for the Schedule object and its analyses."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.cdfg.builder import CDFGBuilder
+from repro.datapath.units import HardwareSpec
+from repro.sched.schedule import Schedule
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+def toy():
+    b = CDFGBuilder("toy")
+    b.input("x").input("y")
+    b.op("a1", "add", ["x", "y"], "s")
+    b.op("m1", "mul", ["s", 0.5], "p")
+    b.op("a2", "add", ["s", "p"], "q")
+    b.output("q")
+    return b.build()
+
+
+class TestValidation:
+    def test_valid_schedule_builds(self):
+        Schedule(toy(), SPEC, 4, {"a1": 0, "m1": 1, "a2": 3})
+
+    def test_unscheduled_op_rejected(self):
+        with pytest.raises(ScheduleError, match="unscheduled"):
+            Schedule(toy(), SPEC, 4, {"a1": 0, "m1": 1})
+
+    def test_op_past_end_rejected(self):
+        with pytest.raises(ScheduleError, match="outside schedule"):
+            Schedule(toy(), SPEC, 4, {"a1": 0, "m1": 3, "a2": 3})
+
+    def test_precedence_violation_rejected(self):
+        with pytest.raises(ScheduleError, match="before its data"):
+            Schedule(toy(), SPEC, 4, {"a1": 1, "m1": 1, "a2": 3})
+
+    def test_anti_dependence_violation_rejected(self):
+        b = CDFGBuilder("loop", cyclic=True)
+        b.input("i")
+        b.op("c", "add", ["sv", "i"], "t")
+        b.op("p", "add", ["t", "i"], "sv")
+        b.loop_value("sv").output("t")
+        g = b.build()
+        with pytest.raises(ScheduleError):
+            Schedule(g, SPEC, 4, {"c": 3, "p": 1})
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ScheduleError, match=">= 1"):
+            Schedule(toy(), SPEC, 0, {})
+
+
+class TestAnalyses:
+    def schedule(self):
+        return Schedule(toy(), SPEC, 5, {"a1": 0, "m1": 1, "a2": 3})
+
+    def test_end_and_busy_steps(self):
+        s = self.schedule()
+        assert s.end("m1") == 2
+        assert s.busy_steps("m1") == (1, 2)
+        assert s.busy_steps("a1") == (0,)
+
+    def test_pipelined_busy_is_issue_slot(self):
+        spec = HardwareSpec.pipelined()
+        s = Schedule(toy(), spec, 5, {"a1": 0, "m1": 1, "a2": 3})
+        assert s.busy_steps("m1") == (1,)
+        assert s.end("m1") == 2
+
+    def test_fu_demand_and_minimum(self):
+        s = self.schedule()
+        demand = s.fu_demand()
+        assert demand["mult"] == [0, 1, 1, 0, 0]
+        assert s.min_fus() == {"adder": 1, "mult": 1}
+
+    def test_min_registers(self):
+        s = self.schedule()
+        assert s.min_registers() == 2
+
+    def test_ops_at(self):
+        s = self.schedule()
+        assert s.ops_at(1) == ["m1"]
+        assert s.ops_at(2) == ["m1"]
+
+    def test_table_rendering(self):
+        text = self.schedule().table()
+        assert "control steps" in text
+        assert "s 0" in text or "s0" in text.replace(" ", "")
+
+    def test_repr(self):
+        assert "length=5" in repr(self.schedule())

@@ -1,0 +1,59 @@
+"""Unit tests for seeded RNG helpers."""
+
+import random
+
+import pytest
+
+from repro.rng import make_rng, weighted_choice
+
+
+class TestMakeRng:
+    def test_seed_reproducible(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_none_allowed(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestWeightedChoice:
+    def test_respects_zero_weight(self):
+        rng = make_rng(0)
+        picks = {weighted_choice(rng, ["a", "b"], [0.0, 1.0])
+                 for _ in range(50)}
+        assert picks == {"b"}
+
+    def test_distribution_roughly_proportional(self):
+        rng = make_rng(1)
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[weighted_choice(rng, ["a", "b"], [1.0, 3.0])] += 1
+        assert 0.2 < counts["a"] / 4000 < 0.3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), [], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), ["a"], [1.0, 2.0])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), ["a", "b"], [0.0, 0.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), ["a", "b"], [2.0, -1.0])
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro import errors
+        for cls in (errors.CDFGError, errors.ScheduleError,
+                    errors.BindingError, errors.AllocationError,
+                    errors.DatapathError, errors.ConfigError):
+            assert issubclass(cls, errors.ReproError)
