@@ -25,8 +25,13 @@ from repro.core.binding import Binding
 from repro.core.initial import wire_reads
 
 
-def passthrough_demo() -> Dict[str, int]:
-    """Build Figure 3 and return mux/wire counts for both implementations."""
+def build_passthrough_binding(bind_pt: bool = True) -> Binding:
+    """The Figure 3 binding, optionally with its pass-through bound.
+
+    With ``bind_pt=True`` the V1 transfer into R1 is implemented through
+    the idle ``adder0`` — a *guaranteed* pass-through, handy for tests that
+    must exercise pass-through machinery regardless of search randomness.
+    """
     b = CDFGBuilder("fig3demo")
     b.input("a").input("b").input("c")
     b.add("op1", "a", "b", "V1")       # @0 on adder0 -> V1 in R2
@@ -66,15 +71,24 @@ def passthrough_demo() -> Dict[str, int]:
     # the same port op1 used for b in R2 (R2 -> adder0.1 already exists)
     binding.set_read_src("op2", 1, "R2")
     binding.flush()
+    if bind_pt:
+        # bind the slack node (transfer during step 2) to the idle adder0,
+        # entering through input port 1 (R2 -> adder0.1 exists) and leaving
+        # on the existing adder0 -> R1 connection
+        binding.set_pt("V1", 3, "R1", ("R2", "adder0", 1))
+        binding.flush()
+    return binding
+
+
+def passthrough_demo() -> Dict[str, int]:
+    """Build Figure 3 and return mux/wire counts for both implementations."""
+    binding = build_passthrough_binding(bind_pt=False)
 
     direct = binding.cost()
     verify_binding(binding, seed=1)
     result = {"direct_mux": direct.mux_count,
               "direct_wires": direct.wire_count}
 
-    # bind the slack node (transfer during step 2) to the idle adder0,
-    # entering through input port 1 (R2 -> adder0.1 exists) and leaving on
-    # the existing adder0 -> R1 connection
     binding.set_pt("V1", 3, "R1", ("R2", "adder0", 1))
     pt = binding.cost()
     verify_binding(binding, seed=1)
@@ -142,3 +156,46 @@ def value_split_demo() -> Dict[str, int]:
     result.update({"split_mux": split.mux_count,
                    "split_wires": split.wire_count})
     return result
+
+
+# ------------------------------------------------------------ cost traces
+
+def render_cost_trace(stats: "ImproveStats", width: int = 64,
+                      height: int = 12) -> str:
+    """ASCII plot of an improvement run's best-cost trace.
+
+    Works anywhere (no plotting dependency): the x-axis is the move-attempt
+    index, the y-axis the best total cost seen so far, taken from
+    ``stats.best_trace``.  Feed it any :class:`~repro.core.ImproveStats`,
+    e.g. one reloaded through ``repro.io.json_io.stats_from_json``.
+    """
+    trace = list(stats.best_trace)
+    if not trace:
+        return "(empty cost trace)"
+    last_move = max(stats.moves_attempted, trace[-1][0], 1)
+    if trace[-1][0] < last_move:
+        trace.append((last_move, trace[-1][1]))
+    costs = [cost for _move, cost in trace]
+    lo, hi = min(costs), max(costs)
+    span = (hi - lo) or 1.0
+
+    # best cost at each of `width` sample points (step function)
+    samples = []
+    position = 0
+    for column in range(width):
+        move = column * last_move / max(width - 1, 1)
+        while position + 1 < len(trace) and trace[position + 1][0] <= move:
+            position += 1
+        samples.append(trace[position][1])
+
+    rows = []
+    for level in range(height - 1, -1, -1):
+        cells = []
+        for value in samples:
+            filled = (value - lo) / span * (height - 1)
+            cells.append("#" if filled >= level - 0.5 else " ")
+        label = lo + span * level / (height - 1)
+        rows.append(f"{label:8.1f} |{''.join(cells)}")
+    rows.append(" " * 9 + "+" + "-" * width)
+    rows.append(" " * 9 + f" 0 moves{'':>{max(width - 16, 1)}}{last_move}")
+    return "\n".join(rows)

@@ -12,12 +12,13 @@ optimum with given confidence.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cdfg.graph import CDFG
 from repro.sched.schedule import Schedule
-from repro.core import ImproveConfig, SalsaAllocator, TraditionalAllocator
+from repro.core import (ImproveConfig, ImproveStats, MoveCounters,
+                        SalsaAllocator, TraditionalAllocator, run_restarts)
 
 
 @dataclass
@@ -90,17 +91,69 @@ def seed_study(graph: CDFG, schedule: Schedule,
                registers: Optional[int] = None,
                seeds: Sequence[int] = tuple(range(10)),
                traditional: bool = False,
-               config: Optional[ImproveConfig] = None) -> SeedStudy:
-    """Allocate once per seed (single restart each) and collect stats."""
+               config: Optional[ImproveConfig] = None,
+               workers: int = 1) -> SeedStudy:
+    """Allocate once per seed (single restart each) and collect stats.
+
+    Routes through the parallel restart engine: each seed becomes one
+    independent :class:`~repro.core.parallel.RestartJob`, so *workers* > 1
+    fans the whole study out over processes with bit-identical results.
+    """
     cfg = config if config is not None else \
         ImproveConfig(max_trials=6, moves_per_trial=400)
     cls = TraditionalAllocator if traditional else SalsaAllocator
     label = f"{'trad' if traditional else 'salsa'}:{schedule.label}"
     study = SeedStudy(label=label)
     started = time.time()
-    for seed in seeds:
-        result = cls(seed=seed, restarts=1, config=cfg).allocate(
+    jobs = []
+    for index, seed in enumerate(seeds):
+        allocator = cls(seed=seed, restarts=1, config=cfg)
+        _schedule, seed_jobs = allocator.prepare_jobs(
             graph, schedule=schedule, registers=registers)
-        study.mux_counts.append(result.mux_count)
+        jobs.append(replace(seed_jobs[0], index=index))
+    for outcome in run_restarts(jobs, workers=workers):
+        study.mux_counts.append(outcome.cost.mux_count)
     study.seconds = time.time() - started
     return study
+
+
+# ------------------------------------------------------- search telemetry
+
+def merge_move_counters(
+        all_stats: Sequence[ImproveStats]) -> Dict[str, MoveCounters]:
+    """Sum the per-move-type counters of several improvement runs."""
+    merged: Dict[str, MoveCounters] = {}
+    for stats in all_stats:
+        for name, counters in stats.per_move.items():
+            into = merged.setdefault(name, MoveCounters())
+            into.attempts += counters.attempts
+            into.applies += counters.applies
+            into.accepts += counters.accepts
+            into.rollbacks += counters.rollbacks
+            into.uphill += counters.uphill
+    return merged
+
+
+def telemetry_report(all_stats: Sequence[ImproveStats]) -> Dict[str, Any]:
+    """Aggregate search telemetry across improvement runs (JSON-able).
+
+    The per-move accept/rollback split always satisfies
+    ``accepts + rollbacks == applies`` — every applied move is either kept
+    or reverted — so acceptance rates here are exact, not sampled.
+    """
+    merged = merge_move_counters(all_stats)
+    finals = [s.final_cost.total for s in all_stats
+              if s.final_cost is not None]
+    return {
+        "runs": len(all_stats),
+        "trials_run": sum(s.trials_run for s in all_stats),
+        "moves_attempted": sum(s.moves_attempted for s in all_stats),
+        "moves_applied": sum(s.moves_applied for s in all_stats),
+        "moves_accepted": sum(s.moves_accepted for s in all_stats),
+        "uphill_accepted": sum(s.uphill_accepted for s in all_stats),
+        "uphill_budget_used": sum(sum(s.uphill_used) for s in all_stats),
+        "seconds": sum(s.seconds for s in all_stats),
+        "best_final_cost": min(finals) if finals else None,
+        "per_move": {name: counters.to_dict()
+                     for name, counters in sorted(merged.items())},
+    }

@@ -3,16 +3,21 @@
 from repro.core.binding import Binding
 from repro.core.initial import initial_allocation
 from repro.core.moves import MoveSet, fixup_segment
-from repro.core.improve import ImproveConfig, ImproveStats, improve
+from repro.core.improve import (ImproveConfig, ImproveStats, MoveCounters,
+                                improve)
 from repro.core.polish import polish
 from repro.core.anneal import AnnealConfig, anneal
+from repro.core.parallel import (RestartJob, RestartOutcome, best_outcome,
+                                 rebuild_binding, run_restart, run_restarts)
 from repro.core.allocator import (AllocationResult, SalsaAllocator,
                                   TraditionalAllocator,
                                   salsa_from_traditional)
 
 __all__ = [
     "AllocationResult", "AnnealConfig", "Binding", "ImproveConfig",
-    "ImproveStats", "MoveSet", "SalsaAllocator", "TraditionalAllocator",
-    "anneal", "fixup_segment", "improve", "initial_allocation", "polish",
+    "ImproveStats", "MoveCounters", "MoveSet", "RestartJob",
+    "RestartOutcome", "SalsaAllocator", "TraditionalAllocator", "anneal",
+    "best_outcome", "fixup_segment", "improve", "initial_allocation",
+    "polish", "rebuild_binding", "run_restart", "run_restarts",
     "salsa_from_traditional",
 ]

@@ -16,12 +16,20 @@ The SALSA flow warm-starts its extended-model search from the traditional
 optimum of each restart, so with equal budgets the extended model can only
 match or improve on the traditional result — exactly the comparison the
 paper makes.
+
+Both allocators route their restarts through the parallel engine of
+:mod:`repro.core.parallel`: :meth:`~SalsaAllocator.prepare_jobs` turns a
+problem into independent :class:`~repro.core.parallel.RestartJob`\\ s whose
+seeds come from a :class:`repro.rng.SeedStream` (one independent child
+seed per improvement pass — never ``seed``/``seed + 1`` arithmetic, whose
+adjacent restarts collide), and ``allocate(..)`` fans them out over
+``workers`` processes.  Results are bit-identical for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Tuple
 
 from repro.errors import AllocationError
 from repro.cdfg.graph import CDFG
@@ -29,12 +37,13 @@ from repro.datapath.cost import CostBreakdown, CostWeights
 from repro.datapath.units import FU, HardwareSpec, Register, make_registers
 from repro.sched.explore import schedule_graph
 from repro.sched.schedule import Schedule
-from repro.rng import RngLike, make_rng
+from repro.rng import RngLike, SeedStream
 from repro.alloc.checker import assert_legal
 from repro.core.binding import Binding
 from repro.core.improve import ImproveConfig, ImproveStats, improve
-from repro.core.initial import initial_allocation
 from repro.core.moves import MoveSet
+from repro.core.parallel import (RestartJob, RestartOutcome, best_outcome,
+                                 rebuild_binding, run_restarts)
 
 
 @dataclass
@@ -47,10 +56,19 @@ class AllocationResult:
     stats: List[ImproveStats] = field(default_factory=list)
     restarts: int = 1
     label: str = ""
+    #: per-restart engine outcomes (cost, state snapshot, telemetry, time)
+    outcomes: List[RestartOutcome] = field(default_factory=list)
+    #: index into :attr:`outcomes` of the winning restart
+    best_restart: int = 0
 
     @property
     def mux_count(self) -> int:
         return self.cost.mux_count
+
+    @property
+    def seconds(self) -> float:
+        """Total search seconds across restarts (sum, not wall-clock)."""
+        return sum(outcome.seconds for outcome in self.outcomes)
 
     def summary(self) -> str:
         return (f"{self.label or self.schedule.label}: "
@@ -77,54 +95,94 @@ def _resolve(graph: CDFG, schedule: Optional[Schedule],
     return schedule, fus, make_registers(n_regs)
 
 
-class SalsaAllocator:
-    """Allocate with the extended (SALSA) binding model."""
+class _RestartAllocator:
+    """Shared multi-restart driver: derive jobs, fan out, keep the best."""
 
-    def __init__(self, seed: RngLike = 0, restarts: int = 3,
-                 weights: CostWeights = CostWeights(),
-                 config: Optional[ImproveConfig] = None,
-                 warm_start_traditional: bool = True) -> None:
-        self.seed = seed
-        self.restarts = max(1, restarts)
-        self.weights = weights
-        self.config = config if config is not None else ImproveConfig()
-        self.warm_start_traditional = warm_start_traditional
+    seed: RngLike
+    restarts: int
+    weights: CostWeights
+    workers: int
+
+    def _restart_configs(self, stream: SeedStream,
+                         restart: int) -> Tuple[ImproveConfig, ...]:
+        raise NotImplementedError
+
+    def _allow_split(self) -> bool:
+        return True
+
+    def _label(self, schedule: Schedule) -> str:
+        raise NotImplementedError
+
+    def prepare_jobs(self, graph: CDFG,
+                     schedule: Optional[Schedule] = None,
+                     spec: Optional[HardwareSpec] = None,
+                     length: Optional[int] = None,
+                     fu_counts: Optional[Mapping[str, int]] = None,
+                     registers: Optional[int] = None) \
+            -> Tuple[Schedule, List[RestartJob]]:
+        """Resolve the problem and derive one independent job per restart."""
+        schedule, fus, regs = _resolve(graph, schedule, spec, length,
+                                       fu_counts, registers)
+        stream = SeedStream(self.seed)
+        jobs = [RestartJob(index=restart, schedule=schedule,
+                           fus=tuple(fus), regs=tuple(regs),
+                           configs=self._restart_configs(stream, restart),
+                           weights=self.weights,
+                           allow_split=self._allow_split())
+                for restart in range(self.restarts)]
+        return schedule, jobs
 
     def allocate(self, graph: CDFG,
                  schedule: Optional[Schedule] = None,
                  spec: Optional[HardwareSpec] = None,
                  length: Optional[int] = None,
                  fu_counts: Optional[Mapping[str, int]] = None,
-                 registers: Optional[int] = None) -> AllocationResult:
-        schedule, fus, regs = _resolve(graph, schedule, spec, length,
-                                       fu_counts, registers)
-        rng = make_rng(self.seed)
-        best: Optional[Binding] = None
-        best_state = None
-        best_cost: Optional[CostBreakdown] = None
-        all_stats: List[ImproveStats] = []
-        for _restart in range(self.restarts):
-            binding = initial_allocation(schedule, fus, regs,
-                                         weights=self.weights,
-                                         allow_split=True)
-            seed = rng.randrange(1 << 30)
-            if self.warm_start_traditional:
-                trad_cfg = replace(self.config, seed=seed,
-                                   move_set=MoveSet.traditional())
-                all_stats.append(improve(binding, trad_cfg))
-            full_cfg = replace(self.config, seed=seed + 1,
-                               move_set=self.config.move_set)
-            all_stats.append(improve(binding, full_cfg))
-            cost = binding.cost()
-            if best_cost is None or cost.total < best_cost.total:
-                best, best_cost = binding, cost
-                best_state = binding.clone_state()
-        assert best is not None and best_state is not None
-        best.restore_state(best_state)
-        assert_legal(best)
-        return AllocationResult(best, best.cost(), schedule,
+                 registers: Optional[int] = None,
+                 workers: Optional[int] = None) -> AllocationResult:
+        schedule, jobs = self.prepare_jobs(graph, schedule=schedule,
+                                           spec=spec, length=length,
+                                           fu_counts=fu_counts,
+                                           registers=registers)
+        outcomes = run_restarts(
+            jobs, workers=self.workers if workers is None else workers)
+        best = best_outcome(outcomes)
+        binding = rebuild_binding(jobs[best.index], best)
+        assert_legal(binding)
+        all_stats = [s for outcome in outcomes for s in outcome.stats]
+        return AllocationResult(binding, binding.cost(), schedule,
                                 stats=all_stats, restarts=self.restarts,
-                                label=f"salsa:{schedule.label}")
+                                label=self._label(schedule),
+                                outcomes=outcomes,
+                                best_restart=best.index)
+
+
+class SalsaAllocator(_RestartAllocator):
+    """Allocate with the extended (SALSA) binding model."""
+
+    def __init__(self, seed: RngLike = 0, restarts: int = 3,
+                 weights: CostWeights = CostWeights(),
+                 config: Optional[ImproveConfig] = None,
+                 warm_start_traditional: bool = True,
+                 workers: int = 1) -> None:
+        self.seed = seed
+        self.restarts = max(1, restarts)
+        self.weights = weights
+        self.config = config if config is not None else ImproveConfig()
+        self.warm_start_traditional = warm_start_traditional
+        self.workers = max(1, workers)
+
+    def _restart_configs(self, stream: SeedStream,
+                         restart: int) -> Tuple[ImproveConfig, ...]:
+        configs: List[ImproveConfig] = []
+        if self.warm_start_traditional:
+            configs.append(replace(self.config,
+                                   seed=stream.child(restart, 0),
+                                   move_set=MoveSet.traditional()))
+        configs.append(replace(self.config, seed=stream.child(restart, 1)))
+        return tuple(configs)
+
+    def _label(self, schedule: Schedule) -> str:
+        return f"salsa:{schedule.label}"
 
 
 def salsa_from_traditional(trad: AllocationResult,
@@ -139,8 +197,7 @@ def salsa_from_traditional(trad: AllocationResult,
     """
     cfg = config if config is not None else ImproveConfig()
     binding = trad.binding.duplicate()
-    stats = improve(binding, replace(cfg, seed=seed,
-                                     move_set=cfg.move_set))
+    stats = improve(binding, replace(cfg, seed=SeedStream(seed).child(0)))
     assert_legal(binding)
     return AllocationResult(binding, binding.cost(), trad.schedule,
                             stats=[stats], restarts=trad.restarts,
@@ -148,13 +205,14 @@ def salsa_from_traditional(trad: AllocationResult,
                                                      "salsa+warm"))
 
 
-class TraditionalAllocator:
+class TraditionalAllocator(_RestartAllocator):
     """Baseline allocator restricted to the traditional binding model."""
 
     def __init__(self, seed: RngLike = 0, restarts: int = 3,
                  weights: CostWeights = CostWeights(),
                  config: Optional[ImproveConfig] = None,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 workers: int = 1) -> None:
         self.seed = seed
         self.restarts = max(1, restarts)
         self.weights = weights
@@ -165,33 +223,14 @@ class TraditionalAllocator:
         #: default mirrors published tools that fall back to minimal
         #: splitting for loop-carried (cyclic) lifetimes
         self.strict = strict
+        self.workers = max(1, workers)
 
-    def allocate(self, graph: CDFG,
-                 schedule: Optional[Schedule] = None,
-                 spec: Optional[HardwareSpec] = None,
-                 length: Optional[int] = None,
-                 fu_counts: Optional[Mapping[str, int]] = None,
-                 registers: Optional[int] = None) -> AllocationResult:
-        schedule, fus, regs = _resolve(graph, schedule, spec, length,
-                                       fu_counts, registers)
-        rng = make_rng(self.seed)
-        best: Optional[Binding] = None
-        best_state = None
-        best_cost: Optional[CostBreakdown] = None
-        all_stats: List[ImproveStats] = []
-        for _restart in range(self.restarts):
-            binding = initial_allocation(schedule, fus, regs,
-                                         weights=self.weights,
-                                         allow_split=not self.strict)
-            cfg = replace(self.config, seed=rng.randrange(1 << 30))
-            all_stats.append(improve(binding, cfg))
-            cost = binding.cost()
-            if best_cost is None or cost.total < best_cost.total:
-                best, best_cost = binding, cost
-                best_state = binding.clone_state()
-        assert best is not None and best_state is not None
-        best.restore_state(best_state)
-        assert_legal(best)
-        return AllocationResult(best, best.cost(), schedule,
-                                stats=all_stats, restarts=self.restarts,
-                                label=f"traditional:{schedule.label}")
+    def _restart_configs(self, stream: SeedStream,
+                         restart: int) -> Tuple[ImproveConfig, ...]:
+        return (replace(self.config, seed=stream.child(restart, 0)),)
+
+    def _allow_split(self) -> bool:
+        return not self.strict
+
+    def _label(self, schedule: Schedule) -> str:
+        return f"traditional:{schedule.label}"

@@ -35,9 +35,11 @@ class AnnealConfig:
     seed: RngLike = 0
 
 
-def anneal(binding: Binding, config: AnnealConfig = AnnealConfig()) \
-        -> ImproveStats:
+def anneal(binding: Binding,
+           config: Optional[AnnealConfig] = None) -> ImproveStats:
     """Run simulated annealing in place; ends at the best state found."""
+    if config is None:
+        config = AnnealConfig()
     rng = make_rng(config.seed)
     moves = config.move_set.enabled_moves()
     names = [m[0] for m in moves]

@@ -12,18 +12,27 @@ converged" and used this scheme instead:
   search jump to a new region), after which only downhill moves are kept;
 * the best allocation seen anywhere is recorded, and the search stops when
   three successive trials bring no improvement (or a trial cap is hit).
+
+:class:`ImproveStats` is full search telemetry, not just a counter bag:
+per-trial wall-clock and uphill-budget consumption, per-move-type
+attempt/apply/accept/rollback counters, and the best-cost trace with the
+move index at which each improvement landed.  It round-trips through
+``to_json()`` / ``from_json()`` so multi-process restarts (see
+:mod:`repro.core.parallel`) and offline analysis can exchange it freely.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.rng import RngLike, make_rng, weighted_choice
 from repro.core.binding import Binding
 from repro.core.moves import MoveSet, rollback
 from repro.core.polish import polish
-from repro.datapath.cost import CostBreakdown
+from repro.datapath.cost import CostBreakdown, CostWeights
 
 
 @dataclass
@@ -45,8 +54,50 @@ class ImproveConfig:
 
 
 @dataclass
+class MoveCounters:
+    """Per-move-type tallies of one improvement run."""
+
+    attempts: int = 0   # times the move type was drawn
+    applies: int = 0    # times it mutated the binding
+    accepts: int = 0    # applications kept (downhill or uphill budget)
+    rollbacks: int = 0  # applications reverted
+    uphill: int = 0     # accepts that consumed uphill budget
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"attempts": self.attempts, "applies": self.applies,
+                "accepts": self.accepts, "rollbacks": self.rollbacks,
+                "uphill": self.uphill}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "MoveCounters":
+        return cls(**data)
+
+
+def _cost_to_dict(cost: Optional[CostBreakdown]) -> Optional[Dict[str, Any]]:
+    if cost is None:
+        return None
+    w = cost.weights
+    return {"fu_count": cost.fu_count, "fu_area": cost.fu_area,
+            "register_count": cost.register_count,
+            "mux_count": cost.mux_count, "wire_count": cost.wire_count,
+            "weights": {"fu": w.fu, "register": w.register,
+                        "mux": w.mux, "wire": w.wire}}
+
+
+def _cost_from_dict(data: Optional[Dict[str, Any]]) \
+        -> Optional[CostBreakdown]:
+    if data is None:
+        return None
+    return CostBreakdown(
+        fu_count=data["fu_count"], fu_area=data["fu_area"],
+        register_count=data["register_count"],
+        mux_count=data["mux_count"], wire_count=data["wire_count"],
+        weights=CostWeights(**data["weights"]))
+
+
+@dataclass
 class ImproveStats:
-    """Bookkeeping returned by :func:`improve`."""
+    """Search telemetry returned by :func:`improve`."""
 
     trials_run: int = 0
     moves_attempted: int = 0
@@ -57,6 +108,26 @@ class ImproveStats:
     final_cost: Optional[CostBreakdown] = None
     per_move_accepts: Dict[str, int] = field(default_factory=dict)
     cost_trace: List[float] = field(default_factory=list)
+    # -------------------------------------------------- extended telemetry
+    #: per-move-type attempt/apply/accept/rollback/uphill counters
+    per_move: Dict[str, MoveCounters] = field(default_factory=dict)
+    #: wall-clock seconds of each trial (polish included)
+    trial_seconds: List[float] = field(default_factory=list)
+    #: uphill acceptances consumed by each trial (budget usage)
+    uphill_used: List[int] = field(default_factory=list)
+    #: ``(move_attempt_index, best_total)`` every time the best improves;
+    #: index 0 is the starting point (after the initial polish, if any)
+    best_trace: List[Tuple[int, float]] = field(default_factory=list)
+    #: total wall-clock seconds of the run
+    seconds: float = 0.0
+    #: the integer seed the run used, when one was given (for replay)
+    seed: Optional[int] = None
+
+    def counters_for(self, name: str) -> MoveCounters:
+        counters = self.per_move.get(name)
+        if counters is None:
+            counters = self.per_move[name] = MoveCounters()
+        return counters
 
     def summary(self) -> str:
         initial = self.initial_cost.total if self.initial_cost else float("nan")
@@ -65,13 +136,68 @@ class ImproveStats:
                 f"{self.moves_attempted} attempts, "
                 f"{self.moves_accepted} accepted "
                 f"({self.uphill_accepted} uphill); cost {initial:.1f} -> "
-                f"{final:.1f}")
+                f"{final:.1f} in {self.seconds:.2f}s")
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trials_run": self.trials_run,
+            "moves_attempted": self.moves_attempted,
+            "moves_applied": self.moves_applied,
+            "moves_accepted": self.moves_accepted,
+            "uphill_accepted": self.uphill_accepted,
+            "initial_cost": _cost_to_dict(self.initial_cost),
+            "final_cost": _cost_to_dict(self.final_cost),
+            "per_move_accepts": dict(self.per_move_accepts),
+            "cost_trace": list(self.cost_trace),
+            "per_move": {name: c.to_dict()
+                         for name, c in sorted(self.per_move.items())},
+            "trial_seconds": list(self.trial_seconds),
+            "uphill_used": list(self.uphill_used),
+            "best_trace": [[index, total]
+                           for index, total in self.best_trace],
+            "seconds": self.seconds,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ImproveStats":
+        return cls(
+            trials_run=data["trials_run"],
+            moves_attempted=data["moves_attempted"],
+            moves_applied=data["moves_applied"],
+            moves_accepted=data["moves_accepted"],
+            uphill_accepted=data["uphill_accepted"],
+            initial_cost=_cost_from_dict(data["initial_cost"]),
+            final_cost=_cost_from_dict(data["final_cost"]),
+            per_move_accepts=dict(data["per_move_accepts"]),
+            cost_trace=list(data["cost_trace"]),
+            per_move={name: MoveCounters.from_dict(c)
+                      for name, c in data["per_move"].items()},
+            trial_seconds=list(data["trial_seconds"]),
+            uphill_used=list(data["uphill_used"]),
+            best_trace=[(index, total)
+                        for index, total in data["best_trace"]],
+            seconds=data["seconds"],
+            seed=data["seed"],
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ImproveStats":
+        return cls.from_dict(json.loads(text))
 
 
-def improve(binding: Binding, config: ImproveConfig = ImproveConfig()) \
-        -> ImproveStats:
+def improve(binding: Binding,
+            config: Optional[ImproveConfig] = None) -> ImproveStats:
     """Run iterative improvement in place; the binding ends at the best
     allocation found."""
+    if config is None:
+        config = ImproveConfig()
+    started = time.perf_counter()
     rng = make_rng(config.seed)
     moves = config.move_set.enabled_moves()
     if not moves:
@@ -81,15 +207,19 @@ def improve(binding: Binding, config: ImproveConfig = ImproveConfig()) \
     weights = [m[2] for m in moves]
 
     stats = ImproveStats()
+    if isinstance(config.seed, int):
+        stats.seed = config.seed
     stats.initial_cost = binding.cost()
     current = stats.initial_cost.total
     if config.polish_trials:
         current = polish(binding, config.move_set)
     best = current
     best_state = binding.clone_state()
+    stats.best_trace.append((0, best))
     idle_trials = 0
 
     for _trial in range(config.max_trials):
+        trial_started = time.perf_counter()
         stats.trials_run += 1
         if config.restart_from_best and current > best + 1e-9:
             binding.restore_state(best_state)
@@ -99,26 +229,33 @@ def improve(binding: Binding, config: ImproveConfig = ImproveConfig()) \
         for _ in range(config.moves_per_trial):
             stats.moves_attempted += 1
             name = weighted_choice(rng, names, weights)
+            counters = stats.counters_for(name)
+            counters.attempts += 1
             undos = fns[name](binding, rng)
             if undos is None:
                 continue
             stats.moves_applied += 1
+            counters.applies += 1
             new_cost = binding.cost().total
             accept = new_cost <= current
             if not accept and uphill_left > 0:
                 accept = True
                 uphill_left -= 1
                 stats.uphill_accepted += 1
+                counters.uphill += 1
             if accept:
                 stats.moves_accepted += 1
+                counters.accepts += 1
                 stats.per_move_accepts[name] = \
                     stats.per_move_accepts.get(name, 0) + 1
                 current = new_cost
                 if current < best - 1e-9:
                     best = current
                     best_state = binding.clone_state()
+                    stats.best_trace.append((stats.moves_attempted, best))
                     improved_this_trial = True
             else:
+                counters.rollbacks += 1
                 rollback(undos)
                 binding.flush()
         if config.polish_trials:
@@ -126,8 +263,11 @@ def improve(binding: Binding, config: ImproveConfig = ImproveConfig()) \
             if current < best - 1e-9:
                 best = current
                 best_state = binding.clone_state()
+                stats.best_trace.append((stats.moves_attempted, best))
                 improved_this_trial = True
         stats.cost_trace.append(current)
+        stats.uphill_used.append(config.uphill_per_trial - uphill_left)
+        stats.trial_seconds.append(time.perf_counter() - trial_started)
         if improved_this_trial:
             idle_trials = 0
         else:
@@ -137,4 +277,5 @@ def improve(binding: Binding, config: ImproveConfig = ImproveConfig()) \
 
     binding.restore_state(best_state)
     stats.final_cost = binding.cost()
+    stats.seconds = time.perf_counter() - started
     return stats

@@ -1,0 +1,139 @@
+"""Parallel multi-restart search engine.
+
+The paper leans on multiple random restarts ("multiple trials are
+sometimes necessary to find the best result", Sec. 5) and every restart is
+independent, so the restart loop is the natural seam to parallelize.  This
+module is that seam:
+
+* a :class:`RestartJob` is a self-contained, picklable description of one
+  restart: the schedule, hardware, and the ordered improvement configs to
+  run (e.g. the traditional warm-start pass followed by the full extended
+  search), each carrying its own pre-derived child seed;
+* :func:`run_restart` executes one job — rebuild the deterministic initial
+  allocation, run the configured improvement passes, and return only the
+  compact :class:`RestartOutcome` (decision-state snapshot, cost,
+  telemetry) so no live :class:`~repro.core.binding.Binding` ever crosses a
+  process boundary;
+* :func:`run_restarts` fans jobs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (fork start method),
+  falling back to a deterministic in-process loop for ``workers=1``, for
+  platforms without fork, or when a pool cannot be created.
+
+Because a job's outcome is a pure function of its content (seeds come from
+an explicit :class:`repro.rng.SeedStream`, never shared RNG state), the
+results — and the winner picked by :func:`best_outcome` — are bit-identical
+for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AllocationError
+from repro.datapath.cost import CostBreakdown, CostWeights
+from repro.datapath.units import FU, Register
+from repro.sched.schedule import Schedule
+from repro.core.binding import Binding
+from repro.core.improve import ImproveConfig, ImproveStats, improve
+from repro.core.initial import initial_allocation
+
+
+@dataclass(frozen=True)
+class RestartJob:
+    """Everything one worker needs to run one independent restart."""
+
+    index: int
+    schedule: Schedule
+    fus: Tuple[FU, ...]
+    regs: Tuple[Register, ...]
+    #: improvement passes run back-to-back on the same binding, in order;
+    #: each config carries its own independent child seed
+    configs: Tuple[ImproveConfig, ...]
+    weights: CostWeights = CostWeights()
+    allow_split: bool = True
+
+
+@dataclass
+class RestartOutcome:
+    """What one restart sends back to the parent process."""
+
+    index: int
+    #: :meth:`Binding.clone_state` snapshot of the restart's best binding
+    state: Dict[str, object]
+    cost: CostBreakdown
+    stats: List[ImproveStats] = field(default_factory=list)
+    seconds: float = 0.0
+
+
+def run_restart(job: RestartJob) -> RestartOutcome:
+    """Execute one restart job (used directly and as the pool worker)."""
+    started = time.perf_counter()
+    binding = initial_allocation(job.schedule, list(job.fus),
+                                 list(job.regs), weights=job.weights,
+                                 allow_split=job.allow_split)
+    stats = [improve(binding, config) for config in job.configs]
+    return RestartOutcome(index=job.index, state=binding.clone_state(),
+                          cost=binding.cost(), stats=stats,
+                          seconds=time.perf_counter() - started)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start method, or ``None`` where it is unavailable.
+
+    Fork keeps workers cheap (no re-import of the package per job) and is
+    the only start method that works from interactive ``__main__`` scripts
+    without an import guard; platforms without it (Windows, some sandboxes)
+    use the deterministic in-process path instead.
+    """
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except Exception:
+        pass
+    return None
+
+
+def run_restarts(jobs: Iterable[RestartJob],
+                 workers: int = 1) -> List[RestartOutcome]:
+    """Run every job and return outcomes in job order.
+
+    ``workers=1`` (or a single job, or no usable fork context) runs
+    in-process; anything else fans out over a process pool.  Either path
+    produces identical outcomes because each job is self-contained.
+    """
+    job_list = list(jobs)
+    workers = max(1, int(workers))
+    context = _fork_context()
+    if workers == 1 or len(job_list) <= 1 or context is None:
+        return [run_restart(job) for job in job_list]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(job_list)),
+                                 mp_context=context) as pool:
+            return list(pool.map(run_restart, job_list))
+    except (OSError, RuntimeError, PermissionError):
+        # pool creation can fail in constrained environments (no /dev/shm,
+        # process limits); the serial path computes the same result
+        return [run_restart(job) for job in job_list]
+
+
+def best_outcome(outcomes: Sequence[RestartOutcome]) -> RestartOutcome:
+    """The winning restart: lowest total cost, earliest index on ties.
+
+    The index tie-break makes the winner independent of completion order,
+    which keeps multi-worker runs bit-identical to serial ones.
+    """
+    if not outcomes:
+        raise AllocationError("no restart outcomes to choose from")
+    return min(outcomes, key=lambda o: (o.cost.total, o.index))
+
+
+def rebuild_binding(job: RestartJob, outcome: RestartOutcome) -> Binding:
+    """Materialize a full :class:`Binding` from a restart outcome."""
+    binding = Binding(job.schedule, list(job.fus), list(job.regs),
+                      weights=job.weights)
+    binding.restore_state(dict(outcome.state))
+    return binding

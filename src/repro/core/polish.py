@@ -208,9 +208,11 @@ def sweep_passthroughs(binding: Binding, current: float) -> float:
     return current
 
 
-def polish(binding: Binding, move_set: MoveSet = MoveSet(),
+def polish(binding: Binding, move_set: Optional[MoveSet] = None,
            max_rounds: int = 10) -> float:
     """Hill-climb to a local optimum; returns the final total cost."""
+    if move_set is None:
+        move_set = MoveSet()
     current = binding.cost().total
     for _ in range(max_rounds):
         before = current

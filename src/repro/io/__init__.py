@@ -2,7 +2,8 @@
 
 from repro.io.json_io import (SerializationError, binding_from_json,
                               binding_to_json, cdfg_from_json, cdfg_to_json,
-                              schedule_from_json, schedule_to_json)
+                              schedule_from_json, schedule_to_json,
+                              stats_from_json, stats_to_json)
 from repro.io.textual import format_cdfg, parse_cdfg
 from repro.io.expr import cdfg_from_assignments
 
@@ -10,4 +11,5 @@ __all__ = [
     "SerializationError", "binding_from_json", "binding_to_json",
     "cdfg_from_assignments", "cdfg_from_json", "cdfg_to_json",
     "format_cdfg", "parse_cdfg", "schedule_from_json", "schedule_to_json",
+    "stats_from_json", "stats_to_json",
 ]

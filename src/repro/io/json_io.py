@@ -26,6 +26,7 @@ from repro.datapath.cost import CostWeights
 from repro.datapath.units import FU, FUType, HardwareSpec, Register
 from repro.sched.schedule import Schedule
 from repro.core.binding import Binding
+from repro.core.improve import ImproveStats
 
 FORMAT_VERSION = 1
 
@@ -189,6 +190,23 @@ def binding_from_json(text: str) -> Binding:
                        (entry["src_reg"], entry["fu"], entry["port"]))
     binding.flush()
     return binding
+
+
+# ---------------------------------------------------------- search stats
+
+def stats_to_json(all_stats: List[ImproveStats]) -> str:
+    """Serialize the telemetry of one or more improvement runs."""
+    return json.dumps({
+        "format": FORMAT_VERSION,
+        "type": "improve_stats",
+        "runs": [stats.to_dict() for stats in all_stats],
+    }, indent=2, sort_keys=True)
+
+
+def stats_from_json(text: str) -> List[ImproveStats]:
+    """Rebuild the :class:`ImproveStats` list from :func:`stats_to_json`."""
+    data = _load(text, "improve_stats")
+    return [ImproveStats.from_dict(entry) for entry in data["runs"]]
 
 
 # ------------------------------------------------------------------ utils

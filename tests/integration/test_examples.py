@@ -22,6 +22,8 @@ def run_example(name, *args, timeout=240):
     ("custom_kernel.py", (), "verified over 8 samples"),
     ("dct_pipeline.py", ("--csteps", "10"), "wrote"),
     ("full_backend.py", (), "reloaded binding re-verified"),
+    ("parallel_restarts.py", ("--fast", "--workers", "2"),
+     "serial re-run bit-identical: yes"),
 ])
 def test_example_runs(name, args, expect, tmp_path):
     proc = run_example(name, *args)

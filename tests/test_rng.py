@@ -4,7 +4,44 @@ import random
 
 import pytest
 
-from repro.rng import make_rng, weighted_choice
+from repro.rng import SeedStream, make_rng, weighted_choice
+
+
+class TestSeedStream:
+    def test_children_deterministic(self):
+        assert SeedStream(7).child(3) == SeedStream(7).child(3)
+        assert SeedStream(7).child(1, 2) == SeedStream(7).child(1, 2)
+
+    def test_children_distinct(self):
+        seeds = SeedStream(0).spawn(512)
+        assert len(set(seeds)) == 512
+
+    def test_no_adjacent_collisions_across_roots(self):
+        # the failure mode of seed/seed+1 arithmetic: restart k's second
+        # seed colliding with restart k+1's first
+        seeds = [SeedStream(root).child(k, phase)
+                 for root in range(8) for k in range(8)
+                 for phase in (0, 1)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_paths_are_not_flattened(self):
+        stream = SeedStream(1)
+        assert stream.child(1, 2) != stream.child(12)
+        assert stream.child(1, 2) != stream.child(2, 1)
+
+    def test_split_matches_child_root(self):
+        stream = SeedStream(3)
+        assert stream.split(5).child(0) == \
+            SeedStream(stream.child(5)).child(0)
+
+    def test_non_int_roots(self):
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        assert SeedStream(rng_a).child(0) == SeedStream(rng_b).child(0)
+        assert isinstance(SeedStream(None).child(0), int)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            SeedStream(0).child()
 
 
 class TestMakeRng:
