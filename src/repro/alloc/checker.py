@@ -177,6 +177,17 @@ def check_binding(binding: "Binding") -> List[str]:
             f"ledger out of sync with state: mux {binding.ledger.mux_count} "
             f"vs {fresh.mux_count}, wires {binding.ledger.wire_count} vs "
             f"{fresh.wire_count}")
+    live_uses = binding.ledger.use_counts()
+    fresh_uses = fresh.use_counts()
+    if live_uses != fresh_uses:
+        # totals can agree while individual refcounts drift; report the
+        # first few per-connection discrepancies explicitly
+        diffs = sorted(key for key in set(live_uses) | set(fresh_uses)
+                       if live_uses.get(key, 0) != fresh_uses.get(key, 0))
+        for key in diffs[:4]:
+            problems.append(
+                f"connection {key} refcount {live_uses.get(key, 0)} in "
+                f"ledger but {fresh_uses.get(key, 0)} derived from state")
 
     return problems
 

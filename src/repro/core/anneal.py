@@ -20,6 +20,7 @@ from repro.rng import RngLike, make_rng, weighted_choice
 from repro.core.binding import Binding
 from repro.core.improve import ImproveStats
 from repro.core.moves import MoveSet, rollback
+from repro.verify.sanitizer import make_sanitizer
 
 
 @dataclass
@@ -33,6 +34,10 @@ class AnnealConfig:
     min_temperature: float = 0.05
     move_set: MoveSet = field(default_factory=MoveSet)
     seed: RngLike = 0
+    #: run the shadow-state sanitizer (:mod:`repro.verify.sanitizer`)
+    #: alongside the annealing; also forced on by ``REPRO_SANITIZE=1``
+    sanitize: bool = False
+    sanitize_every: int = 64
 
 
 def anneal(binding: Binding,
@@ -47,6 +52,11 @@ def anneal(binding: Binding,
     weights = [m[2] for m in moves]
 
     stats = ImproveStats()
+    sanitizer = make_sanitizer(
+        binding, config.sanitize, config.sanitize_every,
+        context=f"anneal(seed={config.seed!r})")
+    if sanitizer is not None:
+        sanitizer.check()
     stats.initial_cost = binding.cost()
     current = stats.initial_cost.total
     best = current
@@ -58,6 +68,8 @@ def anneal(binding: Binding,
         for _ in range(config.moves_per_level):
             stats.moves_attempted += 1
             name = weighted_choice(rng, names, weights)
+            if sanitizer is not None:
+                sanitizer.pre_move(name, stats.moves_attempted)
             undos = fns[name](binding, rng)
             if undos is None:
                 continue
@@ -72,14 +84,20 @@ def anneal(binding: Binding,
                 if current < best - 1e-9:
                     best = current
                     best_state = binding.clone_state()
+                if sanitizer is not None:
+                    sanitizer.after_accept(name, stats.moves_attempted)
             else:
                 rollback(undos)
                 binding.flush()
+                if sanitizer is not None:
+                    sanitizer.after_rollback(name, stats.moves_attempted)
         stats.cost_trace.append(current)
         temperature *= config.cooling
         if temperature < config.min_temperature:
             break
 
     binding.restore_state(best_state)
+    if sanitizer is not None:
+        sanitizer.check()
     stats.final_cost = binding.cost()
     return stats

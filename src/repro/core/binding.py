@@ -477,6 +477,27 @@ class Binding:
 
     # -------------------------------------------------------------- snapshots
 
+    def derived_snapshot(self) -> Dict[str, object]:
+        """Canonical snapshot of all incrementally-maintained derived state.
+
+        Two bindings with the same decisions must produce bit-identical
+        snapshots; :mod:`repro.verify.sanitizer` compares the live binding
+        against a shadow rebuilt from :meth:`clone_state` to detect stale
+        sites, bad undo closures, or ledger drift.
+        """
+        if self._dirty:
+            self.flush()
+        return {
+            "reg_occ": dict(self.reg_occ),
+            "fu_tokens": dict(self.fu_tokens),
+            "fu_load": {n: c for n, c in self._fu_load.items() if c},
+            "reg_load": {n: c for n, c in self._reg_load.items() if c},
+            "site_events": {key: tuple(events)
+                            for key, events in self._site_events.items()
+                            if events},
+            "uses": self.ledger.use_counts(),
+        }
+
     def duplicate(self) -> "Binding":
         """A fresh, independent Binding with the same decisions."""
         twin = Binding(self.schedule, list(self.fus.values()),

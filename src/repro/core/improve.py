@@ -33,6 +33,7 @@ from repro.core.binding import Binding
 from repro.core.moves import MoveSet, rollback
 from repro.core.polish import polish
 from repro.datapath.cost import CostBreakdown, CostWeights
+from repro.verify.sanitizer import make_sanitizer
 
 
 @dataclass
@@ -51,6 +52,12 @@ class ImproveConfig:
     polish_trials: bool = True
     move_set: MoveSet = field(default_factory=MoveSet)
     seed: RngLike = 0
+    #: run the shadow-state sanitizer (:mod:`repro.verify.sanitizer`)
+    #: alongside the search; also forced on by ``REPRO_SANITIZE=1``
+    sanitize: bool = False
+    #: probe density: every Nth attempt gets a rollback round-trip check
+    #: and every Nth acceptance a full shadow-rebuild equivalence check
+    sanitize_every: int = 64
 
 
 @dataclass
@@ -209,10 +216,15 @@ def improve(binding: Binding,
     stats = ImproveStats()
     if isinstance(config.seed, int):
         stats.seed = config.seed
+    sanitizer = make_sanitizer(
+        binding, config.sanitize, config.sanitize_every,
+        context=f"improve(seed={config.seed!r})")
     stats.initial_cost = binding.cost()
     current = stats.initial_cost.total
     if config.polish_trials:
         current = polish(binding, config.move_set)
+    if sanitizer is not None:
+        sanitizer.check()
     best = current
     best_state = binding.clone_state()
     stats.best_trace.append((0, best))
@@ -231,6 +243,8 @@ def improve(binding: Binding,
             name = weighted_choice(rng, names, weights)
             counters = stats.counters_for(name)
             counters.attempts += 1
+            if sanitizer is not None:
+                sanitizer.pre_move(name, stats.moves_attempted)
             undos = fns[name](binding, rng)
             if undos is None:
                 continue
@@ -254,10 +268,14 @@ def improve(binding: Binding,
                     best_state = binding.clone_state()
                     stats.best_trace.append((stats.moves_attempted, best))
                     improved_this_trial = True
+                if sanitizer is not None:
+                    sanitizer.after_accept(name, stats.moves_attempted)
             else:
                 counters.rollbacks += 1
                 rollback(undos)
                 binding.flush()
+                if sanitizer is not None:
+                    sanitizer.after_rollback(name, stats.moves_attempted)
         if config.polish_trials:
             current = polish(binding, config.move_set)
             if current < best - 1e-9:
@@ -276,6 +294,8 @@ def improve(binding: Binding,
                 break
 
     binding.restore_state(best_state)
+    if sanitizer is not None:
+        sanitizer.check()
     stats.final_cost = binding.cost()
     stats.seconds = time.perf_counter() - started
     return stats

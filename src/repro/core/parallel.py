@@ -30,7 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import AllocationError
@@ -40,6 +40,7 @@ from repro.sched.schedule import Schedule
 from repro.core.binding import Binding
 from repro.core.improve import ImproveConfig, ImproveStats, improve
 from repro.core.initial import initial_allocation
+from repro.verify.sanitizer import sanitize_enabled
 
 
 @dataclass(frozen=True)
@@ -75,7 +76,13 @@ def run_restart(job: RestartJob) -> RestartOutcome:
     binding = initial_allocation(job.schedule, list(job.fus),
                                  list(job.regs), weights=job.weights,
                                  allow_split=job.allow_split)
-    stats = [improve(binding, config) for config in job.configs]
+    configs = job.configs
+    if sanitize_enabled():
+        # REPRO_SANITIZE=1 reaches workers through the environment even
+        # when the job's configs were prepared before it was set
+        configs = tuple(replace(config, sanitize=True)
+                        for config in configs)
+    stats = [improve(binding, config) for config in configs]
     return RestartOutcome(index=job.index, state=binding.clone_state(),
                           cost=binding.cost(), stats=stats,
                           seconds=time.perf_counter() - started)

@@ -134,6 +134,16 @@ class ConnectionLedger:
     def uses(self, src: Endpoint, sink: Endpoint) -> int:
         return self._uses.get((src, sink), 0)
 
+    def use_counts(self) -> Dict[Connection, int]:
+        """Snapshot of every connection's reference count.
+
+        The sanitizer and the legality checker compare this against a
+        from-scratch re-derivation: totals (``mux_count``/``wire_count``)
+        can agree while an individual connection's count is off, so the
+        per-connection map is the stronger oracle.
+        """
+        return dict(self._uses)
+
     def verify(self) -> None:
         """Cross-check the incremental counters (used by tests)."""
         fanin = Counter(sink for (_src, sink) in self._uses)

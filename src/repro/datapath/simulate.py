@@ -147,19 +147,21 @@ def simulate_binding(binding, input_streams: Mapping[str, Sequence[float]],
         input_streams, initial_values, iterations)
 
 
-def verify_binding(binding, iterations: int = 4, seed: int = 0,
+def verify_binding(binding, iterations: int = 4, seed=0,
                    tol: float = 1e-9) -> SimTrace:
     """Simulate the allocated datapath on random stimuli and compare every
     sampled output against the CDFG interpreter.
 
     Raises :class:`DatapathError` on the first mismatch; returns the trace
     on success.  This is the library's end-to-end proof that a binding
-    implements its CDFG.
+    implements its CDFG.  *seed* is any :data:`repro.rng.RngLike`; stimuli
+    are drawn through :func:`repro.rng.make_rng` so differential fuzz runs
+    stay reproducible end-to-end.
     """
-    import random
+    from repro.rng import make_rng
 
     graph: CDFG = binding.graph
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     if not graph.cyclic:
         iterations = 1
     # a loop-carried output born exactly at the iteration boundary is only

@@ -1,0 +1,123 @@
+"""Command-line entry point of the differential fuzzer.
+
+Examples::
+
+    # quick local run, 30 seconds, fixed seed, reproducers in results/fuzz
+    PYTHONPATH=src python -m repro.verify --budget 30s --seed 0
+
+    # nightly CI lane: date-derived seed, fail only on NEW failure buckets
+    PYTHONPATH=src python -m repro.verify --budget 300s --seed from-date \\
+        --known results/fuzz/buckets.json
+
+Exit status is 0 for a clean run (or when every failure falls into a known
+bucket from ``--known``), 1 when a new failure bucket appeared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.verify.fuzz import FuzzCase, FuzzConfig, FuzzFailure, run_fuzz
+
+
+def parse_budget(text: str) -> float:
+    """Parse a time budget: ``300``, ``300s``, ``5m``, ``1h``."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("s"):
+        text = text[:-1]
+    elif text.endswith("m"):
+        text, scale = text[:-1], 60.0
+    elif text.endswith("h"):
+        text, scale = text[:-1], 3600.0
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad budget {text!r}")
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return seconds
+
+
+def parse_seed(text: str) -> int:
+    """An integer seed, or ``from-date`` for a daily deterministic seed."""
+    if text.strip().lower() == "from-date":
+        return int(time.strftime("%Y%m%d"))
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be an integer or 'from-date', got {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential fuzzer for the SALSA allocation pipeline")
+    parser.add_argument("--budget", type=parse_budget, default=None,
+                        metavar="TIME",
+                        help="wall-clock budget, e.g. 30s, 5m (default: "
+                             "none; falls back to --max-cases)")
+    parser.add_argument("--max-cases", type=int, default=None, metavar="N",
+                        help="stop after N cases (default 20 when no "
+                             "--budget is given)")
+    parser.add_argument("--seed", type=parse_seed, default=0,
+                        help="root seed (integer) or 'from-date'")
+    parser.add_argument("--out", default="results/fuzz", metavar="DIR",
+                        help="directory for reproducers and buckets.json "
+                             "(default results/fuzz)")
+    parser.add_argument("--known", default=None, metavar="FILE",
+                        help="baseline buckets.json; only NEW buckets fail "
+                             "the run")
+    parser.add_argument("--min-ops", type=int, default=6)
+    parser.add_argument("--max-ops", type=int, default=18)
+    parser.add_argument("--sanitize-every", type=int, default=8,
+                        metavar="N", help="sanitizer probe density")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing failing cases")
+    parser.add_argument("--inject", choices=["undo"], default=None,
+                        help="test-only fault injection")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress lines")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = FuzzConfig(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        max_cases=args.max_cases,
+        min_ops=args.min_ops,
+        max_ops=args.max_ops,
+        sanitize_every=args.sanitize_every,
+        shrink=not args.no_shrink,
+        out_dir=args.out,
+        known_buckets=args.known,
+        inject=args.inject,
+    )
+
+    def progress(case: FuzzCase, failure: Optional[FuzzFailure]) -> None:
+        if args.quiet:
+            return
+        verdict = "ok" if failure is None else \
+            f"FAIL {failure.signature}"
+        print(f"case {case.index:4d} ops={case.n_ops:3d} "
+              f"sched={case.scheduler:<4s} seed={case.seed}: {verdict}",
+              flush=True)
+
+    report = run_fuzz(config, progress=progress)
+    print(report.summary())
+    print(f"elapsed: {report.elapsed:.1f}s; reproducers in "
+          f"{args.out}" if report.reproducer_paths else
+          f"elapsed: {report.elapsed:.1f}s")
+    if report.new_buckets:
+        print(f"NEW failure bucket(s): {', '.join(report.new_buckets)}")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Crash bucketing and reproducer emission for the differential fuzzer.
+
+Failures are grouped by a *failure signature* — stage, exception type, and
+a normalized message with identifiers and numbers abstracted away — so a
+single root cause maps to one bucket no matter which random graph tripped
+it.  Each bucket remembers its first (and, after shrinking, smallest)
+failing case and can be written to disk as a runnable reproducer:
+
+* ``results/fuzz/buckets.json`` — every bucket with its cases;
+* ``results/fuzz/repro_<signature>.py`` — a standalone script that replays
+  the shrunk case and exits 1 while the failure still reproduces.
+
+The nightly CI lane keeps ``buckets.json`` from previous runs as the
+known-failure baseline and fails only when a *new* signature appears.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+_QUOTED = re.compile(r"'[^']*'|\"[^\"]*\"")
+_HEXNUM = re.compile(r"0x[0-9a-fA-F]+")
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?(?:e-?\d+)?")
+_SPACE = re.compile(r"\s+")
+
+
+def normalize_message(message: str) -> str:
+    """Strip run-specific detail (names, numbers) from an error message."""
+    text = _QUOTED.sub("<id>", message)
+    text = _HEXNUM.sub("<n>", text)
+    text = _NUMBER.sub("<n>", text)
+    return _SPACE.sub(" ", text).strip()
+
+
+def failure_signature(stage: str, exc_type: str, message: str) -> str:
+    """Stable bucket key for one failure mode.
+
+    Only the headline (first line) of the message participates: detail
+    lines carry per-case diffs that would split one root cause into many
+    buckets.
+    """
+    headline = message.splitlines()[0] if message else ""
+    normalized = normalize_message(headline)
+    digest = hashlib.sha256(
+        f"{stage}|{exc_type}|{normalized}".encode()).hexdigest()[:10]
+    return f"{stage}-{exc_type}-{digest}"
+
+
+@dataclass
+class Bucket:
+    """All observed failures sharing one signature."""
+
+    signature: str
+    stage: str
+    exc_type: str
+    example_message: str
+    #: serialized :class:`~repro.verify.fuzz.FuzzCase` dicts, first hit first
+    cases: List[Dict[str, Any]] = field(default_factory=list)
+    #: smallest still-failing case found by the shrinker (serialized)
+    shrunk: Optional[Dict[str, Any]] = None
+    hits: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "signature": self.signature,
+            "stage": self.stage,
+            "exc_type": self.exc_type,
+            "example_message": self.example_message,
+            "cases": list(self.cases),
+            "shrunk": self.shrunk,
+            "hits": self.hits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Bucket":
+        return cls(signature=data["signature"], stage=data["stage"],
+                   exc_type=data["exc_type"],
+                   example_message=data["example_message"],
+                   cases=list(data["cases"]), shrunk=data.get("shrunk"),
+                   hits=data.get("hits", len(data["cases"])))
+
+
+class Corpus:
+    """A set of failure buckets accumulated over one or more fuzz runs."""
+
+    def __init__(self) -> None:
+        self.buckets: Dict[str, Bucket] = {}
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def add(self, signature: str, stage: str, exc_type: str, message: str,
+            case: Dict[str, Any],
+            shrunk: Optional[Dict[str, Any]] = None) -> bool:
+        """Record one failure; returns True when the bucket is new."""
+        bucket = self.buckets.get(signature)
+        new = bucket is None
+        if bucket is None:
+            bucket = self.buckets[signature] = Bucket(
+                signature=signature, stage=stage, exc_type=exc_type,
+                example_message=message)
+        bucket.hits += 1
+        if case not in bucket.cases:
+            bucket.cases.append(case)
+        if shrunk is not None:
+            bucket.shrunk = shrunk
+        return new
+
+    def signatures(self) -> List[str]:
+        return sorted(self.buckets)
+
+    def new_signatures(self, known: Set[str]) -> List[str]:
+        """Buckets not present in the *known* baseline set."""
+        return sorted(set(self.buckets) - set(known))
+
+    def summary(self) -> str:
+        """Deterministic multi-line description of the corpus."""
+        if not self.buckets:
+            return "corpus: no failures"
+        lines = [f"corpus: {len(self.buckets)} bucket(s)"]
+        for signature in self.signatures():
+            bucket = self.buckets[signature]
+            lines.append(
+                f"  {signature}: {bucket.hits} hit(s), stage "
+                f"{bucket.stage}, {bucket.exc_type}: "
+                f"{normalize_message(bucket.example_message)[:100]}")
+        return "\n".join(lines)
+
+    # -------------------------------------------------------- persistence
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"format": "repro.fuzz-corpus/1",
+                "buckets": [self.buckets[s].to_dict()
+                            for s in self.signatures()]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Corpus":
+        corpus = cls()
+        for entry in data.get("buckets", []):
+            bucket = Bucket.from_dict(entry)
+            corpus.buckets[bucket.signature] = bucket
+        return corpus
+
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Corpus":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    @staticmethod
+    def known_signatures(path: Optional[str]) -> Set[str]:
+        """Signatures recorded in a baseline file; empty when absent."""
+        if not path or not os.path.exists(path):
+            return set()
+        return set(Corpus.load(path).buckets)
+
+    # -------------------------------------------------------- reproducers
+
+    def write_reproducers(self, out_dir: str,
+                          inject: Optional[str] = None,
+                          sanitize_every: int = 8) -> List[str]:
+        """Write ``buckets.json`` plus one runnable script per bucket."""
+        os.makedirs(out_dir, exist_ok=True)
+        paths: List[str] = []
+        buckets_path = os.path.join(out_dir, "buckets.json")
+        self.save(buckets_path)
+        paths.append(buckets_path)
+        for signature in self.signatures():
+            bucket = self.buckets[signature]
+            case = bucket.shrunk or (bucket.cases[0] if bucket.cases
+                                     else None)
+            if case is None:
+                continue
+            script = os.path.join(out_dir, f"repro_{signature}.py")
+            with open(script, "w") as handle:
+                handle.write(_reproducer_script(bucket, case, inject,
+                                                sanitize_every))
+            paths.append(script)
+        return paths
+
+
+def _reproducer_script(bucket: Bucket, case: Dict[str, Any],
+                       inject: Optional[str], sanitize_every: int) -> str:
+    case_json = json.dumps(case, indent=2, sort_keys=True)
+    return f'''"""Auto-generated fuzz reproducer — bucket {bucket.signature}.
+
+Stage: {bucket.stage}
+Exception: {bucket.exc_type}
+Message: {normalize_message(bucket.example_message)[:200]}
+
+Run with ``PYTHONPATH=src python {os.path.basename("repro_" + bucket.signature + ".py")}``;
+exits 1 while the failure still reproduces, 0 once it is fixed.
+"""
+
+import json
+import sys
+
+from repro.verify.fuzz import FuzzCase, run_case
+
+CASE = json.loads("""{case_json}""")
+INJECT = {inject!r}
+SANITIZE_EVERY = {sanitize_every}
+
+
+def main() -> int:
+    failure = run_case(FuzzCase.from_dict(CASE), inject=INJECT,
+                       sanitize_every=SANITIZE_EVERY)
+    if failure is None:
+        print("no longer reproduces: {bucket.signature}")
+        return 0
+    print(f"reproduced {{failure.signature}} at stage {{failure.stage}}:")
+    print(f"  {{failure.exc_type}}: {{failure.message}}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''

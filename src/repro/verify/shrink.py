@@ -1,0 +1,127 @@
+"""Greedy minimization of a failing fuzz case.
+
+A failing case is fully described by its :class:`~repro.verify.fuzz.FuzzCase`
+(root seed, graph-shape parameters, scheduler, and search budgets) — replay
+is deterministic, so shrinking is a search over that parameter vector for
+the smallest case that still fails *with the same signature*.  The shrinker
+walks each dimension greedily: it first tries the dimension's floor (the
+biggest possible reduction), then bisects toward the current value,
+accepting any candidate that preserves the failure, and repeats passes
+until a fixpoint or the attempt budget runs out.
+
+Smaller reproducers matter twice over: they replay in milliseconds in CI,
+and a 6-op graph with one trial of a dozen moves is something a human can
+actually step through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily: fuzz imports shrink, not vice versa
+    from repro.verify.fuzz import FuzzCase
+
+#: dimensions shrunk toward a floor, in the order tried; budgets first
+#: (cheapest wins), then graph shape
+_INT_DIMENSIONS: Tuple[Tuple[str, int], ...] = (
+    ("restarts", 1),
+    ("max_trials", 1),
+    ("moves_per_trial", 8),
+    ("uphill", 0),
+    ("iterations", 1),
+    ("extra_registers", 0),
+    ("length_slack", 0),
+    ("n_ops", 2),
+    ("n_inputs", 1),
+)
+
+_FLOAT_DIMENSIONS: Tuple[Tuple[str, float], ...] = (
+    ("loop_fraction", 0.0),
+    ("const_fraction", 0.0),
+)
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    case: "FuzzCase"           # the smallest still-failing case
+    attempts: int = 0          # replays spent
+    reductions: int = 0        # accepted shrink steps
+    trace: List[str] = field(default_factory=list)
+
+
+def shrink_case(case: "FuzzCase", target_signature: str,
+                replay: Callable[["FuzzCase"], Optional[str]],
+                max_attempts: int = 64) -> ShrinkResult:
+    """Minimize *case* while ``replay(case) == target_signature``.
+
+    *replay* runs a candidate and returns its failure signature (or ``None``
+    when it passes); candidates failing with a *different* signature are
+    rejected too, so the reproducer stays pinned to the original bug.
+    """
+    result = ShrinkResult(case=case)
+
+    def still_fails(candidate: "FuzzCase") -> bool:
+        if result.attempts >= max_attempts:
+            return False
+        result.attempts += 1
+        return replay(candidate) == target_signature
+
+    progress = True
+    while progress and result.attempts < max_attempts:
+        progress = False
+        for name, floor in _INT_DIMENSIONS:
+            progress |= _shrink_int(result, name, floor, still_fails)
+        for name, floor in _FLOAT_DIMENSIONS:
+            progress |= _shrink_float(result, name, floor, still_fails)
+    return result
+
+
+def _accept(result: ShrinkResult, name: str, old: object,
+            candidate: "FuzzCase") -> None:
+    new = getattr(candidate, name)
+    result.case = candidate
+    result.reductions += 1
+    result.trace.append(f"{name}: {old} -> {new}")
+
+
+def _shrink_int(result: ShrinkResult, name: str, floor: int,
+                still_fails: Callable[["FuzzCase"], bool]) -> bool:
+    current = getattr(result.case, name)
+    if current <= floor:
+        return False
+    # floor first (largest cut), then bisection toward the current value
+    candidate = replace(result.case, **{name: floor})
+    if still_fails(candidate):
+        _accept(result, name, current, candidate)
+        return True
+    progressed = False
+    low, high = floor, current
+    while high - low > 1:
+        mid = (low + high) // 2
+        candidate = replace(result.case, **{name: mid})
+        if still_fails(candidate):
+            _accept(result, name, high, candidate)
+            high = mid
+            progressed = True
+        else:
+            low = mid
+    return progressed
+
+
+def _shrink_float(result: ShrinkResult, name: str, floor: float,
+                  still_fails: Callable[["FuzzCase"], bool]) -> bool:
+    current = getattr(result.case, name)
+    if current <= floor + 1e-12:
+        return False
+    candidate = replace(result.case, **{name: floor})
+    if still_fails(candidate):
+        _accept(result, name, current, candidate)
+        return True
+    candidate = replace(result.case, **{name: round(current / 2, 4)})
+    if still_fails(candidate):
+        _accept(result, name, current, candidate)
+        return True
+    return False

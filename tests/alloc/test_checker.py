@@ -59,3 +59,41 @@ class TestCheckerCatchesCorruption:
         key = next(iter(sorted(b.fu_tokens)))
         del b.fu_tokens[key]
         assert any("token" in p for p in check_binding(b))
+
+    def test_stale_occupancy_extra_entry(self, diffeq_binding):
+        """A reg_occ entry with no backing placement must be reported."""
+        b = diffeq_binding
+        b.flush()
+        free = next(r for r in sorted(b.regs) if (r, 0) not in b.reg_occ)
+        vname = next(iter(sorted(b.graph.values)))
+        b.reg_occ[(free, 0)] = vname  # bypass the primitives
+        assert any("reg_occ" in p for p in check_binding(b))
+
+    def test_dangling_read_source(self, diffeq_binding):
+        """A consumer whose read_src entry vanished must be reported."""
+        b = diffeq_binding
+        key = next(iter(sorted(b.read_src)))
+        del b.read_src[key]  # bypass the primitives
+        assert any("no read source" in p for p in check_binding(b))
+
+    def test_ledger_refcount_off_by_one(self, diffeq_binding):
+        """One phantom connection use leaves mux/wire totals untouched but
+        must still be caught by the per-connection refcount comparison."""
+        b = diffeq_binding
+        b.flush()
+        assert check_binding(b) == []
+        (src, sink), _count = next(iter(sorted(
+            b.ledger.use_counts().items())))
+        b.ledger.add(src, sink)
+        problems = check_binding(b)
+        assert any("refcount" in p for p in problems)
+
+    def test_ledger_refcount_missing_use(self, diffeq_binding):
+        """The symmetric corruption: a dropped use is caught too."""
+        b = diffeq_binding
+        b.flush()
+        (src, sink), _count = next(iter(sorted(
+            b.ledger.use_counts().items())))
+        b.ledger.remove(src, sink)
+        assert any("refcount" in p or "out of sync" in p
+                   for p in check_binding(b))

@@ -1,0 +1,180 @@
+"""Shrinker and crash-bucketing units (no allocator in the loop)."""
+
+import json
+
+from repro.rng import SeedStream
+from repro.verify.corpus import (Bucket, Corpus, failure_signature,
+                                 normalize_message)
+from repro.verify.fuzz import FuzzCase, FuzzConfig, sample_case
+from repro.verify.shrink import shrink_case
+
+
+def _base_case(**overrides):
+    case = sample_case(SeedStream(2), 0, FuzzConfig(min_ops=14, max_ops=14))
+    data = {**case.to_dict(), "n_ops": 14, "restarts": 2, "max_trials": 3,
+            "moves_per_trial": 160, "uphill": 6, "iterations": 4,
+            "extra_registers": 2, "length_slack": 2, "n_inputs": 3,
+            "loop_fraction": 0.2, "const_fraction": 0.3}
+    data.update(overrides)
+    return FuzzCase.from_dict(data)
+
+
+class TestSignatures:
+    def test_numbers_and_names_abstracted(self):
+        a = failure_signature("salsa", "SanitizerError",
+                              "cost diverged: live 14.5 vs shadow 13.0")
+        b = failure_signature("salsa", "SanitizerError",
+                              "cost diverged: live 99.25 vs shadow 7.75")
+        assert a == b
+
+    def test_quoted_identifiers_abstracted(self):
+        a = failure_signature("salsa", "BindingError",
+                              "operation 'a1' unbound")
+        b = failure_signature("salsa", "BindingError",
+                              "operation 'm17' unbound")
+        assert a == b
+
+    def test_stage_and_type_distinguish(self):
+        msg = "boom"
+        assert failure_signature("salsa", "X", msg) != \
+            failure_signature("traditional", "X", msg)
+        assert failure_signature("salsa", "X", msg) != \
+            failure_signature("salsa", "Y", msg)
+
+    def test_only_headline_participates(self):
+        """Detail lines carry per-case diffs and must not split buckets."""
+        a = failure_signature("salsa", "SanitizerError",
+                              "round-trip failed\n  read_src[('a1', 0)] ...")
+        b = failure_signature("salsa", "SanitizerError",
+                              "round-trip failed\n  reg_occ[('R3', 5)] ...")
+        assert a == b
+
+    def test_normalize_message(self):
+        assert normalize_message("reg 'R3' at step 7  drifted") == \
+            "reg <id> at step <n> drifted"
+
+
+class TestShrinker:
+    def test_shrinks_to_predicate_boundary(self):
+        """Greedy floor-then-bisect lands exactly on the failure boundary."""
+        sig = "stage-Exc-abc"
+
+        def replay(case):
+            return sig if case.n_ops >= 9 and case.max_trials >= 2 else None
+
+        result = shrink_case(_base_case(), sig, replay, max_attempts=64)
+        assert result.case.n_ops == 9
+        assert result.case.max_trials == 2
+        # every unconstrained dimension collapses to its floor
+        assert result.case.restarts == 1
+        assert result.case.moves_per_trial == 8
+        assert result.case.uphill == 0
+        assert result.case.loop_fraction == 0.0
+        assert result.reductions > 0
+        assert result.attempts <= 64
+
+    def test_rejects_signature_changes(self):
+        """Candidates failing differently must not be accepted."""
+        def replay(case):
+            if case.n_ops >= 9:
+                return "original"
+            return "different"  # smaller cases fail another way
+
+        result = shrink_case(_base_case(), "original", replay)
+        assert result.case.n_ops == 9
+
+    def test_respects_attempt_budget(self):
+        calls = []
+
+        def replay(case):
+            calls.append(case)
+            return "sig"
+
+        shrink_case(_base_case(), "sig", replay, max_attempts=5)
+        assert len(calls) <= 5
+
+    def test_already_minimal_case_untouched(self):
+        minimal = _base_case(n_ops=2, n_inputs=1, restarts=1, max_trials=1,
+                             moves_per_trial=8, uphill=0, iterations=1,
+                             extra_registers=0, length_slack=0,
+                             loop_fraction=0.0, const_fraction=0.0)
+        result = shrink_case(minimal, "sig", lambda case: "sig")
+        assert result.case == minimal
+        assert result.reductions == 0
+
+
+class TestCorpus:
+    def _add(self, corpus, message="cost diverged: live 1 vs shadow 2",
+             stage="salsa", case_index=0):
+        case = {"index": case_index, "seed": 1}
+        sig = failure_signature(stage, "SanitizerError", message)
+        return sig, corpus.add(sig, stage, "SanitizerError", message, case)
+
+    def test_same_signature_one_bucket(self):
+        corpus = Corpus()
+        sig1, new1 = self._add(corpus, case_index=0)
+        sig2, new2 = self._add(corpus,
+                               message="cost diverged: live 8 vs shadow 9",
+                               case_index=1)
+        assert sig1 == sig2
+        assert new1 and not new2
+        assert len(corpus) == 1
+        assert corpus.buckets[sig1].hits == 2
+        assert len(corpus.buckets[sig1].cases) == 2
+
+    def test_new_signatures_against_baseline(self):
+        corpus = Corpus()
+        sig_a, _ = self._add(corpus, stage="salsa")
+        sig_b, _ = self._add(corpus, stage="invariants")
+        assert corpus.new_signatures(set()) == sorted([sig_a, sig_b])
+        assert corpus.new_signatures({sig_a}) == [sig_b]
+        assert corpus.new_signatures({sig_a, sig_b}) == []
+
+    def test_dict_roundtrip_and_save_load(self, tmp_path):
+        corpus = Corpus()
+        sig, _ = self._add(corpus)
+        corpus.buckets[sig].shrunk = {"index": 0, "seed": 1}
+        path = tmp_path / "buckets.json"
+        corpus.save(str(path))
+        loaded = Corpus.load(str(path))
+        assert loaded.to_dict() == corpus.to_dict()
+        assert Corpus.known_signatures(str(path)) == {sig}
+
+    def test_known_signatures_missing_file(self, tmp_path):
+        assert Corpus.known_signatures(None) == set()
+        assert Corpus.known_signatures(str(tmp_path / "absent.json")) == set()
+
+    def test_summary_deterministic_and_normalized(self):
+        corpus = Corpus()
+        self._add(corpus, message="reg 'R3' drifted by 0.5")
+        summary = corpus.summary()
+        assert summary == corpus.summary()
+        assert "<id>" in summary and "<n>" in summary
+        assert Corpus().summary() == "corpus: no failures"
+
+    def test_bucket_from_dict_defaults(self):
+        bucket = Bucket.from_dict({
+            "signature": "s-X-1", "stage": "s", "exc_type": "X",
+            "example_message": "m", "cases": [{"index": 0}]})
+        assert bucket.hits == 1
+        assert bucket.shrunk is None
+
+    def test_write_reproducers_prefers_shrunk_case(self, tmp_path):
+        corpus = Corpus()
+        case = sample_case(SeedStream(4), 0,
+                           FuzzConfig(min_ops=6, max_ops=8)).to_dict()
+        shrunk = {**case, "n_ops": 2}
+        sig = failure_signature("salsa", "SanitizerError", "boom")
+        corpus.add(sig, "salsa", "SanitizerError", "boom", case,
+                   shrunk=shrunk)
+        paths = corpus.write_reproducers(str(tmp_path), inject="undo",
+                                         sanitize_every=1)
+        script = tmp_path / f"repro_{sig}.py"
+        assert str(script) in paths
+        text = script.read_text()
+        compile(text, str(script), "exec")
+        assert '"n_ops": 2' in text
+        assert "INJECT = 'undo'" in text
+        assert "SANITIZE_EVERY = 1" in text
+        data = json.loads((tmp_path / "buckets.json").read_text())
+        assert data["buckets"][0]["signature"] == sig
