@@ -1,0 +1,212 @@
+"""Hot-path performance harness: moves/sec and µs-per-phase.
+
+The paper's allocator re-evaluates the full cost after *every* move
+(Sec. 4), so moves/second is the number the whole reproduction stands on.
+This harness measures the randomized-improvement inner loop (polish off,
+so nothing but propose/evaluate/rollback is timed) on the paper's two
+evaluation workloads at fixed seeds and emits ``BENCH_hotpath.json`` at
+the repository root:
+
+* ``pre_change`` — the measurement recorded once on the code *before* the
+  incremental ``total_cost()`` fast path landed (kept verbatim so the
+  speedup claim stays auditable);
+* ``current`` — the full-budget measurement of the checked-out code;
+* ``smoke`` — a small fixed budget re-measured by the CI perf-smoke job,
+  which fails when the runner's moves/sec drops more than
+  ``REPRO_PERF_TOLERANCE`` (default 30%) below the committed value;
+* ``phases`` — mean µs per propose/evaluate/rollback/restore phase,
+  sampled with ``time.perf_counter_ns`` hooks inside ``improve``
+  (``ImproveConfig.profile_every``).
+
+Usage::
+
+    python benchmarks/bench_hotpath.py               # refresh current+smoke
+    python benchmarks/bench_hotpath.py --pre-change  # record the baseline
+    python benchmarks/bench_hotpath.py --check       # CI perf-smoke gate
+
+Run as a pytest benchmark (``pytest benchmarks/bench_hotpath.py``) it
+times the representative EWF smoke budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import discrete_cosine_transform, elliptic_wave_filter
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig, improve
+from repro.core.initial import initial_allocation
+
+SPEC = HardwareSpec.non_pipelined()
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..",
+                         "BENCH_hotpath.json")
+
+#: fixed-seed workloads; the full budget is what BENCH_hotpath.json
+#: records, the smoke budget is what CI re-measures on every push
+WORKLOADS: Dict[str, Dict[str, int]] = {
+    "ewf": {"length": 19, "extra_regs": 1, "seed": 1},
+    "dct": {"length": 10, "extra_regs": 1, "seed": 1},
+}
+FULL_BUDGET = {"max_trials": 6, "moves_per_trial": 1500}
+SMOKE_BUDGET = {"max_trials": 2, "moves_per_trial": 400}
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def build_binding(name: str):
+    params = WORKLOADS[name]
+    graph = elliptic_wave_filter() if name == "ewf" \
+        else discrete_cosine_transform()
+    schedule = schedule_graph(graph, SPEC, params["length"])
+    return initial_allocation(
+        schedule, SPEC.make_fus(schedule.min_fus()),
+        make_registers(schedule.min_registers() + params["extra_regs"]))
+
+
+def _make_config(name: str, budget: Dict[str, int],
+                 profile_every: int = 0) -> ImproveConfig:
+    config = ImproveConfig(max_trials=budget["max_trials"],
+                           moves_per_trial=budget["moves_per_trial"],
+                           seed=WORKLOADS[name]["seed"],
+                           polish_trials=False)
+    # the profiling knob only exists once the fast-path PR has landed;
+    # stay runnable on the pre-change code so the baseline is measurable
+    if profile_every and "profile_every" in ImproveConfig.__dataclass_fields__:
+        config.profile_every = profile_every
+    return config
+
+
+def measure(name: str, budget: Dict[str, int]) -> Dict[str, Any]:
+    """One timed improvement run; moves/sec is attempts over wall-clock."""
+    binding = build_binding(name)
+    config = _make_config(name, budget)
+    started = time.perf_counter()
+    stats = improve(binding, config)
+    seconds = time.perf_counter() - started
+    return {
+        "moves_attempted": stats.moves_attempted,
+        "seconds": round(seconds, 4),
+        "moves_per_sec": round(stats.moves_attempted / seconds, 1),
+        "final_cost_total": stats.final_cost.total,
+        "trials_run": stats.trials_run,
+        "budget": dict(budget),
+    }
+
+
+def measure_phases(name: str, budget: Dict[str, int],
+                   profile_every: int = 4) -> Dict[str, float]:
+    """Mean µs per phase, from the perf_counter_ns hooks in improve."""
+    binding = build_binding(name)
+    config = _make_config(name, budget, profile_every=profile_every)
+    stats = improve(binding, config)
+    phase_ns = getattr(stats, "phase_ns", {})
+    phase_samples = getattr(stats, "phase_samples", {})
+    return {phase: round(phase_ns[phase] / phase_samples[phase] / 1000.0, 3)
+            for phase in sorted(phase_ns) if phase_samples.get(phase)}
+
+
+def measure_all(budget: Dict[str, int],
+                phases: bool = False) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for name in WORKLOADS:
+        out[name] = measure(name, budget)
+        if phases:
+            out[name]["phase_us"] = measure_phases(name, budget)
+    out["python"] = platform.python_version()
+    return out
+
+
+def load_report(path: str = JSON_PATH) -> Dict[str, Any]:
+    if os.path.exists(path):
+        with open(path) as fh:
+            return json.load(fh)
+    return {}
+
+
+def write_report(report: Dict[str, Any], path: str = JSON_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def refresh(path: str = JSON_PATH, pre_change: bool = False) -> None:
+    report = load_report(path)
+    current = measure_all(FULL_BUDGET, phases=not pre_change)
+    if pre_change:
+        report["pre_change"] = current
+    else:
+        report["current"] = current
+        report["smoke"] = measure_all(SMOKE_BUDGET)
+        report.setdefault("pre_change", current)
+        report["speedup"] = {
+            name: round(report["current"][name]["moves_per_sec"] /
+                        report["pre_change"][name]["moves_per_sec"], 2)
+            for name in WORKLOADS}
+    write_report(report, path)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+def check(path: str = JSON_PATH,
+          tolerance: Optional[float] = None) -> int:
+    """CI perf-smoke gate: re-measure the smoke budget and compare."""
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+    committed = load_report(path).get("smoke")
+    if not committed:
+        print(f"perf-smoke: no committed smoke baseline in {path}",
+              file=sys.stderr)
+        return 1
+    failed = False
+    for name in WORKLOADS:
+        measured = measure(name, SMOKE_BUDGET)
+        baseline = committed[name]["moves_per_sec"]
+        floor = baseline * (1.0 - tolerance)
+        status = "ok" if measured["moves_per_sec"] >= floor else "REGRESSION"
+        failed = failed or status != "ok"
+        print(f"perf-smoke {name}: {measured['moves_per_sec']:.0f} moves/s "
+              f"(committed {baseline:.0f}, floor {floor:.0f}, "
+              f"tolerance {tolerance:.0%}) -> {status}")
+    return 1 if failed else 0
+
+
+def test_hotpath_smoke(benchmark):
+    """pytest-benchmark entry: one representative EWF smoke run."""
+    result = benchmark.pedantic(
+        lambda: measure("ewf", SMOKE_BUDGET), rounds=1, iterations=1)
+    assert result["moves_attempted"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=JSON_PATH,
+                        help="report path (default: repo-root "
+                             "BENCH_hotpath.json)")
+    parser.add_argument("--pre-change", action="store_true",
+                        help="record the measurement into the pre_change "
+                             "slot (run once, before the fast path)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: re-measure the smoke budget and "
+                             "fail on a >tolerance moves/sec regression")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help=f"regression tolerance for --check "
+                             f"(default {DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(args.json, args.tolerance)
+    refresh(args.json, pre_change=args.pre_change)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

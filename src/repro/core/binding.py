@@ -38,7 +38,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 from repro.errors import BindingError
 from repro.cdfg.graph import CDFG
 from repro.cdfg.lifetimes import LiveInterval
-from repro.datapath.cost import CostBreakdown, CostWeights
+from repro.datapath.cost import CostBreakdown, CostWeights, weighted_total
 from repro.datapath.interconnect import (ConnectionLedger, fu_in, fu_out,
                                          in_port, out_port, reg_in, reg_out)
 from repro.datapath.units import FU, Register
@@ -47,6 +47,12 @@ from repro.sched.schedule import Schedule
 Undo = Callable[[], None]
 SiteKey = Tuple
 PtImpl = Tuple[str, str, int]  # (src_reg, fu, fu_port)
+
+#: shared empty event list for absent sites (never mutated)
+_NO_EVENTS: List[Tuple] = []
+
+#: sentinel marking "key was absent" in the raw write journal
+_ABSENT = object()
 
 
 class Binding:
@@ -87,9 +93,33 @@ class Binding:
         self._fu_load: Counter = Counter()   # fu -> #tokens
         self._reg_load: Counter = Counter()  # reg -> #segments held
 
+        # incremental use counters, updated at 0<->1 load transitions so the
+        # weighted total (:meth:`total_cost`) is O(1) per move; the sanitizer
+        # cross-checks them against :meth:`cost_from_scratch`
+        self._fu_used_count = 0
+        self._reg_used_count = 0
+        self._fu_used_by_type: Dict[str, int] = {}
+        self._fu_used_area = 0.0
+        self._type_area: Dict[str, float] = {}
+        for fu in self.fus.values():
+            area = fu.fu_type.area
+            known = self._type_area.get(fu.type_name)
+            if known is not None and known != area:
+                raise BindingError(
+                    f"FU type {fu.type_name!r} has conflicting areas "
+                    f"{known} and {area}")
+            self._type_area[fu.type_name] = area
+
         self.ledger = ConnectionLedger()
         self._site_events: Dict[SiteKey, List[Tuple]] = {}
         self._dirty: Set[SiteKey] = set()
+        #: when journaling (:meth:`begin_move`), the pre-move event list of
+        #: every site :meth:`flush` has changed since the journal started
+        self._journal: Optional[Dict[SiteKey, List[Tuple]]] = None
+        #: write log of raw/occupancy dict mutations since :meth:`begin_move`
+        #: — ``(dict, key, old_value_or_ABSENT)`` in write order
+        self._raw_journal: Optional[List[Tuple]] = None
+        self._counter_snap: Tuple[int, int, float] = (0, 0, 0.0)
 
         # static lookups -------------------------------------------------------
         self._reads_at: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
@@ -98,15 +128,103 @@ class Binding:
                 step = schedule.start[op_name]
                 self._reads_at.setdefault((vname, step), []).append(
                     (op_name, port))
+        # per-value interval / liveness caches: the hot loop resolves these
+        # hundreds of times per move, so they are plain dict lookups here
+        self._interval: Dict[str, LiveInterval] = dict(
+            self.lifetimes.intervals)
+        self._port_captured: Set[str] = {
+            v for v, iv in self._interval.items() if iv.birth >= self.length}
+        self._busy_steps: Dict[str, Tuple[int, ...]] = {
+            op: schedule.busy_steps(op) for op in self.graph.ops}
+        self._succ_step: Dict[Tuple[str, int], Optional[int]] = {}
+        self._pred_step: Dict[Tuple[str, int], Optional[int]] = {}
+        for vname, iv in self._interval.items():
+            steps = iv.steps
+            last = len(steps) - 1
+            for idx, step in enumerate(steps):
+                self._succ_step[(vname, step)] = \
+                    steps[idx + 1] if idx < last else None
+                self._pred_step[(vname, step)] = \
+                    steps[idx - 1] if idx > 0 else None
+        self._live_pairs: Set[Tuple[str, int]] = {
+            pair for pair in self._succ_step
+            if pair[0] not in self._port_captured}
+        #: (value, birth) pairs at which the output port samples a register
+        self._out_sample_sites: Set[Tuple[str, int]] = {
+            (v, self._interval[v].birth)
+            for v, val in self.graph.values.items()
+            if val.is_output and v not in self._port_captured}
+        #: values eligible for register moves, sorted (static per schedule)
+        self.movable_values: Tuple[str, ...] = tuple(
+            v for v in sorted(self.graph.values)
+            if v not in self._port_captured)
+        #: movable values with at least two live steps (hop candidates)
+        self.movable_multi_step: Tuple[str, ...] = tuple(
+            v for v in self.movable_values
+            if self._interval[v].length >= 2)
+        #: commutative binary operations (operand-reverse candidates)
+        self.commutative_ops: Tuple[str, ...] = tuple(sorted(
+            n for n, op in self.graph.ops.items()
+            if op.arity == 2 and op.commutative))
+        #: FUs that can implement pass-throughs, in declaration order
+        self.pt_capable_fus: Tuple[str, ...] = tuple(
+            n for n, f in self.fus.items() if f.fu_type.can_passthrough)
+        self.regs_sorted: Tuple[str, ...] = tuple(sorted(self.regs))
+        self._live_at: Dict[int, Tuple[str, ...]] = {
+            step: tuple(self.lifetimes.live_at(step))
+            for step in range(self.length)}
+        # interned interconnect endpoints: the derive functions run on
+        # every flush, so they look these tuples up instead of allocating
+        self._reg_out_ep: Dict[str, Tuple] = {
+            r: reg_out(r) for r in self.regs}
+        self._reg_in_ep: Dict[str, Tuple] = {r: reg_in(r) for r in self.regs}
+        self._fu_out_ep: Dict[str, Tuple] = {f: fu_out(f) for f in self.fus}
+        self._fu_in_ep: Dict[Tuple[str, int], Tuple] = {
+            (f, port): fu_in(f, port)
+            for f in self.fus for port in (0, 1)}
+        self._in_port_ep: Dict[str, Tuple] = {
+            v: in_port(v) for v, val in self.graph.values.items()
+            if val.is_input}
+        self._out_port_ep: Dict[str, Tuple] = {
+            v: out_port(v) for v, val in self.graph.values.items()
+            if val.is_output}
+        #: per-op read metadata: (value-carrying ports, is binary commutative)
+        self._read_ports: Dict[str, Tuple[int, ...]] = {
+            n: tuple(port for port, _ref in op.value_operands())
+            for n, op in self.graph.ops.items()}
+        self._swappable: Set[str] = {
+            n for n, op in self.graph.ops.items() if op.arity == 2}
+        self._producer: Dict[str, Optional[str]] = {
+            v: val.producer for v, val in self.graph.values.items()}
+        #: all operation names, sorted (every op is always bound, so this
+        #: doubles as the sorted key list of ``op_fu`` for move proposals)
+        self.ops_sorted: Tuple[str, ...] = tuple(sorted(self.graph.ops))
+        fus_sorted = sorted(self.fus)
+        #: op kind -> FU names that can execute it, sorted
+        self.fus_by_kind: Dict[str, Tuple[str, ...]] = {
+            kind: tuple(f for f in fus_sorted
+                        if self.fus[f].fu_type.supports(kind))
+            for kind in {op.kind for op in self.graph.ops.values()}}
+        #: op kind -> same FU names as a set (membership tests)
+        self.fus_supporting: Dict[str, frozenset] = {
+            kind: frozenset(names)
+            for kind, names in self.fus_by_kind.items()}
+        #: memoized direct-transfer candidate list (see moves.py);
+        #: any placement or pass-through change invalidates it
+        self._xfer_cache: Optional[List[Tuple[str, int, str, int]]] = None
+        self._xfer_snap: Optional[List[Tuple[str, int, str, int]]] = None
+        # reusable journal containers (avoid two allocations per move)
+        self._journal_store: Dict[SiteKey, List[Tuple]] = {}
+        self._raw_store: List[Tuple] = []
 
     # ------------------------------------------------------------------ helpers
 
     def interval(self, value: str) -> LiveInterval:
-        return self.lifetimes.interval(value)
+        return self._interval[value]
 
     def port_captured(self, value: str) -> bool:
         """True if *value* never occupies a register (born past last step)."""
-        return self.interval(value).birth >= self.length
+        return value in self._port_captured
 
     def reads_of(self, value: str, step: int) -> List[Tuple[str, int]]:
         """Consumer ``(op, port)`` pairs reading *value* at *step*."""
@@ -142,16 +260,111 @@ class Binding:
         """(value, step) segments currently placed in *reg*."""
         return sorted((v, s) for (r, s), v in self.reg_occ.items() if r == reg)
 
+    def live_at(self, step: int) -> Tuple[str, ...]:
+        """Values live at *step*, sorted (precomputed, O(1))."""
+        return self._live_at[step]
+
+    def busy_steps(self, op_name: str) -> Tuple[int, ...]:
+        """Steps on which *op_name* occupies its FU (precomputed, O(1))."""
+        return self._busy_steps[op_name]
+
+    # ------------------------------------------------- incremental counters
+
+    def _area_of(self, by_type: Dict[str, int]) -> float:
+        """Canonical used-FU area: per-type counts summed in sorted order.
+
+        Every consumer (incremental update, from-scratch recount, shadow
+        rebuild) computes the area through this one expression, so equal
+        used-FU multisets give bit-identical floats no matter the history.
+        """
+        area = 0.0
+        for tname in sorted(by_type):
+            area += self._type_area[tname] * by_type[tname]
+        return area
+
+    def _fu_type_add(self, name: str, journal) -> None:
+        """Per-type accounting for an FU whose load just became nonzero."""
+        tname = self.fus[name].type_name
+        by_type = self._fu_used_by_type
+        count = by_type.get(tname, 0)
+        if journal is not None:
+            journal.append((by_type, tname, count if count else _ABSENT))
+        by_type[tname] = count + 1
+        self._fu_used_area = self._area_of(by_type)
+
+    def _fu_type_drop(self, name: str, journal) -> None:
+        """Per-type accounting for an FU whose load just became zero."""
+        tname = self.fus[name].type_name
+        by_type = self._fu_used_by_type
+        left = by_type[tname] - 1
+        if journal is not None:
+            journal.append((by_type, tname, left + 1))
+        if left:
+            by_type[tname] = left
+        else:
+            del by_type[tname]
+        self._fu_used_area = self._area_of(by_type)
+
+    def _fu_load_add(self, name: str) -> None:
+        fu_load = self._fu_load
+        journal = self._raw_journal
+        load = fu_load.get(name, 0) + 1
+        if journal is not None:
+            journal.append((fu_load, name, load - 1 if load > 1 else _ABSENT))
+        fu_load[name] = load
+        if load == 1:
+            self._fu_used_count += 1
+            self._fu_type_add(name, journal)
+
+    def _fu_load_drop(self, name: str) -> None:
+        fu_load = self._fu_load
+        journal = self._raw_journal
+        load = fu_load[name] - 1
+        if journal is not None:
+            journal.append((fu_load, name, load + 1))
+        if load:
+            fu_load[name] = load
+        else:
+            del fu_load[name]
+            self._fu_used_count -= 1
+            self._fu_type_drop(name, journal)
+
+    def _reg_load_add(self, name: str) -> None:
+        reg_load = self._reg_load
+        journal = self._raw_journal
+        load = reg_load.get(name, 0) + 1
+        if journal is not None:
+            journal.append((reg_load, name,
+                            load - 1 if load > 1 else _ABSENT))
+        reg_load[name] = load
+        if load == 1:
+            self._reg_used_count += 1
+
+    def _reg_load_drop(self, name: str) -> None:
+        reg_load = self._reg_load
+        journal = self._raw_journal
+        load = reg_load[name] - 1
+        if journal is not None:
+            journal.append((reg_load, name, load + 1))
+        if load:
+            reg_load[name] = load
+        else:
+            del reg_load[name]
+            self._reg_used_count -= 1
+
     # ------------------------------------------------------------- primitives
 
-    def set_op_fu(self, op_name: str, fu_name: Optional[str]) -> Undo:
+    def set_op_fu(self, op_name: str, fu_name: Optional[str],
+                  _validate: bool = True) -> Undo:
         """(Re)bind *op_name* to *fu_name* (``None`` unbinds)."""
         op = self.graph.ops[op_name]
         old = self.op_fu.get(op_name)
         if fu_name == old:
             return _noop
-        busy = self.schedule.busy_steps(op_name)
-        if fu_name is not None:
+        busy = self._busy_steps[op_name]
+        if fu_name is not None and _validate:
+            # undo closures skip these checks: they restore a known-good
+            # state in reverse order, so re-validation is pure overhead
             fu = self.fus.get(fu_name)
             if fu is None:
                 raise BindingError(f"unknown FU {fu_name!r}")
@@ -165,15 +378,49 @@ class Binding:
                                               and token[1] == op_name):
                     raise BindingError(
                         f"FU {fu_name!r} busy at step {step} with {token}")
-        # release old tokens, claim new
-        if old is not None:
+        # release old tokens, claim new; the load-counter updates are
+        # batched (one adjustment of len(busy), not one per step) so the
+        # 0<->1 transition logic runs at most once per rebind
+        fu_tokens = self.fu_tokens
+        fu_load = self._fu_load
+        journal = self._raw_journal
+        n_busy = len(busy)
+        if old is not None and n_busy:
             for step in busy:
-                del self.fu_tokens[(old, step)]
-                self._fu_load[old] -= 1
+                token_key = (old, step)
+                if journal is not None:
+                    journal.append((fu_tokens, token_key,
+                                    fu_tokens[token_key]))
+                del fu_tokens[token_key]
+            load = fu_load[old] - n_busy
+            if journal is not None:
+                journal.append((fu_load, old, load + n_busy))
+            if load:
+                fu_load[old] = load
+            else:
+                del fu_load[old]
+                self._fu_used_count -= 1
+                self._fu_type_drop(old, journal)
+        if journal is not None:
+            journal.append((self.op_fu, op_name,
+                            _ABSENT if old is None else old))
         if fu_name is not None:
-            for step in busy:
-                self.fu_tokens[(fu_name, step)] = ("op", op_name)
-                self._fu_load[fu_name] += 1
+            if n_busy:
+                token = ("op", op_name)
+                for step in busy:
+                    token_key = (fu_name, step)
+                    if journal is not None:
+                        journal.append((fu_tokens, token_key,
+                                        fu_tokens.get(token_key, _ABSENT)))
+                    fu_tokens[token_key] = token
+                prior = fu_load.get(fu_name, 0)
+                if journal is not None:
+                    journal.append((fu_load, fu_name,
+                                    prior if prior else _ABSENT))
+                fu_load[fu_name] = prior + n_busy
+                if prior == 0:
+                    self._fu_used_count += 1
+                    self._fu_type_add(fu_name, journal)
             self.op_fu[op_name] = fu_name
         else:
             self.op_fu.pop(op_name, None)
@@ -182,7 +429,7 @@ class Binding:
             self._mark(("write", op.result))
 
         def undo() -> None:
-            self.set_op_fu(op_name, old)
+            self.set_op_fu(op_name, old, _validate=False)
         return undo
 
     def set_op_swap(self, op_name: str, flag: bool) -> Undo:
@@ -194,6 +441,10 @@ class Binding:
         if flag and (op.arity != 2 or not op.commutative):
             raise BindingError(
                 f"operand reverse illegal on {op_name!r} ({op.kind})")
+        if self._raw_journal is not None:
+            self._raw_journal.append(
+                (self.op_swap, op_name,
+                 self.op_swap.get(op_name, _ABSENT)))
         self.op_swap[op_name] = flag
         self._mark(("read", op_name))
 
@@ -202,42 +453,73 @@ class Binding:
         return undo
 
     def set_placements(self, value: str, step: int,
-                       regs: Sequence[str]) -> Undo:
+                       regs: Sequence[str],
+                       _validate: bool = True) -> Undo:
         """Place the segment ``(value, step)`` into *regs* (ordered copies)."""
-        if self.port_captured(value):
-            raise BindingError(
-                f"value {value!r} is port-captured; it has no segments")
-        interval = self.interval(value)
-        if not interval.covers(step):
-            raise BindingError(
-                f"value {value!r} is not live at step {step}")
         new = tuple(regs)
-        if len(set(new)) != len(new):
-            raise BindingError(f"duplicate registers in placement {new}")
         old = self.placements.get((value, step), ())
         if new == old:
             return _noop
-        for reg in new:
-            if reg not in self.regs:
-                raise BindingError(f"unknown register {reg!r}")
-            occupant = self.reg_occ.get((reg, step))
-            if occupant is not None and occupant != value:
+        if _validate:
+            # undo closures skip validation: they restore a known-good state
+            if (value, step) not in self._live_pairs:
+                if value in self._port_captured:
+                    raise BindingError(
+                        f"value {value!r} is port-captured; it has no "
+                        f"segments")
                 raise BindingError(
-                    f"register {reg!r} holds {occupant!r} at step {step}")
+                    f"value {value!r} is not live at step {step}")
+            if len(new) > 1 and len(set(new)) != len(new):
+                raise BindingError(f"duplicate registers in placement {new}")
+            for reg in new:
+                if reg not in self.regs:
+                    raise BindingError(f"unknown register {reg!r}")
+                occupant = self.reg_occ.get((reg, step))
+                if occupant is not None and occupant != value:
+                    raise BindingError(
+                        f"register {reg!r} holds {occupant!r} at step {step}")
+        # the load-counter helpers are inlined here: this is the hottest
+        # primitive and the extra call per register is measurable
+        reg_occ = self.reg_occ
+        reg_load = self._reg_load
+        journal = self._raw_journal
+        append = journal.append if journal is not None else None
         for reg in old:
-            del self.reg_occ[(reg, step)]
-            self._reg_load[reg] -= 1
+            occ_key = (reg, step)
+            if append is not None:
+                append((reg_occ, occ_key, reg_occ[occ_key]))
+            del reg_occ[occ_key]
+            load = reg_load[reg] - 1
+            if append is not None:
+                append((reg_load, reg, load + 1))
+            if load:
+                reg_load[reg] = load
+            else:
+                del reg_load[reg]
+                self._reg_used_count -= 1
         for reg in new:
-            self.reg_occ[(reg, step)] = value
-            self._reg_load[reg] += 1
+            occ_key = (reg, step)
+            if append is not None:
+                append((reg_occ, occ_key, reg_occ.get(occ_key, _ABSENT)))
+            reg_occ[occ_key] = value
+            load = reg_load.get(reg, 0) + 1
+            if append is not None:
+                append((reg_load, reg, load - 1 if load > 1 else _ABSENT))
+            reg_load[reg] = load
+            if load == 1:
+                self._reg_used_count += 1
+        if journal is not None:
+            journal.append((self.placements, (value, step),
+                            old if old else _ABSENT))
         if new:
             self.placements[(value, step)] = new
         else:
             self.placements.pop((value, step), None)
+        self._xfer_cache = None
         self._mark_segment_sites(value, step)
 
         def undo() -> None:
-            self.set_placements(value, step, old)
+            self.set_placements(value, step, old, _validate=False)
         return undo
 
     def set_read_src(self, op_name: str, port: int,
@@ -248,6 +530,10 @@ class Binding:
             return _noop
         if reg is not None and reg not in self.regs:
             raise BindingError(f"unknown register {reg!r}")
+        if self._raw_journal is not None:
+            self._raw_journal.append(
+                (self.read_src, (op_name, port),
+                 _ABSENT if old is None else old))
         if reg is None:
             self.read_src.pop((op_name, port), None)
         else:
@@ -265,6 +551,9 @@ class Binding:
             return _noop
         if reg is not None and reg not in self.regs:
             raise BindingError(f"unknown register {reg!r}")
+        if self._raw_journal is not None:
+            self._raw_journal.append(
+                (self.out_src, value, _ABSENT if old is None else old))
         if reg is None:
             self.out_src.pop(value, None)
         else:
@@ -288,8 +577,7 @@ class Binding:
         old = self.pt_impl.get(key)
         if impl == old:
             return _noop
-        interval = self.interval(value)
-        src_step = interval.predecessor_step(dst_step)
+        src_step = self._pred_step.get((value, dst_step))
         if src_step is None:
             raise BindingError(
                 f"segment ({value!r}, {dst_step}) has no predecessor; "
@@ -321,15 +609,28 @@ class Binding:
             if token is not None and token != ("pt",) + key:
                 raise BindingError(
                     f"FU {fu_name!r} busy at step {src_step} with {token}")
+        journal = self._raw_journal
         if old is not None:
-            del self.fu_tokens[(old[1], src_step)]
-            self._fu_load[old[1]] -= 1
+            token_key = (old[1], src_step)
+            if journal is not None:
+                journal.append((self.fu_tokens, token_key,
+                                self.fu_tokens[token_key]))
+            del self.fu_tokens[token_key]
+            self._fu_load_drop(old[1])
+        if journal is not None:
+            journal.append((self.pt_impl, key,
+                            _ABSENT if old is None else old))
         if impl is not None:
-            self.fu_tokens[(impl[1], src_step)] = ("pt",) + key
-            self._fu_load[impl[1]] += 1
+            token_key = (impl[1], src_step)
+            if journal is not None:
+                journal.append((self.fu_tokens, token_key,
+                                self.fu_tokens.get(token_key, _ABSENT)))
+            self.fu_tokens[token_key] = ("pt",) + key
+            self._fu_load_add(impl[1])
             self.pt_impl[key] = impl
         else:
             self.pt_impl.pop(key, None)
+        self._xfer_cache = None
         self._mark(("xfer", value, dst_step))
 
         def undo() -> None:
@@ -342,16 +643,15 @@ class Binding:
         self._dirty.add(key)
 
     def _mark_segment_sites(self, value: str, step: int) -> None:
-        interval = self.interval(value)
-        if step == interval.birth:
-            self._mark(("write", value))
-        self._mark(("xfer", value, step))
-        succ = interval.successor_step(step)
+        dirty = self._dirty
+        if self._pred_step[(value, step)] is None:
+            dirty.add(("write", value))
+        dirty.add(("xfer", value, step))
+        succ = self._succ_step[(value, step)]
         if succ is not None:
-            self._mark(("xfer", value, succ))
-        if self.graph.values[value].is_output and \
-                step == self.out_sample_step(value):
-            self._mark(("out", value))
+            dirty.add(("xfer", value, succ))
+        if (value, step) in self._out_sample_sites:
+            dirty.add(("out", value))
 
     def _derive(self, key: SiteKey) -> List[Tuple]:
         kind = key[0]
@@ -369,45 +669,50 @@ class Binding:
         fu_name = self.op_fu.get(op_name)
         if fu_name is None:
             return []
-        op = self.graph.ops[op_name]
-        swap = self.op_swap.get(op_name, False)
+        swap = self.op_swap.get(op_name, False) \
+            and op_name in self._swappable
+        read_src = self.read_src
+        reg_out_ep = self._reg_out_ep
+        fu_in_ep = self._fu_in_ep
         events = []
-        for port, _ref in op.value_operands():
-            reg = self.read_src.get((op_name, port))
+        for port in self._read_ports[op_name]:
+            reg = read_src.get((op_name, port))
             if reg is None:
                 continue
-            eff_port = (1 - port) if (swap and op.arity == 2) else port
-            events.append((reg_out(reg), fu_in(fu_name, eff_port)))
+            eff_port = (1 - port) if swap else port
+            events.append((reg_out_ep[reg], fu_in_ep[(fu_name, eff_port)]))
         return events
 
     def _derive_write(self, value: str) -> List[Tuple]:
-        val = self.graph.values[value]
-        if val.is_input:
-            src = in_port(value)
-        else:
-            producer = val.producer
+        src = self._in_port_ep.get(value)
+        if src is None:
+            producer = self._producer[value]
             if producer is None:
                 return []
             fu_name = self.op_fu.get(producer)
             if fu_name is None:
                 return []
-            src = fu_out(fu_name)
-        if self.port_captured(value):
+            src = self._fu_out_ep[fu_name]
+        if value in self._port_captured:
             # straight from the FU to the output port, no register
-            return [(src, out_port(value))] if val.is_output else []
-        interval = self.interval(value)
-        return [(src, reg_in(reg))
-                for reg in self.placements.get((value, interval.birth), ())]
+            out_ep = self._out_port_ep.get(value)
+            return [(src, out_ep)] if out_ep is not None else []
+        reg_in_ep = self._reg_in_ep
+        return [(src, reg_in_ep[reg])
+                for reg in self.placements.get(
+                    (value, self._interval[value].birth), ())]
 
     def _derive_xfer(self, value: str, dst_step: int) -> List[Tuple]:
-        interval = self.interval(value)
-        src_step = interval.predecessor_step(dst_step)
+        src_step = self._pred_step[(value, dst_step)]
         if src_step is None:
             return []
-        prev = self.placements.get((value, src_step), ())
-        cur = self.placements.get((value, dst_step), ())
+        placements = self.placements
+        prev = placements.get((value, src_step), ())
         if not prev:
             return []
+        cur = placements.get((value, dst_step), ())
+        reg_out_ep = self._reg_out_ep
+        reg_in_ep = self._reg_in_ep
         events = []
         for dst in cur:
             if dst in prev:
@@ -420,58 +725,202 @@ class Binding:
                         f"stale pass-through for ({value!r}, {dst_step}, "
                         f"{dst!r}): source {src_reg!r} no longer holds the "
                         f"value at step {src_step}")
-                events.append((reg_out(src_reg), fu_in(fu_name, fu_port)))
-                events.append((fu_out(fu_name), reg_in(dst)))
+                events.append((reg_out_ep[src_reg],
+                               self._fu_in_ep[(fu_name, fu_port)]))
+                events.append((self._fu_out_ep[fu_name], reg_in_ep[dst]))
             else:
-                events.append((reg_out(prev[0]), reg_in(dst)))
+                events.append((reg_out_ep[prev[0]], reg_in_ep[dst]))
         return events
 
     def _derive_out(self, value: str) -> List[Tuple]:
-        val = self.graph.values[value]
-        if not val.is_output or self.port_captured(value):
+        out_ep = self._out_port_ep.get(value)
+        if out_ep is None or value in self._port_captured:
             return []
         reg = self.out_src.get(value)
         if reg is None:
             return []
-        return [(reg_out(reg), out_port(value))]
+        return [(self._reg_out_ep[reg], out_ep)]
 
     def flush(self) -> None:
         """Re-derive all dirty sites and update the connection ledger."""
+        events = self._site_events
+        journal = self._journal
+        ledger = self.ledger
+        ledger_remove = ledger.remove_pair
+        ledger_add = ledger.add_pair
         for key in self._dirty:
-            old = self._site_events.get(key, [])
-            new = self._derive(key)
+            old = events.get(key, _NO_EVENTS)
+            kind = key[0]
+            if kind == "xfer":
+                new = self._derive_xfer(key[1], key[2])
+            elif kind == "read":
+                new = self._derive_read(key[1])
+            elif kind == "write":
+                new = self._derive_write(key[1])
+            elif kind == "out":
+                new = self._derive_out(key[1])
+            else:
+                raise BindingError(f"unknown site {key}")
             if new == old:
                 continue
-            self.ledger.remove_events(old)
-            self.ledger.add_events(new)
+            if journal is not None and key not in journal:
+                journal[key] = old
+            for pair in old:
+                ledger_remove(pair)
+            for pair in new:
+                ledger_add(pair)
             if new:
-                self._site_events[key] = new
+                events[key] = new
             else:
-                self._site_events.pop(key, None)
+                events.pop(key, None)
+        self._dirty.clear()
+
+    # --------------------------------------------------------- move journal
+
+    def begin_move(self) -> None:
+        """Start journaling for a cheap move-reject path.
+
+        Between :meth:`begin_move` and :meth:`commit_move` /
+        :meth:`abort_move`:
+
+        * every raw/occupancy dict write is appended to a write log with
+          the overwritten value;
+        * every :meth:`flush` records the first pre-change event list of
+          each site it touches.
+
+        A rejected move is then reverted wholesale by :meth:`abort_move`
+        — replaying the write log backwards and restoring the journaled
+        site events — instead of running the move's undo closures plus a
+        second full flush.
+        """
+        journal = self._journal_store
+        journal.clear()
+        self._journal = journal
+        raw = self._raw_store
+        raw.clear()
+        self._raw_journal = raw
+        self._counter_snap = (self._fu_used_count, self._reg_used_count,
+                              self._fu_used_area)
+        self._xfer_snap = self._xfer_cache
+
+    def commit_move(self) -> None:
+        """Keep the move: discard the journals."""
+        self._journal = None
+        self._raw_journal = None
+
+    def abort_move(self) -> None:
+        """Revert the binding to its state at :meth:`begin_move`.
+
+        Replaces the undo-closure path entirely: the raw write log is
+        replayed most-recent-first (restoring decision dicts, occupancy
+        maps, and load counters), the use-count scalars are restored from
+        their snapshot, and the journaled site events go back into the
+        ledger verbatim.  Every site the move dirtied was either flushed
+        (journaled if its events changed) or derives to its pre-move
+        events from the restored raw state, so clearing the dirty set
+        leaves the binding exactly as flushed before the move.
+        """
+        raw = self._raw_journal
+        self._raw_journal = None
+        if raw:
+            for dct, key, old in reversed(raw):
+                if old is _ABSENT:
+                    dct.pop(key, None)
+                else:
+                    dct[key] = old
+            (self._fu_used_count, self._reg_used_count,
+             self._fu_used_area) = self._counter_snap
+            # the restored state is exactly the pre-move state, so the
+            # pre-move transfer-candidate memo is valid again
+            self._xfer_cache = self._xfer_snap
+        journal = self._journal
+        self._journal = None
+        if journal:
+            events = self._site_events
+            ledger = self.ledger
+            ledger_remove = ledger.remove_pair
+            ledger_add = ledger.add_pair
+            for key, old in journal.items():
+                cur = events.get(key, _NO_EVENTS)
+                if cur == old:
+                    continue
+                for pair in cur:
+                    ledger_remove(pair)
+                for pair in old:
+                    ledger_add(pair)
+                if old:
+                    events[key] = old
+                else:
+                    events.pop(key, None)
         self._dirty.clear()
 
     # ------------------------------------------------------------------- cost
 
     def fu_used_count(self) -> int:
-        return sum(1 for n in self.fus if self._fu_load[n] > 0)
+        return self._fu_used_count
 
     def fu_used_area(self) -> float:
-        return sum(self.fus[n].fu_type.area
-                   for n in self.fus if self._fu_load[n] > 0)
+        return self._fu_used_area
 
     def reg_used_count(self) -> int:
-        return sum(1 for n in self.regs if self._reg_load[n] > 0)
+        return self._reg_used_count
+
+    def total_cost(self) -> float:
+        """O(1) weighted total from the running counters.
+
+        The per-move fast path: no :class:`CostBreakdown` is constructed
+        and no occupancy map is scanned.  Bit-identical to
+        ``self.cost().total`` — both route the same counter values through
+        :func:`repro.datapath.cost.weighted_total`, and the sanitizer
+        asserts equality against :meth:`cost_from_scratch` at every shadow
+        check.
+        """
+        if self._dirty:
+            self.flush()
+        return weighted_total(self.weights, self._fu_used_area,
+                              self._reg_used_count, self.ledger.mux_count,
+                              self.ledger.wire_count)
 
     def cost(self) -> CostBreakdown:
         """Evaluate the current allocation cost (requires a flushed state)."""
         if self._dirty:
             self.flush()
         return CostBreakdown(
-            fu_count=self.fu_used_count(),
-            fu_area=self.fu_used_area(),
-            register_count=self.reg_used_count(),
+            fu_count=self._fu_used_count,
+            fu_area=self._fu_used_area,
+            register_count=self._reg_used_count,
             mux_count=self.ledger.mux_count,
             wire_count=self.ledger.wire_count,
+            weights=self.weights,
+        )
+
+    def cost_from_scratch(self) -> CostBreakdown:
+        """Recompute the cost with no incremental counter involved.
+
+        The sanitizer's oracle for the fast path: FU/register use is
+        re-derived from the token/occupancy maps and the interconnect
+        totals from the per-site event lists, so a skewed incremental
+        counter (``_fu_used_count``/``_reg_used_count``/``_fu_used_area``
+        or a drifted ledger) shows up as a cost mismatch.
+        """
+        if self._dirty:
+            self.flush()
+        used_fus = {f for (f, _s) in self.fu_tokens}
+        by_type: Dict[str, int] = {}
+        for name in used_fus:
+            tname = self.fus[name].type_name
+            by_type[tname] = by_type.get(tname, 0) + 1
+        uses: Counter = Counter()
+        for events in self._site_events.values():
+            for src, sink in events:
+                uses[(src, sink)] += 1
+        fanin: Counter = Counter(sink for (_src, sink) in uses)
+        return CostBreakdown(
+            fu_count=len(used_fus),
+            fu_area=self._area_of(by_type),
+            register_count=len({r for (r, _s) in self.reg_occ}),
+            mux_count=sum(max(0, n - 1) for n in fanin.values()),
+            wire_count=len(uses),
             weights=self.weights,
         )
 
@@ -517,33 +966,70 @@ class Binding:
         }
 
     def restore_state(self, state: Dict[str, object]) -> None:
-        """Restore a snapshot taken with :meth:`clone_state`."""
-        # clear everything via primitives so derived state stays consistent
-        for key in list(self.pt_impl):
-            self.set_pt(key[0], key[1], key[2], None)
-        for op_name in list(self.op_swap):
-            self.set_op_swap(op_name, False)
-        for (op_name, port) in list(self.read_src):
-            self.set_read_src(op_name, port, None)
-        for value in list(self.out_src):
-            self.set_out_src(value, None)
-        for (value, step) in list(self.placements):
-            self.set_placements(value, step, ())
-        for op_name in list(self.op_fu):
-            self.set_op_fu(op_name, None)
+        """Restore a snapshot taken with :meth:`clone_state`.
 
-        for op_name, fu in state["op_fu"].items():          # type: ignore
-            self.set_op_fu(op_name, fu)
-        for (value, step), regs in state["placements"].items():  # type: ignore
-            self.set_placements(value, step, regs)
-        for op_name, flag in state["op_swap"].items():      # type: ignore
+        Diff-based: only keys whose value differs between the live state
+        and the snapshot are touched, so restoring a near-identical state
+        (every ``restart_from_best`` trial, every parallel-engine restart,
+        every sanitizer shadow rebuild) costs proportional to the drift,
+        not to the binding size.  All mutation still goes through the
+        primitives, so the derived state stays incrementally consistent.
+
+        Clear-then-set ordering keeps every intermediate state legal:
+        stale pass-throughs are dropped first (they pin FU tokens and
+        reference placements), then differing placements and FU bindings
+        are vacated before the snapshot's values are written, and the
+        snapshot's pass-throughs are re-bound last, once the placements
+        they validate against are in place.
+        """
+        op_fu: Dict[str, Optional[str]] = state["op_fu"]  # type: ignore
+        placements: Dict[Tuple[str, int], Tuple[str, ...]] = \
+            state["placements"]                           # type: ignore
+        op_swap: Dict[str, bool] = state["op_swap"]       # type: ignore
+        read_src: Dict[Tuple[str, int], str] = state["read_src"]  # type: ignore
+        out_src: Dict[str, str] = state["out_src"]        # type: ignore
+        pt_impl: Dict[Tuple[str, int, str], PtImpl] = \
+            state["pt_impl"]                              # type: ignore
+
+        # 1. drop pass-throughs that the snapshot lacks or implements
+        #    differently (frees their FU tokens and placement references)
+        for key, impl in list(self.pt_impl.items()):
+            if pt_impl.get(key) != impl:
+                self.set_pt(key[0], key[1], key[2], None)
+        # 2. vacate placements and FU bindings that differ, so the set
+        #    phase below never collides with a stale occupant
+        for key, regs in list(self.placements.items()):
+            if placements.get(key) != regs:
+                self.set_placements(key[0], key[1], ())
+        for op_name, fu in list(self.op_fu.items()):
+            if op_fu.get(op_name) != fu:
+                self.set_op_fu(op_name, None)
+        # 3. write the snapshot's decisions (no-ops for unchanged keys)
+        for op_name, fu in op_fu.items():
+            if self.op_fu.get(op_name) != fu:
+                self.set_op_fu(op_name, fu)
+        for (value, step), regs in placements.items():
+            if self.placements.get((value, step), ()) != tuple(regs):
+                self.set_placements(value, step, regs)
+        for op_name in list(self.op_swap):
+            if op_name not in op_swap:
+                self.set_op_swap(op_name, False)
+        for op_name, flag in op_swap.items():
             self.set_op_swap(op_name, flag)
-        for (op_name, port), reg in state["read_src"].items():  # type: ignore
+        for (op_name, port) in list(self.read_src):
+            if (op_name, port) not in read_src:
+                self.set_read_src(op_name, port, None)
+        for (op_name, port), reg in read_src.items():
             self.set_read_src(op_name, port, reg)
-        for value, reg in state["out_src"].items():         # type: ignore
+        for value in list(self.out_src):
+            if value not in out_src:
+                self.set_out_src(value, None)
+        for value, reg in out_src.items():
             self.set_out_src(value, reg)
-        for key, impl in state["pt_impl"].items():          # type: ignore
-            self.set_pt(key[0], key[1], key[2], impl)
+        # 4. re-bind the snapshot's pass-throughs against final placements
+        for key, impl in pt_impl.items():
+            if self.pt_impl.get(key) != tuple(impl):
+                self.set_pt(key[0], key[1], key[2], tuple(impl))
         self.flush()
 
 

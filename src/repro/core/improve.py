@@ -28,7 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.rng import RngLike, make_rng, weighted_choice
+from repro.rng import RngLike, WeightedChooser, make_rng
 from repro.core.binding import Binding
 from repro.core.moves import MoveSet, rollback
 from repro.core.polish import polish
@@ -58,6 +58,14 @@ class ImproveConfig:
     #: probe density: every Nth attempt gets a rollback round-trip check
     #: and every Nth acceptance a full shadow-rebuild equivalence check
     sanitize_every: int = 64
+    #: accept-test via the O(1) ``Binding.total_cost()`` fast path; off
+    #: reverts to building a full ``CostBreakdown`` per move (debug knob —
+    #: both paths are bit-identical, asserted by tests and the sanitizer)
+    fast_cost: bool = True
+    #: when > 0, sample every Nth attempt with ``time.perf_counter_ns``
+    #: and accumulate per-phase totals (propose/evaluate/rollback/restore)
+    #: into ``ImproveStats.phase_ns`` / ``phase_samples``
+    profile_every: int = 0
 
 
 @dataclass
@@ -129,6 +137,15 @@ class ImproveStats:
     seconds: float = 0.0
     #: the integer seed the run used, when one was given (for replay)
     seed: Optional[int] = None
+    #: sampled per-phase nanosecond totals (``ImproveConfig.profile_every``)
+    phase_ns: Dict[str, int] = field(default_factory=dict)
+    #: number of samples behind each ``phase_ns`` total
+    phase_samples: Dict[str, int] = field(default_factory=dict)
+
+    def add_phase(self, phase: str, elapsed_ns: int) -> None:
+        """Accumulate one ``perf_counter_ns`` sample for *phase*."""
+        self.phase_ns[phase] = self.phase_ns.get(phase, 0) + elapsed_ns
+        self.phase_samples[phase] = self.phase_samples.get(phase, 0) + 1
 
     def counters_for(self, name: str) -> MoveCounters:
         counters = self.per_move.get(name)
@@ -166,10 +183,15 @@ class ImproveStats:
                            for index, total in self.best_trace],
             "seconds": self.seconds,
             "seed": self.seed,
+            "phase_ns": dict(self.phase_ns),
+            "phase_samples": dict(self.phase_samples),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ImproveStats":
+        # telemetry fields added after the first release fall back to the
+        # dataclass defaults, so stats JSON written by older versions (or
+        # hand-trimmed fixtures) still loads
         return cls(
             trials_run=data["trials_run"],
             moves_attempted=data["moves_attempted"],
@@ -181,13 +203,15 @@ class ImproveStats:
             per_move_accepts=dict(data["per_move_accepts"]),
             cost_trace=list(data["cost_trace"]),
             per_move={name: MoveCounters.from_dict(c)
-                      for name, c in data["per_move"].items()},
-            trial_seconds=list(data["trial_seconds"]),
-            uphill_used=list(data["uphill_used"]),
+                      for name, c in data.get("per_move", {}).items()},
+            trial_seconds=list(data.get("trial_seconds", [])),
+            uphill_used=list(data.get("uphill_used", [])),
             best_trace=[(index, total)
-                        for index, total in data["best_trace"]],
-            seconds=data["seconds"],
-            seed=data["seed"],
+                        for index, total in data.get("best_trace", [])],
+            seconds=data.get("seconds", 0.0),
+            seed=data.get("seed"),
+            phase_ns=dict(data.get("phase_ns", {})),
+            phase_samples=dict(data.get("phase_samples", {})),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -209,9 +233,8 @@ def improve(binding: Binding,
     moves = config.move_set.enabled_moves()
     if not moves:
         raise ValueError("no moves enabled")
-    names = [m[0] for m in moves]
+    chooser = WeightedChooser([m[0] for m in moves], [m[2] for m in moves])
     fns = {m[0]: m[1] for m in moves}
-    weights = [m[2] for m in moves]
 
     stats = ImproveStats()
     if isinstance(config.seed, int):
@@ -229,28 +252,58 @@ def improve(binding: Binding,
     best_state = binding.clone_state()
     stats.best_trace.append((0, best))
     idle_trials = 0
+    profile_every = config.profile_every
+    # hot-loop locals: the inner loop runs tens of thousands of times per
+    # second, so attribute lookups on these are hoisted out of it
+    fast_cost = config.fast_cost
+    choose = chooser.choose
+    begin_move = binding.begin_move
+    commit_move = binding.commit_move
+    abort_move = binding.abort_move
+    total_cost = binding.total_cost
+    full_cost = binding.cost
+    counters_map = stats.per_move
 
     for _trial in range(config.max_trials):
         trial_started = time.perf_counter()
         stats.trials_run += 1
         if config.restart_from_best and current > best + 1e-9:
-            binding.restore_state(best_state)
+            if profile_every:
+                tick = time.perf_counter_ns()
+                binding.restore_state(best_state)
+                stats.add_phase("restore", time.perf_counter_ns() - tick)
+            else:
+                binding.restore_state(best_state)
             current = best
         uphill_left = config.uphill_per_trial
         improved_this_trial = False
+        attempted = stats.moves_attempted
         for _ in range(config.moves_per_trial):
-            stats.moves_attempted += 1
-            name = weighted_choice(rng, names, weights)
-            counters = stats.counters_for(name)
+            attempted += 1
+            sampled = profile_every and attempted % profile_every == 0
+            name = choose(rng)
+            counters = counters_map.get(name)
+            if counters is None:
+                counters = counters_map[name] = MoveCounters()
             counters.attempts += 1
             if sanitizer is not None:
-                sanitizer.pre_move(name, stats.moves_attempted)
-            undos = fns[name](binding, rng)
+                sanitizer.pre_move(name, attempted)
+            begin_move()
+            if sampled:
+                tick = time.perf_counter_ns()
+                undos = fns[name](binding, rng)
+                stats.add_phase("propose", time.perf_counter_ns() - tick)
+            else:
+                undos = fns[name](binding, rng)
             if undos is None:
+                commit_move()  # no-op move: nothing to revert
                 continue
-            stats.moves_applied += 1
             counters.applies += 1
-            new_cost = binding.cost().total
+            if sampled:
+                tick = time.perf_counter_ns()
+            new_cost = total_cost() if fast_cost else full_cost().total
+            if sampled:
+                stats.add_phase("evaluate", time.perf_counter_ns() - tick)
             accept = new_cost <= current
             if not accept and uphill_left > 0:
                 accept = True
@@ -258,24 +311,30 @@ def improve(binding: Binding,
                 stats.uphill_accepted += 1
                 counters.uphill += 1
             if accept:
-                stats.moves_accepted += 1
+                commit_move()
                 counters.accepts += 1
-                stats.per_move_accepts[name] = \
-                    stats.per_move_accepts.get(name, 0) + 1
                 current = new_cost
                 if current < best - 1e-9:
                     best = current
                     best_state = binding.clone_state()
-                    stats.best_trace.append((stats.moves_attempted, best))
+                    stats.best_trace.append((attempted, best))
                     improved_this_trial = True
                 if sanitizer is not None:
-                    sanitizer.after_accept(name, stats.moves_attempted)
+                    sanitizer.after_accept(name, attempted)
             else:
                 counters.rollbacks += 1
-                rollback(undos)
-                binding.flush()
+                # abort_move replays the write journal; the undo closures
+                # in `undos` are not needed on this path
+                if sampled:
+                    tick = time.perf_counter_ns()
+                    abort_move()
+                    stats.add_phase("rollback",
+                                    time.perf_counter_ns() - tick)
+                else:
+                    abort_move()
                 if sanitizer is not None:
-                    sanitizer.after_rollback(name, stats.moves_attempted)
+                    sanitizer.after_rollback(name, attempted)
+        stats.moves_attempted = attempted
         if config.polish_trials:
             current = polish(binding, config.move_set)
             if current < best - 1e-9:
@@ -292,6 +351,14 @@ def improve(binding: Binding,
             idle_trials += 1
             if idle_trials >= config.idle_trials_stop:
                 break
+
+    # the aggregate tallies are derivable from the per-move counters, so the
+    # hot loop maintains only the latter and these are filled in once here
+    stats.moves_applied = sum(c.applies for c in counters_map.values())
+    stats.moves_accepted = sum(c.accepts for c in counters_map.values())
+    stats.per_move_accepts = {name: c.accepts
+                              for name, c in sorted(counters_map.items())
+                              if c.accepts}
 
     binding.restore_state(best_state)
     if sanitizer is not None:

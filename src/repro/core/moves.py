@@ -48,10 +48,12 @@ def rollback(undos: List[Undo]) -> None:
 def fixup_segment(binding: Binding, value: str, step: int) -> List[Undo]:
     """Repair read/out sources and pass-throughs after a placement change."""
     undos: List[Undo] = []
-    regs = binding.segment_regs(value, step)
+    placements = binding.placements
+    regs = placements.get((value, step), ())
     primary = regs[0] if regs else None
+    read_src = binding.read_src
     for op_name, port in binding.reads_of(value, step):
-        if binding.read_src.get((op_name, port)) not in regs:
+        if read_src.get((op_name, port)) not in regs:
             undos.append(binding.set_read_src(op_name, port, primary))
     val = binding.graph.values[value]
     if val.is_output and not binding.port_captured(value) and \
@@ -59,33 +61,36 @@ def fixup_segment(binding: Binding, value: str, step: int) -> List[Undo]:
         if binding.out_src.get(value) not in regs:
             undos.append(binding.set_out_src(value, primary))
 
-    interval = binding.interval(value)
-    prev = interval.predecessor_step(step)
-    succ = interval.successor_step(step)
-    # pass-throughs into this step
-    if prev is not None:
-        prev_regs = binding.segment_regs(value, prev)
-        for key in [k for k in binding.pt_impl if k[0] == value
-                    and k[1] == step]:
-            _v, _t, dst = key
-            impl = binding.pt_impl[key]
-            if dst not in regs or dst in prev_regs or impl[0] not in prev_regs:
-                undos.append(binding.set_pt(value, step, dst, None))
-    # pass-throughs out of this step (into the successor)
-    if succ is not None:
-        succ_regs = binding.segment_regs(value, succ)
-        for key in [k for k in binding.pt_impl if k[0] == value
-                    and k[1] == succ]:
-            _v, _t, dst = key
-            impl = binding.pt_impl[key]
-            if impl[0] not in regs or dst in regs or dst not in succ_regs:
-                undos.append(binding.set_pt(value, succ, dst, None))
+    pt_impl = binding.pt_impl
+    if pt_impl:
+        interval = binding.interval(value)
+        prev = interval.predecessor_step(step)
+        succ = interval.successor_step(step)
+        # pass-throughs into this step
+        if prev is not None:
+            prev_regs = placements.get((value, prev), ())
+            for key in [k for k in pt_impl if k[0] == value
+                        and k[1] == step]:
+                _v, _t, dst = key
+                impl = pt_impl[key]
+                if dst not in regs or dst in prev_regs \
+                        or impl[0] not in prev_regs:
+                    undos.append(binding.set_pt(value, step, dst, None))
+        # pass-throughs out of this step (into the successor)
+        if succ is not None:
+            succ_regs = placements.get((value, succ), ())
+            for key in [k for k in pt_impl if k[0] == value
+                        and k[1] == succ]:
+                _v, _t, dst = key
+                impl = pt_impl[key]
+                if impl[0] not in regs or dst in regs \
+                        or dst not in succ_regs:
+                    undos.append(binding.set_pt(value, succ, dst, None))
     return undos
 
 
-def _movable_values(binding: Binding) -> List[str]:
-    return [v for v in sorted(binding.graph.values)
-            if not binding.port_captured(v)]
+def _movable_values(binding: Binding) -> Sequence[str]:
+    return binding.movable_values
 
 
 # ------------------------------------------------------------------ FU moves
@@ -93,19 +98,32 @@ def _movable_values(binding: Binding) -> List[str]:
 def move_fu_exchange(binding: Binding,
                      rng: random.Random) -> Optional[List[Undo]]:
     """F1: exchange the FU bindings of two operations."""
-    ops = sorted(binding.op_fu)
+    ops = binding.ops_sorted
     if len(ops) < 2:
         return None
+    graph_ops = binding.graph.ops
+    op_fu = binding.op_fu
+    supporting = binding.fus_supporting
+    tokens = binding.fu_tokens
     for _ in range(_TRIES):
         op1, op2 = rng.sample(ops, 2)
-        fu1, fu2 = binding.op_fu[op1], binding.op_fu[op2]
+        fu1, fu2 = op_fu[op1], op_fu[op2]
         if fu1 == fu2:
             continue
-        kind1 = binding.graph.ops[op1].kind
-        kind2 = binding.graph.ops[op2].kind
-        if not binding.fus[fu2].fu_type.supports(kind1):
+        if fu2 not in supporting[graph_ops[op1].kind]:
             continue
-        if not binding.fus[fu1].fu_type.supports(kind2):
+        if fu1 not in supporting[graph_ops[op2].kind]:
+            continue
+        # pre-check token conflicts (each op's own tokens are released
+        # before the cross-bind, so only third-party tokens conflict): a
+        # doomed exchange then costs two scans instead of three journaled
+        # mutations plus an exception-driven rollback
+        t1, t2 = ("op", op1), ("op", op2)
+        if any((t := tokens.get((fu1, s))) is not None and t != t1
+               for s in binding.busy_steps(op2)):
+            continue
+        if any((t := tokens.get((fu2, s))) is not None and t != t2
+               for s in binding.busy_steps(op1)):
             continue
         undos: List[Undo] = []
         try:
@@ -121,18 +139,19 @@ def move_fu_exchange(binding: Binding,
 def move_fu_move(binding: Binding,
                  rng: random.Random) -> Optional[List[Undo]]:
     """F2: reassign an operation to a different free FU."""
-    ops = sorted(binding.op_fu)
+    ops = binding.ops_sorted
     if not ops:
         return None
+    graph_ops = binding.graph.ops
+    tokens = binding.fu_tokens
+    by_kind = binding.fus_by_kind
     for _ in range(_TRIES):
         op_name = rng.choice(ops)
-        kind = binding.graph.ops[op_name].kind
-        busy = binding.schedule.busy_steps(op_name)
+        busy = binding.busy_steps(op_name)
         current = binding.op_fu[op_name]
-        targets = [f for f in sorted(binding.fus)
+        targets = [f for f in by_kind[graph_ops[op_name].kind]
                    if f != current
-                   and binding.fus[f].fu_type.supports(kind)
-                   and binding.fu_free_all(f, busy)]
+                   and all((f, s) not in tokens for s in busy)]
         if not targets:
             continue
         return [binding.set_op_fu(op_name, rng.choice(targets))]
@@ -142,30 +161,41 @@ def move_fu_move(binding: Binding,
 def move_operand_reverse(binding: Binding,
                          rng: random.Random) -> Optional[List[Undo]]:
     """F3: swap the input-port assignment of a commutative operation."""
-    ops = [n for n, op in binding.graph.ops.items()
-           if op.arity == 2 and op.commutative]
+    ops = binding.commutative_ops
     if not ops:
         return None
-    op_name = rng.choice(sorted(ops))
+    op_name = rng.choice(ops)
     flag = not binding.op_swap.get(op_name, False)
     return [binding.set_op_swap(op_name, flag)]
 
 
 def _direct_transfers(binding: Binding) -> List[Tuple[str, int, str, int]]:
-    """All (value, dst_step, dst_reg, src_step) transfers not yet pass-through."""
+    """All (value, dst_step, dst_reg, src_step) transfers not yet pass-through.
+
+    Iterates the placements map directly (one pass, no per-value interval
+    walk); the order is the placements' insertion order, deterministic for
+    a given move history.  The result is memoized on the binding — any
+    placement or pass-through change invalidates it, so rejected moves
+    (which restore the pre-move state) only cost one recompute.
+    """
+    found = binding._xfer_cache
+    if found is not None:
+        return found
     found = []
-    for value in _movable_values(binding):
-        interval = binding.interval(value)
-        steps = interval.steps
-        for idx in range(1, len(steps)):
-            src_step, dst_step = steps[idx - 1], steps[idx]
-            prev = binding.segment_regs(value, src_step)
-            for dst in binding.segment_regs(value, dst_step):
-                if dst in prev:
-                    continue
-                if (value, dst_step, dst) in binding.pt_impl:
-                    continue
+    placements = binding.placements
+    pred_step = binding._pred_step
+    pt_impl = binding.pt_impl
+    for (value, dst_step), cur in placements.items():
+        src_step = pred_step[(value, dst_step)]
+        if src_step is None:
+            continue
+        prev = placements.get((value, src_step))
+        if not prev:
+            continue
+        for dst in cur:
+            if dst not in prev and (value, dst_step, dst) not in pt_impl:
                 found.append((value, dst_step, dst, src_step))
+    binding._xfer_cache = found
     return found
 
 
@@ -177,8 +207,8 @@ def _best_pt_choice(binding: Binding, rng: random.Random, value: str,
     exactly when the register->FU and FU->register wires already exist)."""
     from repro.datapath.interconnect import fu_in, fu_out, reg_in, reg_out
 
-    pt_fus = [n for n, f in binding.fus.items()
-              if f.fu_type.can_passthrough and binding.fu_free(n, src_step)]
+    pt_fus = [n for n in binding.pt_capable_fus
+              if binding.fu_free(n, src_step)]
     if not pt_fus:
         return None
     ledger = binding.ledger
@@ -242,10 +272,11 @@ def _swap_segments(binding: Binding, v1: str, v2: str, step: int,
 def move_segment_exchange(binding: Binding,
                           rng: random.Random) -> Optional[List[Undo]]:
     """R1: exchange the register bindings of two segments in one step."""
+    placements = binding.placements
     for _ in range(_TRIES):
         step = rng.randrange(binding.length)
-        live = binding.lifetimes.live_at(step)
-        live = [v for v in live if binding.segment_regs(v, step)]
+        live = [v for v in binding.live_at(step)
+                if placements.get((v, step))]
         if len(live) < 2:
             continue
         v1, v2 = rng.sample(live, 2)
@@ -264,7 +295,8 @@ def move_segment_move(binding: Binding,
     values = _movable_values(binding)
     if not values:
         return None
-    free_regs = sorted(binding.regs)
+    free_regs = binding.regs_sorted
+    reg_occ = binding.reg_occ
     for _ in range(_TRIES):
         value = rng.choice(values)
         step = rng.choice(binding.interval(value).steps)
@@ -272,7 +304,7 @@ def move_segment_move(binding: Binding,
         if not regs:
             continue
         old = rng.choice(regs)
-        targets = [r for r in free_regs if binding.reg_free(r, step)]
+        targets = [r for r in free_regs if (r, step) not in reg_occ]
         if not targets:
             continue
         new = rng.choice(targets)
@@ -294,10 +326,11 @@ def move_segment_hop(binding: Binding,
     "value moves between registers during its lifetime" transformation of
     the extended model (Sec. 2).  With probability 1/2 the transfer is
     immediately implemented as a pass-through (best re-use choice)."""
-    values = [v for v in _movable_values(binding)
-              if binding.interval(v).length >= 2]
+    values = binding.movable_multi_step
     if not values:
         return None
+    placements = binding.placements
+    reg_occ = binding.reg_occ
     for _ in range(_TRIES):
         value = rng.choice(values)
         steps = binding.interval(value).steps
@@ -305,12 +338,12 @@ def move_segment_hop(binding: Binding,
         run = steps[cut:]
         src_step = steps[cut - 1]
         # only hop single-copy runs (copies are R5/R6 territory)
-        if any(len(binding.segment_regs(value, s)) != 1 for s in run):
+        if any(len(placements.get((value, s), ())) != 1 for s in run):
             continue
-        current = binding.segment_regs(value, run[0])[0]
-        targets = [r for r in sorted(binding.regs)
+        current = placements[(value, run[0])][0]
+        targets = [r for r in binding.regs_sorted
                    if r != current
-                   and all(binding.reg_free(r, s) for s in run)]
+                   and all((r, s) not in reg_occ for s in run)]
         if not targets:
             continue
         new = rng.choice(targets)
@@ -395,7 +428,7 @@ def move_value_move(binding: Binding,
         steps = binding.interval(value).steps
         home = _single_home(binding, value)
         targets = []
-        for reg in sorted(binding.regs):
+        for reg in binding.regs_sorted:
             if reg == home:
                 continue
             if all(binding.reg_occ.get((reg, s)) in (None, value)
@@ -433,7 +466,7 @@ def move_value_split(binding: Binding,
         existing = set()
         for step in run:
             existing.update(binding.segment_regs(value, step))
-        targets = [r for r in sorted(binding.regs)
+        targets = [r for r in binding.regs_sorted
                    if r not in existing
                    and all(binding.reg_free(r, s) for s in run)]
         if not targets:

@@ -69,6 +69,14 @@ class RestartOutcome:
     stats: List[ImproveStats] = field(default_factory=list)
     seconds: float = 0.0
 
+    @property
+    def moves_per_sec(self) -> float:
+        """Search throughput of this restart (0.0 when untimed)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        attempted = sum(s.moves_attempted for s in self.stats)
+        return attempted / self.seconds
+
 
 def run_restart(job: RestartJob) -> RestartOutcome:
     """Execute one restart job (used directly and as the pool worker)."""

@@ -23,12 +23,22 @@ from repro.core.moves import (MoveSet, _best_pt_choice, _direct_transfers,
                               fixup_segment, rollback)
 import random
 
-_DET_RNG = random.Random(0)  # tie-breaking inside _best_pt_choice only
+
+def _tie_rng(rng: Optional[random.Random]) -> random.Random:
+    """Tie-breaking RNG for ``_best_pt_choice`` in deterministic sweeps.
+
+    Always a *fresh* seeded instance when none is threaded in: a module
+    -level RNG would carry state across ``polish()`` calls, making a
+    binding's polish result depend on how many polishes ran earlier in
+    the process (and breaking the serial-vs-parallel bit-identity of
+    :mod:`repro.core.parallel`).
+    """
+    return rng if rng is not None else random.Random(0)
 
 
 def _try(binding: Binding, undos, current: float) -> Optional[float]:
     """Keep the applied mutation if it strictly improves the cost."""
-    new = binding.cost().total
+    new = binding.total_cost()
     if new < current - 1e-9:
         return new
     rollback(undos)
@@ -39,7 +49,7 @@ def _try(binding: Binding, undos, current: float) -> Optional[float]:
 def sweep_fu_moves(binding: Binding, current: float) -> float:
     for op_name in sorted(binding.op_fu):
         kind = binding.graph.ops[op_name].kind
-        busy = binding.schedule.busy_steps(op_name)
+        busy = binding.busy_steps(op_name)
         for fu_name in sorted(binding.fus):
             if fu_name == binding.op_fu[op_name]:
                 continue
@@ -112,8 +122,10 @@ def sweep_value_moves(binding: Binding, current: float) -> float:
     return current
 
 
-def sweep_segment_hops(binding: Binding, current: float) -> float:
+def sweep_segment_hops(binding: Binding, current: float,
+                       rng: Optional[random.Random] = None) -> float:
     """Try every (value, cut point, target register) suffix hop."""
+    rng = _tie_rng(rng)
     for value in sorted(binding.graph.values):
         if binding.port_captured(value):
             continue
@@ -138,12 +150,12 @@ def sweep_segment_hops(binding: Binding, current: float) -> float:
                             binding.set_placements(value, step, (reg,)))
                         undos.extend(fixup_segment(binding, value, step))
                     if reg not in binding.segment_regs(value, src_step):
-                        hop_cost = binding.cost().total
-                        impl = _best_pt_choice(binding, _DET_RNG, value,
+                        hop_cost = binding.total_cost()
+                        impl = _best_pt_choice(binding, rng, value,
                                                run[0], reg, src_step)
                         if impl is not None:
                             trial = [binding.set_pt(value, run[0], reg, impl)]
-                            if binding.cost().total >= hop_cost - 1e-9:
+                            if binding.total_cost() >= hop_cost - 1e-9:
                                 rollback(trial)
                                 binding.flush()
                             else:
@@ -185,10 +197,12 @@ def sweep_value_exchanges(binding: Binding, current: float) -> float:
     return current
 
 
-def sweep_passthroughs(binding: Binding, current: float) -> float:
+def sweep_passthroughs(binding: Binding, current: float,
+                       rng: Optional[random.Random] = None) -> float:
+    rng = _tie_rng(rng)
     # bind the best pass-through for every direct transfer
     for value, dst_step, dst_reg, src_step in _direct_transfers(binding):
-        impl = _best_pt_choice(binding, _DET_RNG, value, dst_step, dst_reg,
+        impl = _best_pt_choice(binding, rng, value, dst_step, dst_reg,
                                src_step)
         if impl is None:
             continue
@@ -210,10 +224,16 @@ def sweep_passthroughs(binding: Binding, current: float) -> float:
 
 def polish(binding: Binding, move_set: Optional[MoveSet] = None,
            max_rounds: int = 10) -> float:
-    """Hill-climb to a local optimum; returns the final total cost."""
+    """Hill-climb to a local optimum; returns the final total cost.
+
+    Fully deterministic: the tie-breaking RNG is created fresh per call,
+    so polishing equal bindings gives equal results no matter how many
+    polishes ran earlier in the process.
+    """
     if move_set is None:
         move_set = MoveSet()
-    current = binding.cost().total
+    rng = random.Random(0)
+    current = binding.total_cost()
     for _ in range(max_rounds):
         before = current
         current = sweep_fu_moves(binding, current)
@@ -223,9 +243,9 @@ def polish(binding: Binding, move_set: Optional[MoveSet] = None,
         current = sweep_value_moves(binding, current)
         current = sweep_value_exchanges(binding, current)
         if move_set.segments:
-            current = sweep_segment_hops(binding, current)
+            current = sweep_segment_hops(binding, current, rng=rng)
         if move_set.passthroughs:
-            current = sweep_passthroughs(binding, current)
+            current = sweep_passthroughs(binding, current, rng=rng)
         if current >= before - 1e-9:
             break
     return current

@@ -25,6 +25,20 @@ class CostWeights:
     wire: float = 0.05      # per distinct point-to-point connection
 
 
+def weighted_total(weights: CostWeights, fu_area: float,
+                   register_count: int, mux_count: int,
+                   wire_count: int) -> float:
+    """The weighted sum of the cost components.
+
+    Both :attr:`CostBreakdown.total` and the allocator's O(1) fast path
+    (``Binding.total_cost``) evaluate this one expression, so the two are
+    bit-identical by construction — same inputs, same float operations in
+    the same order.
+    """
+    return (weights.fu * fu_area + weights.register * register_count +
+            weights.mux * mux_count + weights.wire * wire_count)
+
+
 @dataclass(frozen=True)
 class CostBreakdown:
     """A fully-evaluated allocation cost."""
@@ -38,9 +52,9 @@ class CostBreakdown:
 
     @property
     def total(self) -> float:
-        w = self.weights
-        return (w.fu * self.fu_area + w.register * self.register_count +
-                w.mux * self.mux_count + w.wire * self.wire_count)
+        return weighted_total(self.weights, self.fu_area,
+                              self.register_count, self.mux_count,
+                              self.wire_count)
 
     def __str__(self) -> str:
         return (f"cost(total={self.total:.2f}: fu={self.fu_count} "

@@ -64,46 +64,73 @@ class ConnectionLedger:
     """Reference-counted (source, sink) connection set with O(1) mux total."""
 
     def __init__(self) -> None:
+        # plain dicts, not Counters: the hot loop hits add/remove tens of
+        # thousands of times per second and Counter.__delitem__ alone is
+        # measurable there
         #: (src, sink) -> number of events using this connection
-        self._uses: Counter = Counter()
+        self._uses: Dict[Connection, int] = {}
         #: sink -> number of *distinct* sources driving it
-        self._fanin: Counter = Counter()
+        self._fanin: Dict[Endpoint, int] = {}
         self._mux_total = 0
 
     # -- mutation -------------------------------------------------------------
 
+    def add_pair(self, pair: Connection) -> None:
+        """Record one more use of the ``(src, sink)`` connection *pair*.
+
+        The pair tuple itself is the refcount key, so hot callers that
+        already hold one (the site-event lists are lists of pairs) pay no
+        re-packing.
+        """
+        uses = self._uses
+        count = uses.get(pair)
+        if count is None:
+            uses[pair] = 1
+            sink = pair[1]
+            fanin = self._fanin
+            sink_fanin = fanin.get(sink, 0) + 1
+            fanin[sink] = sink_fanin
+            if sink_fanin > 1:
+                self._mux_total += 1
+        else:
+            uses[pair] = count + 1
+
+    def remove_pair(self, pair: Connection) -> None:
+        """Drop one use; deletes the connection when uses reach zero."""
+        uses = self._uses
+        count = uses.get(pair, 0)
+        if count <= 0:
+            raise DatapathError(f"removing non-existent connection {pair}")
+        if count == 1:
+            del uses[pair]
+            sink = pair[1]
+            fanin = self._fanin
+            sink_fanin = fanin[sink] - 1
+            if sink_fanin > 0:
+                fanin[sink] = sink_fanin
+                self._mux_total -= 1
+            else:
+                del fanin[sink]
+        else:
+            uses[pair] = count - 1
+
     def add(self, src: Endpoint, sink: Endpoint) -> None:
         """Record one more use of the connection *src* -> *sink*."""
-        key = (src, sink)
-        self._uses[key] += 1
-        if self._uses[key] == 1:
-            self._fanin[sink] += 1
-            if self._fanin[sink] > 1:
-                self._mux_total += 1
+        self.add_pair((src, sink))
 
     def remove(self, src: Endpoint, sink: Endpoint) -> None:
         """Drop one use; deletes the connection when uses reach zero."""
-        key = (src, sink)
-        count = self._uses.get(key, 0)
-        if count <= 0:
-            raise DatapathError(f"removing non-existent connection {key}")
-        if count == 1:
-            del self._uses[key]
-            if self._fanin[sink] > 1:
-                self._mux_total -= 1
-            self._fanin[sink] -= 1
-            if self._fanin[sink] == 0:
-                del self._fanin[sink]
-        else:
-            self._uses[key] = count - 1
+        self.remove_pair((src, sink))
 
     def add_events(self, events: Iterable[Connection]) -> None:
-        for src, sink in events:
-            self.add(src, sink)
+        add_pair = self.add_pair
+        for pair in events:
+            add_pair(pair)
 
     def remove_events(self, events: Iterable[Connection]) -> None:
-        for src, sink in events:
-            self.remove(src, sink)
+        remove_pair = self.remove_pair
+        for pair in events:
+            remove_pair(pair)
 
     # -- queries --------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from bisect import bisect_right
 from typing import List, Optional, Sequence, TypeVar, Union
 
 T = TypeVar("T")
@@ -98,3 +99,50 @@ def weighted_choice(rng: random.Random, items: Sequence[T],
         if pick < acc:
             return item
     return items[-1]
+
+
+class WeightedChooser(Sequence[T]):
+    """Precomputed weighted chooser, draw-identical to :func:`weighted_choice`.
+
+    The allocator draws one move type per attempt from a *fixed* weight
+    table; rebuilding the running-sum scan every draw is pure overhead.
+    This precomputes the cumulative weights once (with the exact same
+    left-to-right float accumulation as :func:`weighted_choice`, so
+    ``sum(weights)`` and the running ``acc`` values are bit-identical) and
+    answers each draw with one ``rng.random()`` call plus a binary search.
+    ``pick < acc`` in the linear scan is exactly ``bisect_right`` on the
+    cumulative sums, so the chosen item matches for every possible draw.
+    """
+
+    __slots__ = ("_items", "_cumulative", "_total")
+
+    def __init__(self, items: Sequence[T], weights: Sequence[float]) -> None:
+        if not items:
+            raise ValueError("WeightedChooser: empty item sequence")
+        if len(items) != len(weights):
+            raise ValueError(
+                "WeightedChooser: items and weights differ in length")
+        if any(weight < 0 for weight in weights):
+            raise ValueError("WeightedChooser: negative weight")
+        self._items = list(items)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            self._cumulative.append(acc)
+        self._total = float(sum(weights))
+        if self._total <= 0.0:
+            raise ValueError("WeightedChooser: weights sum to zero")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def choose(self, rng: random.Random) -> T:
+        pick = rng.random() * self._total
+        index = bisect_right(self._cumulative, pick)
+        if index == len(self._items):  # pick == total float edge case
+            index -= 1
+        return self._items[index]

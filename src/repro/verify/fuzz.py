@@ -129,13 +129,18 @@ class FuzzConfig:
 # ------------------------------------------------------------ fault injection
 
 class BrokenUndoMoveSet(MoveSet):
-    """Test-only move set whose victim move forgets part of its undo.
+    """Test-only move set whose victim move cannot be rolled back cleanly.
 
-    From the *arm_at*-th application of the victim move onward, the last
-    undo closure of the returned list is replaced by a no-op, so rolling
-    the move back leaves the binding silently corrupted — exactly the class
-    of bug the shadow-state sanitizer exists to catch.  Never use outside
-    tests and fuzz fault-injection runs.
+    From the *arm_at*-th application of the victim move onward, the victim
+    additionally toggles one operand-swap flag *outside* all rollback
+    bookkeeping: the extra mutation is in neither the returned undo-closure
+    list (breaking engines that revert via undo closures, like ``anneal``)
+    nor the binding's write journal (breaking engines that revert via
+    ``Binding.abort_move``, like ``improve``).  The binding stays legal —
+    the toggle is an ordinary primitive — but rolling the move back leaves
+    it silently different from the pre-move state, exactly the
+    incomplete-rollback class of bug the shadow-state sanitizer exists to
+    catch.  Never use outside tests and fuzz fault-injection runs.
     """
 
     def __init__(self, victim: str = "R2", arm_at: int = 1) -> None:
@@ -154,14 +159,18 @@ class BrokenUndoMoveSet(MoveSet):
             undos = fn(binding, rng)
             if undos:
                 self.applications += 1
-                if self.applications >= self.arm_at:
-                    undos = list(undos[:-1]) + [_noop_undo]
+                if self.applications >= self.arm_at and \
+                        binding.commutative_ops:
+                    op = binding.commutative_ops[0]
+                    raw = binding._raw_journal
+                    binding._raw_journal = None  # hide from abort_move
+                    try:
+                        binding.set_op_swap(  # undo deliberately dropped
+                            op, not binding.op_swap.get(op, False))
+                    finally:
+                        binding._raw_journal = raw
             return undos
         return buggy
-
-
-def _noop_undo() -> None:
-    return None
 
 
 def _injected_move_set(inject: Optional[str]) -> Optional[MoveSet]:

@@ -232,6 +232,22 @@ class ShadowSanitizer:
                     f"cost diverged: live {live_cost} vs shadow "
                     f"{shadow_cost}")
 
+        # incremental-counter cross-check: the O(1) running totals behind
+        # cost()/total_cost() must be bit-identical to a from-scratch
+        # re-derivation of the same CostBreakdown (the oracle for the
+        # allocator's fast accept path)
+        scratch_cost = binding.cost_from_scratch()
+        live_cost = binding.cost()
+        if live_cost != scratch_cost:
+            problems.append(
+                f"incremental cost diverged from scratch rebuild: "
+                f"live {live_cost} vs scratch {scratch_cost}")
+        fast_total = binding.total_cost()
+        if fast_total != scratch_cost.total:
+            problems.append(
+                f"total_cost() fast path diverged: fast {fast_total!r} vs "
+                f"scratch {scratch_cost.total!r}")
+
         # independent referee: structural legality + ledger.verify()
         problems.extend(check_binding(binding))
 

@@ -37,15 +37,23 @@ class TestOpBinding:
     def test_conflict_rejected(self):
         b = small_binding()
         b.set_op_fu("op1", "adder0")
-        b2 = CDFGBuilder  # noqa: F841
-        # another op at the same step on the same FU is illegal
-        b.set_op_fu("op2", "adder0")  # different step: fine
+        # another op at a different step on the same FU is fine
+        b.set_op_fu("op2", "adder0")
+        # two independent ops scheduled at the same step clash on one FU
+        bb = CDFGBuilder("clash")
+        bb.input("a").input("b")
+        bb.add("op1", "a", "b", "V1")
+        bb.add("op2", "a", "b", "V2")
+        bb.output("V1")
+        bb.output("V2")
+        graph = bb.build()
+        schedule = Schedule(graph, HardwareSpec([ADDER]), 2,
+                            {"op1": 0, "op2": 0})
+        binding = Binding(schedule, schedule.spec.make_fus({"adder": 2}),
+                          make_registers(4))
+        binding.set_op_fu("op1", "adder0")
         with pytest.raises(BindingError, match="busy"):
-            # rebuild a clash: move op2 to step-0 FU via a fake op at 0
-            bb = small_binding()
-            bb.set_op_fu("op1", "adder0")
-            bb.schedule.start["op2"] = 0
-            bb.set_op_fu("op2", "adder0")
+            binding.set_op_fu("op2", "adder0")
 
     def test_incapable_fu_rejected(self):
         b = small_binding()

@@ -7,6 +7,7 @@ from repro.datapath.units import HardwareSpec, make_registers
 from repro.sched.explore import schedule_graph
 from repro.core import (AnnealConfig, ImproveConfig, MoveSet, anneal,
                         improve, initial_allocation, polish)
+from repro.core.improve import ImproveStats
 from repro.alloc.checker import check_binding
 
 SPEC = HardwareSpec.non_pipelined()
@@ -92,6 +93,32 @@ class TestPolish:
         assert not binding.pt_impl
 
 
+class TestStatsCompat:
+    def test_from_dict_accepts_legacy_payload(self):
+        """Regression: stats JSON written before the extended telemetry
+        landed (no per_move/trial_seconds/best_trace/seed/...) must load
+        with the dataclass defaults instead of raising KeyError."""
+        legacy = {
+            "trials_run": 2, "moves_attempted": 10, "moves_applied": 8,
+            "moves_accepted": 5, "uphill_accepted": 1,
+            "initial_cost": None, "final_cost": None,
+            "per_move_accepts": {"F1": 5}, "cost_trace": [3.0, 2.5],
+        }
+        stats = ImproveStats.from_dict(legacy)
+        assert stats.trials_run == 2
+        assert stats.per_move_accepts == {"F1": 5}
+        assert stats.per_move == {}
+        assert stats.trial_seconds == []
+        assert stats.uphill_used == []
+        assert stats.best_trace == []
+        assert stats.seconds == 0.0
+        assert stats.seed is None
+        assert stats.phase_ns == {}
+        # and the loaded object round-trips through the modern serializer
+        again = ImproveStats.from_json(stats.to_json())
+        assert again.to_dict() == stats.to_dict()
+
+
 class TestAnneal:
     def test_anneal_runs_and_stays_legal(self):
         binding = fresh_binding()
@@ -100,6 +127,33 @@ class TestAnneal:
                                              moves_per_level=150, seed=5))
         assert stats.final_cost.total <= initial
         assert check_binding(binding) == []
+
+    def test_no_moves_enabled_rejected(self):
+        """Regression: anneal() must reject an empty enabled-move set the
+        same way improve() does, not spin the full budget doing nothing."""
+        binding = fresh_binding()
+        with pytest.raises(ValueError, match="no moves"):
+            anneal(binding, AnnealConfig(
+                move_set=MoveSet(weights={k: 0.0 for k in
+                                          MoveSet.DEFAULT_WEIGHTS})))
+
+    def test_telemetry_parity_with_improve(self):
+        """Regression: annealing runs once reported seconds=0.0, no seed,
+        and empty per-move counters / traces."""
+        binding = fresh_binding()
+        stats = anneal(binding, AnnealConfig(temperature_levels=4,
+                                             moves_per_level=120, seed=9))
+        assert stats.seed == 9
+        assert stats.seconds > 0.0
+        assert stats.per_move
+        assert sum(c.attempts for c in stats.per_move.values()) \
+            == stats.moves_attempted
+        assert sum(c.accepts for c in stats.per_move.values()) \
+            == stats.moves_accepted
+        assert stats.best_trace
+        assert stats.best_trace[0] == (0, stats.initial_cost.total)
+        assert len(stats.trial_seconds) == stats.trials_run
+        assert len(stats.uphill_used) == stats.trials_run
 
     def test_improvement_beats_annealing_at_equal_budget(self):
         """The paper's Sec. 4 claim, at a modest equal move budget."""

@@ -49,6 +49,24 @@ def test_sweeps_report_accurate_cost(binding):
         assert binding.cost().total == pytest.approx(current)
 
 
+def test_polish_independent_of_process_history(binding):
+    """Regression: polish() once drew from a module-level RNG whose state
+    persisted across calls, so a binding's polish result depended on how
+    many polishes ran earlier in the process (breaking the bit-identical
+    guarantee of the parallel engine's serial fallback).  Polishing equal
+    bindings must give equal results no matter what ran in between."""
+    first = binding.duplicate()
+    second = binding.duplicate()
+    cost_first = polish(first)
+    # burn extra polishes in between; they must not perturb the next one
+    polish(binding.duplicate())
+    polish(binding.duplicate())
+    cost_second = polish(second)
+    assert cost_second == cost_first
+    assert second.cost() == first.cost()
+    assert second.derived_snapshot() == first.derived_snapshot()
+
+
 def test_polish_reaches_fixed_point(binding):
     final = polish(binding)
     # a second full polish finds nothing more
