@@ -11,7 +11,7 @@ verifies both halves of that contract on the EWF:
   ratio is still reported).
 
 It also exports the full search telemetry of the serial run as JSON
-(``results/parallel_restarts_stats.json``) and checks the telemetry
+(``results/out/parallel_restarts_stats.json``) and checks the telemetry
 invariant that per-move accept + rollback counters partition the applied
 moves.
 """

@@ -1,0 +1,57 @@
+"""Throughput of the allocation service under concurrent load.
+
+Boots an in-process :class:`repro.service.ServerThread` and drives it with
+N concurrent clients issuing EWF/DCT request mutants (the pool repeats
+roughly every third request, so the run exercises both the search path and
+the content-addressed cache).  Asserts the service-level objectives the
+subsystem is built around — no dropped requests, no errors, at least four
+concurrent jobs sustained, a visible cache hit-rate on ``/metricsz`` — and
+writes the full JSON report to ``results/out/service_throughput.json``
+(a curated copy is committed at ``results/service_throughput.json``).
+
+Run standalone with ``python -m repro.service bench``.
+"""
+
+import json
+import os
+
+from conftest import FAST, RESULTS_DIR
+
+from repro.service import run_throughput_bench
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 6
+
+
+def test_service_throughput(benchmark, capsys):
+    report = {}
+
+    def drive():
+        report.clear()
+        report.update(run_throughput_bench(
+            clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+            fast=FAST, server_workers=CLIENTS))
+        return report["throughput"]["allocations_per_sec"]
+
+    benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    outcome = report["outcome"]
+    assert outcome["dropped"] == 0, "requests were dropped under load"
+    assert outcome["errors"] == 0, "requests errored under load"
+    assert outcome["completed"] == CLIENTS * REQUESTS_PER_CLIENT
+    assert outcome["cache_hits"] > 0, "the mutant pool must exercise cache"
+    assert report["workload"]["clients"] >= 4
+    assert report["server"]["cache_hit_rate"] is not None
+    assert report["server"]["cache_hit_rate"] > 0
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "service_throughput.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with capsys.disabled():
+        print(f"\nservice throughput: "
+              f"{report['throughput']['allocations_per_sec']:.2f} alloc/s, "
+              f"{outcome['cache_hits']} cache hits / "
+              f"{outcome['completed']} requests "
+              f"(hit rate {report['server']['cache_hit_rate']:.2f})")

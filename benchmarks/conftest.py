@@ -1,7 +1,7 @@
 """Shared helpers for the benchmark harness.
 
 Every table and figure of the paper's evaluation has one module here; each
-regenerates its table (printed live and saved under ``results/``) and
+regenerates its table (printed live and saved under ``results/out/``) and
 benchmarks a representative slice of the computation with
 pytest-benchmark.
 
@@ -14,14 +14,16 @@ import os
 
 import pytest
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+# per-run regenerated outputs land in the untracked results/out/ so local
+# bench runs never dirty the curated golden files committed under results/
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results", "out")
 
 #: fast mode unless the user asks for the full-budget run
 FAST = os.environ.get("REPRO_BENCH_FULL", "") != "1"
 
 
 def publish(table, filename, capsys):
-    """Print a reproduced table live and persist it under results/."""
+    """Print a reproduced table live and persist it under results/out/."""
     text = table.render()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, filename), "w") as fh:

@@ -23,7 +23,7 @@ from repro.core import ImproveConfig, SalsaAllocator
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--csteps", type=int, default=10)
-    parser.add_argument("--outdir", default="results")
+    parser.add_argument("--outdir", default="results/out")
     args = parser.parse_args()
 
     graph = discrete_cosine_transform()

@@ -52,18 +52,21 @@ g1 = y
     buses = extract_buses(netlist)
     print(buses)
 
-    os.makedirs("results", exist_ok=True)
-    with open("results/lattice2_controller.v", "w") as fh:
+    # regenerated outputs go to the untracked results/out/; the curated
+    # golden copies live directly under results/
+    outdir = "results/out"
+    os.makedirs(outdir, exist_ok=True)
+    with open(f"{outdir}/lattice2_controller.v", "w") as fh:
         fh.write(controller_to_verilog(control, name="lattice2_ctrl"))
-    with open("results/lattice2_datapath.v", "w") as fh:
+    with open(f"{outdir}/lattice2_datapath.v", "w") as fh:
         fh.write(netlist_to_verilog(netlist))
-    with open("results/lattice2_binding.json", "w") as fh:
+    with open(f"{outdir}/lattice2_binding.json", "w") as fh:
         fh.write(binding_to_json(result.binding))
-    print("wrote results/lattice2_{controller,datapath}.v and "
-          "results/lattice2_binding.json")
+    print(f"wrote {outdir}/lattice2_{{controller,datapath}}.v and "
+          f"{outdir}/lattice2_binding.json")
 
     # prove the persisted allocation is complete: reload and re-verify
-    with open("results/lattice2_binding.json") as fh:
+    with open(f"{outdir}/lattice2_binding.json") as fh:
         reloaded = binding_from_json(fh.read())
     verify_binding(reloaded, iterations=4)
     assert reloaded.cost().total == result.cost.total

@@ -81,7 +81,7 @@ def main() -> None:
     print()
 
     json_path = args.json or os.path.join(
-        os.path.dirname(__file__), "..", "results",
+        os.path.dirname(__file__), "..", "results", "out",
         "parallel_restarts_example.json")
     os.makedirs(os.path.dirname(os.path.abspath(json_path)), exist_ok=True)
     with open(json_path, "w") as fh:

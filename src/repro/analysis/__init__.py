@@ -10,13 +10,14 @@ from repro.analysis.figures import (build_passthrough_binding,
                                     passthrough_demo, render_cost_trace,
                                     value_split_demo)
 from repro.analysis.stats import (SeedStudy, merge_move_counters,
-                                  seed_study, telemetry_report)
+                                  seed_study, service_report,
+                                  telemetry_report)
 
 __all__ = [
     "ExperimentTable", "ablation_anneal", "ablation_features",
     "ablation_muxmerge", "build_passthrough_binding", "dct_table3",
     "ewf_table2", "figure3_experiment", "figure4_experiment",
     "merge_move_counters", "passthrough_demo", "render_cost_trace",
-    "render_table", "SeedStudy", "seed_study", "telemetry_report",
-    "value_split_demo",
+    "render_table", "SeedStudy", "seed_study", "service_report",
+    "telemetry_report", "value_split_demo",
 ]

@@ -144,6 +144,13 @@ def telemetry_report(all_stats: Sequence[ImproveStats]) -> Dict[str, Any]:
     merged = merge_move_counters(all_stats)
     finals = [s.final_cost.total for s in all_stats
               if s.final_cost is not None]
+    phase_ns: Dict[str, int] = {}
+    phase_samples: Dict[str, int] = {}
+    for stats in all_stats:
+        for phase, total in stats.phase_ns.items():
+            phase_ns[phase] = phase_ns.get(phase, 0) + total
+        for phase, count in stats.phase_samples.items():
+            phase_samples[phase] = phase_samples.get(phase, 0) + count
     return {
         "runs": len(all_stats),
         "trials_run": sum(s.trials_run for s in all_stats),
@@ -154,6 +161,66 @@ def telemetry_report(all_stats: Sequence[ImproveStats]) -> Dict[str, Any]:
         "uphill_budget_used": sum(sum(s.uphill_used) for s in all_stats),
         "seconds": sum(s.seconds for s in all_stats),
         "best_final_cost": min(finals) if finals else None,
+        "stopped_early_runs": sum(1 for s in all_stats if s.stopped_early),
         "per_move": {name: counters.to_dict()
                      for name, counters in sorted(merged.items())},
+        "phase_ns": dict(sorted(phase_ns.items())),
+        "phase_samples": dict(sorted(phase_samples.items())),
+    }
+
+
+def service_report(metrics_snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Operator-facing summary of a ``/metricsz`` registry snapshot.
+
+    Condenses the raw counter/gauge/histogram dump into the handful of
+    serving numbers one actually watches: traffic, cache hit-rate, queue
+    pressure, failure/degradation/retry counts, and latency percentiles
+    (overall job latency plus the sampled per-search-phase µs costs).
+    """
+    def value(name: str) -> float:
+        metric = metrics_snapshot.get(name)
+        return float(metric["value"]) if metric else 0.0
+
+    hits, misses = value("cache_hits"), value("cache_misses")
+    lookups = hits + misses
+    job_seconds = metrics_snapshot.get("job_seconds", {})
+    phases = {}
+    for name, metric in metrics_snapshot.items():
+        if name.startswith("phase_us_") and metric.get("kind") == "histogram":
+            phases[name[len("phase_us_"):]] = {
+                "mean_us": metric.get("mean"),
+                "p50_us": metric.get("p50"),
+                "p99_us": metric.get("p99"),
+                "samples": metric.get("count", 0),
+            }
+    return {
+        "requests": {name: value(f"requests_{name}")
+                     for name in ("allocate", "jobs", "healthz", "metricsz")},
+        "jobs": {
+            "submitted": value("jobs_submitted"),
+            "coalesced": value("jobs_coalesced"),
+            "completed": value("jobs_completed"),
+            "failed": value("jobs_failed"),
+            "cancelled": value("jobs_cancelled"),
+            "rejected": value("jobs_rejected"),
+            "retried": value("jobs_retried"),
+            "degraded": value("jobs_degraded"),
+            "warm_started": value("jobs_warm_started"),
+            "in_flight": value("jobs_in_flight"),
+            "queue_depth": value("queue_depth"),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else None,
+            "memory_bytes": value("cache_memory_bytes"),
+        },
+        "latency": {
+            "jobs_completed": job_seconds.get("count", 0),
+            "mean_s": job_seconds.get("mean"),
+            "p50_s": job_seconds.get("p50"),
+            "p90_s": job_seconds.get("p90"),
+            "p99_s": job_seconds.get("p99"),
+            "phases": phases,
+        },
     }

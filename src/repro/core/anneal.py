@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.rng import RngLike, WeightedChooser, make_rng
 from repro.core.binding import Binding
@@ -47,6 +47,11 @@ class AnnealConfig:
     #: accept-test via the O(1) ``Binding.total_cost()`` fast path (debug
     #: knob, bit-identical to the ``CostBreakdown`` path)
     fast_cost: bool = True
+    #: cooperative cancellation/deadline hook, checked once per attempted
+    #: move; returning True ends the run at the best state seen so far
+    #: with ``ImproveStats.stopped_early`` set (see ``ImproveConfig``)
+    should_stop: Optional[Callable[[], bool]] = field(
+        default=None, repr=False, compare=False)
 
 
 def anneal(binding: Binding,
@@ -77,11 +82,15 @@ def anneal(binding: Binding,
     stats.best_trace.append((0, best))
     temperature = config.initial_temperature
 
+    should_stop = config.should_stop
     for _level in range(config.temperature_levels):
         level_started = time.perf_counter()
         stats.trials_run += 1
         uphill_before = stats.uphill_accepted
         for _ in range(config.moves_per_level):
+            if should_stop is not None and should_stop():
+                stats.stopped_early = True
+                break
             stats.moves_attempted += 1
             name = chooser.choose(rng)
             counters = stats.counters_for(name)
@@ -122,6 +131,8 @@ def anneal(binding: Binding,
         stats.cost_trace.append(current)
         stats.uphill_used.append(stats.uphill_accepted - uphill_before)
         stats.trial_seconds.append(time.perf_counter() - level_started)
+        if stats.stopped_early:
+            break
         temperature *= config.cooling
         if temperature < config.min_temperature:
             break

@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.rng import RngLike, WeightedChooser, make_rng
 from repro.core.binding import Binding
@@ -66,6 +66,14 @@ class ImproveConfig:
     #: and accumulate per-phase totals (propose/evaluate/rollback/restore)
     #: into ``ImproveStats.phase_ns`` / ``phase_samples``
     profile_every: int = 0
+    #: cooperative cancellation/deadline hook: checked once per attempted
+    #: move (and between trials); when it returns True the search stops,
+    #: restores the best allocation seen so far and sets
+    #: ``ImproveStats.stopped_early``.  Not part of the search identity
+    #: (excluded from comparison) and typically not picklable — strip it
+    #: before shipping configs across process boundaries.
+    should_stop: Optional[Callable[[], bool]] = field(
+        default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -141,6 +149,9 @@ class ImproveStats:
     phase_ns: Dict[str, int] = field(default_factory=dict)
     #: number of samples behind each ``phase_ns`` total
     phase_samples: Dict[str, int] = field(default_factory=dict)
+    #: True when the run was cut short by ``ImproveConfig.should_stop``
+    #: (deadline or cancellation) rather than by convergence or trial cap
+    stopped_early: bool = False
 
     def add_phase(self, phase: str, elapsed_ns: int) -> None:
         """Accumulate one ``perf_counter_ns`` sample for *phase*."""
@@ -185,6 +196,7 @@ class ImproveStats:
             "seed": self.seed,
             "phase_ns": dict(self.phase_ns),
             "phase_samples": dict(self.phase_samples),
+            "stopped_early": self.stopped_early,
         }
 
     @classmethod
@@ -212,6 +224,7 @@ class ImproveStats:
             seed=data.get("seed"),
             phase_ns=dict(data.get("phase_ns", {})),
             phase_samples=dict(data.get("phase_samples", {})),
+            stopped_early=data.get("stopped_early", False),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -256,6 +269,7 @@ def improve(binding: Binding,
     # hot-loop locals: the inner loop runs tens of thousands of times per
     # second, so attribute lookups on these are hoisted out of it
     fast_cost = config.fast_cost
+    should_stop = config.should_stop
     choose = chooser.choose
     begin_move = binding.begin_move
     commit_move = binding.commit_move
@@ -279,6 +293,9 @@ def improve(binding: Binding,
         improved_this_trial = False
         attempted = stats.moves_attempted
         for _ in range(config.moves_per_trial):
+            if should_stop is not None and should_stop():
+                stats.stopped_early = True
+                break
             attempted += 1
             sampled = profile_every and attempted % profile_every == 0
             name = choose(rng)
@@ -335,6 +352,13 @@ def improve(binding: Binding,
                 if sanitizer is not None:
                     sanitizer.after_rollback(name, attempted)
         stats.moves_attempted = attempted
+        if stats.stopped_early:
+            # the trial was cut short: record its partial telemetry, then
+            # fall through to the best-state restore below
+            stats.cost_trace.append(current)
+            stats.uphill_used.append(config.uphill_per_trial - uphill_left)
+            stats.trial_seconds.append(time.perf_counter() - trial_started)
+            break
         if config.polish_trials:
             current = polish(binding, config.move_set)
             if current < best - 1e-9:

@@ -56,6 +56,11 @@ class RestartJob:
     configs: Tuple[ImproveConfig, ...]
     weights: CostWeights = CostWeights()
     allow_split: bool = True
+    #: optional decision-state snapshot (``Binding.clone_state``) restored
+    #: on top of the constructive initial allocation before the first
+    #: improvement pass — the warm-start seam used by ``repro.service`` to
+    #: reuse a cached allocation of the same problem shape
+    warm_state: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -84,6 +89,8 @@ def run_restart(job: RestartJob) -> RestartOutcome:
     binding = initial_allocation(job.schedule, list(job.fus),
                                  list(job.regs), weights=job.weights,
                                  allow_split=job.allow_split)
+    if job.warm_state is not None:
+        binding.restore_state(dict(job.warm_state))
     configs = job.configs
     if sanitize_enabled():
         # REPRO_SANITIZE=1 reaches workers through the environment even
@@ -123,7 +130,13 @@ def run_restarts(jobs: Iterable[RestartJob],
     job_list = list(jobs)
     workers = max(1, int(workers))
     context = _fork_context()
-    if workers == 1 or len(job_list) <= 1 or context is None:
+    # a live should_stop callback (deadline/cancellation closure) must keep
+    # observing its caller's state, so those jobs never cross a process
+    # boundary — the serial path runs them in-process
+    has_callback = any(config.should_stop is not None
+                       for job in job_list for config in job.configs)
+    if (workers == 1 or len(job_list) <= 1 or context is None
+            or has_callback):
         return [run_restart(job) for job in job_list]
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(job_list)),

@@ -12,6 +12,13 @@ Lets users persist and exchange every artifact of the flow:
 Round-tripping is lossless for everything the allocator decides; the
 test-suite asserts cost equality and simulation equivalence after a
 round-trip.
+
+Every encoding here is **canonical**: dictionaries are emitted with sorted
+keys and node/edge lists in a content-derived order (operations and values
+sorted by name, never by construction order), so two semantically equal
+objects serialize to byte-identical JSON.  ``repro.service`` relies on this
+to derive content-addressed cache keys; :func:`canonical_dumps` is the
+shared minified encoder it hashes.
 """
 
 from __future__ import annotations
@@ -35,12 +42,26 @@ class SerializationError(ReproError):
     """Malformed or version-incompatible serialized data."""
 
 
+def canonical_dumps(payload: Any) -> str:
+    """The canonical minified JSON encoding (sorted keys, no whitespace).
+
+    This is the byte stream ``repro.service`` hashes into cache keys, so
+    any change to it invalidates every previously cached allocation.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 # ------------------------------------------------------------------- CDFG
 
-def cdfg_to_json(graph: CDFG) -> str:
-    """Serialize a CDFG to a JSON string."""
+def cdfg_to_dict(graph: CDFG) -> Dict[str, Any]:
+    """Canonical JSON-able encoding of a CDFG.
+
+    Operations and values are listed in name order regardless of the order
+    they were built in, so equal graphs encode identically.
+    """
     ops = []
-    for op in graph.ops.values():
+    for name in sorted(graph.ops):
+        op = graph.ops[name]
         operands = []
         for operand in op.operands:
             if isinstance(operand, Const):
@@ -50,21 +71,29 @@ def cdfg_to_json(graph: CDFG) -> str:
                 operands.append({"value": operand.name})
         ops.append({"name": op.name, "kind": op.kind,
                     "operands": operands, "result": op.result})
-    values = [{
-        "name": v.name,
-        "is_input": v.is_input,
-        "is_output": v.is_output,
-        "loop_carried": v.loop_carried,
-        "arrival_step": v.arrival_step,
-    } for v in graph.values.values()]
-    return json.dumps({
+    values = []
+    for name in sorted(graph.values):
+        v = graph.values[name]
+        values.append({
+            "name": v.name,
+            "is_input": v.is_input,
+            "is_output": v.is_output,
+            "loop_carried": v.loop_carried,
+            "arrival_step": v.arrival_step,
+        })
+    return {
         "format": FORMAT_VERSION,
         "type": "cdfg",
         "name": graph.name,
         "cyclic": graph.cyclic,
         "operations": ops,
         "values": values,
-    }, indent=2, sort_keys=True)
+    }
+
+
+def cdfg_to_json(graph: CDFG) -> str:
+    """Serialize a CDFG to a canonical JSON string."""
+    return json.dumps(cdfg_to_dict(graph), indent=2, sort_keys=True)
 
 
 def cdfg_from_json(text: str) -> CDFG:
@@ -90,12 +119,16 @@ def cdfg_from_json(text: str) -> CDFG:
 
 # --------------------------------------------------------------- hardware
 
-def _spec_to_dict(spec: HardwareSpec) -> Dict[str, Any]:
+def spec_to_dict(spec: HardwareSpec) -> Dict[str, Any]:
+    """Canonical JSON-able encoding of a hardware spec (types by name)."""
     return {"fu_types": [{
         "name": t.name, "ops": sorted(t.ops), "delay": t.delay,
         "pipelined": t.pipelined, "can_passthrough": t.can_passthrough,
         "area": t.area,
-    } for t in spec.fu_types.values()]}
+    } for _, t in sorted(spec.fu_types.items())]}
+
+
+_spec_to_dict = spec_to_dict
 
 
 def _spec_from_dict(data: Dict[str, Any]) -> HardwareSpec:
@@ -108,17 +141,22 @@ def _spec_from_dict(data: Dict[str, Any]) -> HardwareSpec:
 
 # --------------------------------------------------------------- schedule
 
-def schedule_to_json(schedule: Schedule) -> str:
-    """Serialize a schedule together with its CDFG and hardware spec."""
-    return json.dumps({
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Canonical JSON-able encoding of a schedule (CDFG + spec + starts)."""
+    return {
         "format": FORMAT_VERSION,
         "type": "schedule",
-        "cdfg": json.loads(cdfg_to_json(schedule.graph)),
-        "spec": _spec_to_dict(schedule.spec),
+        "cdfg": cdfg_to_dict(schedule.graph),
+        "spec": spec_to_dict(schedule.spec),
         "length": schedule.length,
         "label": schedule.label,
         "start": dict(sorted(schedule.start.items())),
-    }, indent=2, sort_keys=True)
+    }
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule together with its CDFG and hardware spec."""
+    return json.dumps(schedule_to_dict(schedule), indent=2, sort_keys=True)
 
 
 def schedule_from_json(text: str) -> Schedule:
@@ -131,14 +169,14 @@ def schedule_from_json(text: str) -> Schedule:
 
 # ---------------------------------------------------------------- binding
 
-def binding_to_json(binding: Binding) -> str:
-    """Serialize a complete allocation."""
-    return json.dumps({
+def binding_to_dict(binding: Binding) -> Dict[str, Any]:
+    """Canonical JSON-able encoding of a complete allocation."""
+    return {
         "format": FORMAT_VERSION,
         "type": "binding",
-        "schedule": json.loads(schedule_to_json(binding.schedule)),
+        "schedule": schedule_to_dict(binding.schedule),
         "fus": [{"name": f.name, "type": f.type_name}
-                for f in binding.fus.values()],
+                for _, f in sorted(binding.fus.items())],
         "registers": sorted(binding.regs),
         "weights": {
             "fu": binding.weights.fu,
@@ -159,7 +197,12 @@ def binding_to_json(binding: Binding) -> str:
             {"value": v, "dst_step": s, "dst_reg": r,
              "src_reg": impl[0], "fu": impl[1], "port": impl[2]}
             for (v, s, r), impl in sorted(binding.pt_impl.items())],
-    }, indent=2, sort_keys=True)
+    }
+
+
+def binding_to_json(binding: Binding) -> str:
+    """Serialize a complete allocation."""
+    return json.dumps(binding_to_dict(binding), indent=2, sort_keys=True)
 
 
 def binding_from_json(text: str) -> Binding:

@@ -1,0 +1,216 @@
+"""``python -m repro.service`` — serve, submit, status, bench, smoke.
+
+* ``serve``  — run the HTTP server in the foreground.
+* ``submit`` — build a request from flags (or ``--request-file``) and
+  POST it; prints the JSON response.
+* ``status`` — poll ``GET /jobs/<id>`` (``--wait`` blocks until done).
+* ``bench``  — the concurrent throughput benchmark; against ``--url`` or
+  an in-process server.
+* ``smoke``  — the CI end-to-end check: start a server, submit the same
+  EWF request twice, assert the second is a cache hit with a
+  byte-identical result payload, scrape ``/metricsz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadgen import run_throughput_bench
+from repro.service.server import ServerThread, serve_forever
+
+
+def _build_request(args: argparse.Namespace) -> Dict[str, Any]:
+    if args.request_file:
+        with open(args.request_file, "r", encoding="utf-8") as handle:
+            body = json.load(handle)
+    else:
+        body = {"cdfg": {"bench": args.bench}}
+    if args.length is not None:
+        body["length"] = args.length
+    if args.seed is not None:
+        body["seed"] = args.seed
+    if args.restarts is not None:
+        body["restarts"] = args.restarts
+    if args.engine:
+        body["engine"] = args.engine
+    if args.model:
+        body["model"] = args.model
+    if args.deadline_ms is not None:
+        body["deadline_ms"] = args.deadline_ms
+    if args.warm_start:
+        body["warm_start"] = True
+    return body
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    serve_forever(host=args.host, port=args.port, workers=args.workers,
+                  queue_limit=args.queue_limit,
+                  cache_dir=args.cache_dir,
+                  persistent_cache=not args.no_disk_cache,
+                  max_attempts=args.max_attempts)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    body = _build_request(args)
+    if args.asynchronous:
+        payload = client.submit(body)
+    else:
+        payload = client.allocate(body)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.wait:
+        payload = client.wait(args.job_id, timeout=args.timeout)
+    else:
+        payload = client.job(args.job_id)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if payload.get("status") != "failed" else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    report = run_throughput_bench(
+        url=args.url, clients=args.clients,
+        requests_per_client=args.requests, fast=not args.full,
+        deadline_ms=args.deadline_ms)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.json}")
+    print(text)
+    outcome = report["outcome"]
+    return 0 if outcome["dropped"] == 0 and outcome["errors"] == 0 else 1
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """End-to-end smoke: same request twice must hit the cache exactly."""
+    body = {"cdfg": {"bench": "ewf"}, "length": 17, "seed": 1,
+            "improve": {"max_trials": 2, "moves_per_trial": 150}}
+    failures: List[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {what}")
+        if not ok:
+            failures.append(what)
+
+    if args.url:
+        urls = [args.url]
+        server: Optional[ServerThread] = None
+    else:
+        server = ServerThread(workers=2, persistent_cache=False)
+        urls = [server.__enter__()]
+    try:
+        client = ServiceClient(urls[0])
+        health = client.wait_until_healthy()
+        check(health.get("status") == "ok", "healthz answers ok")
+
+        first = client.allocate(body)
+        check(first.get("status") == "done", "first allocate completes")
+        check(not first.get("cached"), "first allocate is a cache miss")
+        check(not first.get("degraded"), "first allocate is full-fidelity")
+
+        second = client.allocate(body)
+        check(bool(second.get("cached")), "second allocate is a cache hit")
+        check(json.dumps(first.get("result"), sort_keys=True)
+              == json.dumps(second.get("result"), sort_keys=True),
+              "cached result is byte-identical to the first")
+
+        metrics = client.metricsz(condensed=True)
+        hit_rate = metrics["cache"]["hit_rate"]
+        check(hit_rate is not None and hit_rate > 0,
+              f"/metricsz reports a cache hit-rate ({hit_rate})")
+        check(metrics["jobs"]["completed"] >= 1,
+              "/metricsz counted the completed job")
+    finally:
+        if server is not None:
+            server.__exit__(None, None, None)
+
+    if failures:
+        print(f"smoke FAILED ({len(failures)} checks)")
+        return 1
+    print("smoke passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Data-path allocation as a service")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run the HTTP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8977)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--no-disk-cache", action="store_true")
+    serve.add_argument("--max-attempts", type=int, default=3)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = commands.add_parser("submit", help="POST /allocate")
+    submit.add_argument("--url", default="http://127.0.0.1:8977")
+    submit.add_argument("--bench", default="ewf",
+                        help="named benchmark CDFG (ewf, dct, fir, ...)")
+    submit.add_argument("--request-file", default=None,
+                        help="JSON file with the full request body")
+    submit.add_argument("--length", type=int, default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--restarts", type=int, default=None)
+    submit.add_argument("--engine", choices=("improve", "anneal"),
+                        default=None)
+    submit.add_argument("--model", choices=("salsa", "traditional"),
+                        default=None)
+    submit.add_argument("--deadline-ms", type=int, default=None)
+    submit.add_argument("--warm-start", action="store_true")
+    submit.add_argument("--async", dest="asynchronous",
+                        action="store_true",
+                        help="return the job ID immediately")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = commands.add_parser("status", help="GET /jobs/<id>")
+    status.add_argument("job_id")
+    status.add_argument("--url", default="http://127.0.0.1:8977")
+    status.add_argument("--wait", action="store_true")
+    status.add_argument("--timeout", type=float, default=600.0)
+    status.set_defaults(func=_cmd_status)
+
+    bench = commands.add_parser(
+        "bench", help="concurrent throughput benchmark")
+    bench.add_argument("--url", default=None,
+                       help="target server (default: in-process)")
+    bench.add_argument("--clients", type=int, default=4)
+    bench.add_argument("--requests", type=int, default=6,
+                       help="requests per client")
+    bench.add_argument("--full", action="store_true",
+                       help="paper-scale search budgets (slow)")
+    bench.add_argument("--deadline-ms", type=int, default=None)
+    bench.add_argument("--json", default=None,
+                       help="also write the report to this file")
+    bench.set_defaults(func=_cmd_bench)
+
+    smoke = commands.add_parser(
+        "smoke", help="CI end-to-end check (cache-hit identity)")
+    smoke.add_argument("--url", default=None,
+                       help="existing server (default: in-process)")
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Content-addressed result cache: in-memory LRU over an on-disk store.
+
+Keys are the sha256 hex digests produced by
+:func:`repro.service.codec.request_key` (exact results) and
+:func:`repro.service.codec.warm_key` (warm-start state snapshots under a
+``warm:`` namespace).  Values are opaque UTF-8 payload bytes — the cache
+never parses what it stores, so a hit can be returned byte-identical.
+
+Layers:
+
+* :class:`MemoryLRUCache` — byte-budgeted LRU (an ``OrderedDict`` ring);
+* :class:`DiskCache` — two-level fan-out directory
+  (``<root>/ab/abcdef....json``) with atomic tmp-file + rename writes, so
+  a crashed writer never leaves a torn entry;
+* :class:`TieredCache` — memory in front of disk with promotion on a disk
+  hit and write-through on put.
+
+All layers are thread-safe and count hits/misses/evictions into an
+optional :class:`~repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.service.metrics import MetricsRegistry
+
+#: default byte budget of the in-memory layer (64 MiB of payloads)
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro`` (XDG-aware)."""
+    configured = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if configured:
+        return configured
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def _safe_key(key: str) -> str:
+    """Keys become filenames; restrict them to a conservative alphabet."""
+    cleaned = key.replace(":", "_")
+    if not cleaned or not all(c.isalnum() or c in "._-" for c in cleaned):
+        raise ValueError(f"unusable cache key {key!r}")
+    return cleaned
+
+
+class MemoryLRUCache:
+    """Byte-budgeted in-memory LRU store."""
+
+    def __init__(self, byte_budget: int = DEFAULT_MEMORY_BUDGET,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if byte_budget <= 0:
+            raise ValueError("byte budget must be positive")
+        self.byte_budget = byte_budget
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._bytes = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._hits = metrics.counter(
+                "cache_memory_hits", "exact-key hits in the memory layer")
+            self._misses = metrics.counter(
+                "cache_memory_misses", "exact-key misses in the memory layer")
+            self._evictions = metrics.counter(
+                "cache_memory_evictions", "entries evicted by the byte budget")
+            self._bytes_gauge = metrics.gauge(
+                "cache_memory_bytes", "payload bytes currently resident")
+
+    def get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+        if self._metrics is not None:
+            (self._hits if payload is not None else self._misses).inc()
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        if len(payload) > self.byte_budget:
+            return  # would evict the whole cache for one entry
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = payload
+            self._bytes += len(payload)
+            while self._bytes > self.byte_budget:
+                _, dropped = self._entries.popitem(last=False)
+                self._bytes -= len(dropped)
+                evicted += 1
+            resident = self._bytes
+        if self._metrics is not None:
+            if evicted:
+                self._evictions.inc(evicted)
+            self._bytes_gauge.set(resident)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class DiskCache:
+    """On-disk store under a configurable root directory."""
+
+    def __init__(self, root: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self._lock = threading.Lock()
+        self._metrics = metrics
+        if metrics is not None:
+            self._hits = metrics.counter(
+                "cache_disk_hits", "exact-key hits in the disk layer")
+            self._misses = metrics.counter(
+                "cache_disk_misses", "exact-key misses in the disk layer")
+
+    def _path(self, key: str) -> str:
+        name = _safe_key(key)
+        return os.path.join(self.root, name[:2], name + ".json")
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = fh.read()
+        except (OSError, ValueError):
+            payload = None
+        if self._metrics is not None:
+            (self._hits if payload is not None else self._misses).inc()
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            # atomic publish: readers either see the old entry or the
+            # complete new one, never a torn write
+            with self._lock:
+                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(payload)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        except OSError:
+            # a read-only or full cache dir degrades to cache-off, it
+            # never fails the request
+            pass
+
+    def __len__(self) -> int:
+        count = 0
+        try:
+            for shard in os.listdir(self.root):
+                shard_dir = os.path.join(self.root, shard)
+                if os.path.isdir(shard_dir):
+                    count += sum(1 for n in os.listdir(shard_dir)
+                                 if n.endswith(".json"))
+        except OSError:
+            pass
+        return count
+
+
+class TieredCache:
+    """Memory LRU in front of the disk store (promote on disk hit)."""
+
+    def __init__(self, memory: Optional[MemoryLRUCache] = None,
+                 disk: Optional[DiskCache] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.memory = memory
+        self.disk = disk
+        self._metrics = metrics
+        if metrics is not None:
+            self._hits = metrics.counter(
+                "cache_hits", "requests served from any cache layer")
+            self._misses = metrics.counter(
+                "cache_misses", "requests that had to run the search")
+
+    @classmethod
+    def standard(cls, cache_dir: Optional[str] = None,
+                 memory_budget: int = DEFAULT_MEMORY_BUDGET,
+                 metrics: Optional[MetricsRegistry] = None,
+                 persistent: bool = True) -> "TieredCache":
+        memory = MemoryLRUCache(memory_budget, metrics=metrics)
+        disk = DiskCache(cache_dir, metrics=metrics) if persistent else None
+        return cls(memory, disk, metrics=metrics)
+
+    def get(self, key: str) -> Optional[bytes]:
+        payload = self.memory.get(key) if self.memory is not None else None
+        if payload is None and self.disk is not None:
+            payload = self.disk.get(key)
+            if payload is not None and self.memory is not None:
+                self.memory.put(key, payload)
+        if self._metrics is not None:
+            (self._hits if payload is not None else self._misses).inc()
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        if self.memory is not None:
+            self.memory.put(key, payload)
+        if self.disk is not None:
+            self.disk.put(key, payload)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "memory_entries": len(self.memory) if self.memory else 0,
+            "disk_entries": len(self.disk) if self.disk else 0,
+        }

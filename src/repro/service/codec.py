@@ -1,0 +1,248 @@
+"""Canonical request codec and content-addressed cache keys.
+
+An :class:`AllocateRequest` is the full identity of one allocation
+problem: the CDFG, hardware spec, schedule parameters, search engine and
+its knobs, seed and restart count.  :func:`request_key` hashes the
+canonical JSON encoding of that identity with sha256, giving the
+content-addressed key the result cache is organized by.
+
+Two invariants the whole service relies on:
+
+* **canonical encoding** — the payload built by :func:`cache_key_payload`
+  uses only canonical sub-encodings (``repro.io``'s sorted, name-ordered
+  dicts) and is serialized with :func:`repro.io.canonical_dumps`, so two
+  semantically equal requests produce byte-identical JSON and therefore
+  the same key, no matter how the caller constructed them;
+* **identity vs. delivery** — fields that change *how* a result is
+  computed or delivered without changing *which* result is correct
+  (deadline, warm-start permission, async flag) are excluded from the
+  key.  Results produced under a deadline (degraded) or from a warm start
+  are never written back to the exact-key cache, so a cached entry is
+  always the full-fidelity answer for its key.
+
+:func:`warm_key` hashes the *problem shape only* (graph, spec, schedule
+parameters, weights, model) — requests that differ merely in search
+budget or seed share a warm key, which is how a near-identical request
+finds a cached constructive binding to warm-start from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.cdfg.graph import CDFG
+from repro.datapath.cost import CostWeights
+from repro.datapath.units import HardwareSpec
+from repro.io.json_io import (canonical_dumps, cdfg_from_json, cdfg_to_dict,
+                              spec_to_dict, _spec_from_dict)
+
+import json
+
+#: schema version of the request encoding; bump to invalidate all caches
+REQUEST_FORMAT = 1
+
+ENGINES = ("improve", "anneal")
+MODELS = ("salsa", "traditional")
+
+#: named benchmark CDFGs a request may refer to instead of embedding a
+#: graph (resolved to the full graph before hashing, so ``{"bench":
+#: "ewf"}`` and the embedded EWF graph are the same request)
+_BENCH_BUILDERS = {
+    "ewf": "elliptic_wave_filter",
+    "dct": "discrete_cosine_transform",
+    "fir": "fir_filter",
+    "diffeq": "hal_diffeq",
+    "ar": "ar_lattice",
+}
+
+_IMPROVE_KNOBS = ("max_trials", "moves_per_trial", "uphill_per_trial",
+                  "idle_trials_stop", "restart_from_best", "polish_trials")
+_ANNEAL_KNOBS = ("initial_temperature", "cooling", "temperature_levels",
+                 "moves_per_level", "min_temperature")
+
+
+class RequestError(ReproError):
+    """A malformed or unsupported allocation request."""
+
+
+@dataclass
+class AllocateRequest:
+    """One allocation problem plus its delivery options."""
+
+    graph: CDFG
+    spec: HardwareSpec
+    model: str = "salsa"            # salsa | traditional
+    engine: str = "improve"         # improve | anneal
+    length: Optional[int] = None
+    fu_counts: Optional[Dict[str, int]] = None
+    registers: Optional[int] = None
+    weights: CostWeights = CostWeights()
+    seed: int = 0
+    restarts: int = 1
+    #: engine knob overrides (only keys in ``_IMPROVE_KNOBS`` /
+    #: ``_ANNEAL_KNOBS``; everything else is rejected at decode time)
+    improve: Dict[str, Any] = field(default_factory=dict)
+    anneal: Dict[str, Any] = field(default_factory=dict)
+    # ----- delivery options (never part of the cache key) -----
+    #: wall-clock budget; when it fires mid-search the response carries
+    #: the best-so-far binding with ``degraded: true``
+    deadline_ms: Optional[int] = None
+    #: allow warm-starting from a cached allocation of the same shape
+    warm_start: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise RequestError(f"unknown engine {self.engine!r} "
+                               f"(expected one of {ENGINES})")
+        if self.model not in MODELS:
+            raise RequestError(f"unknown model {self.model!r} "
+                               f"(expected one of {MODELS})")
+        if self.restarts < 1:
+            raise RequestError("restarts must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise RequestError("deadline_ms must be positive")
+        for knob in self.improve:
+            if knob not in _IMPROVE_KNOBS:
+                raise RequestError(f"unknown improve knob {knob!r}")
+        for knob in self.anneal:
+            if knob not in _ANNEAL_KNOBS:
+                raise RequestError(f"unknown anneal knob {knob!r}")
+
+
+# ----------------------------------------------------------------- decode
+
+def _graph_from_spec(data: Any) -> CDFG:
+    if isinstance(data, dict) and "bench" in data:
+        name = data["bench"]
+        builder_name = _BENCH_BUILDERS.get(name)
+        if builder_name is None:
+            raise RequestError(
+                f"unknown benchmark {name!r} "
+                f"(expected one of {sorted(_BENCH_BUILDERS)})")
+        import repro.bench as bench
+        return getattr(bench, builder_name)()
+    if isinstance(data, dict) and data.get("type") == "cdfg":
+        return cdfg_from_json(json.dumps(data))
+    raise RequestError(
+        "request 'cdfg' must be a serialized CDFG document or "
+        "{'bench': <name>}")
+
+
+def request_from_dict(data: Dict[str, Any]) -> AllocateRequest:
+    """Decode an HTTP request body into an :class:`AllocateRequest`."""
+    if not isinstance(data, dict):
+        raise RequestError("request body must be a JSON object")
+    known = {"cdfg", "spec", "model", "engine", "length", "fu_counts",
+             "registers", "weights", "seed", "restarts", "improve",
+             "anneal", "deadline_ms", "warm_start", "async"}
+    unknown = set(data) - known
+    if unknown:
+        raise RequestError(f"unknown request fields {sorted(unknown)}")
+    if "cdfg" not in data:
+        raise RequestError("request is missing the 'cdfg' field")
+    graph = _graph_from_spec(data["cdfg"])
+
+    spec_data = data.get("spec", "non_pipelined")
+    if spec_data == "non_pipelined":
+        spec = HardwareSpec.non_pipelined()
+    elif spec_data == "pipelined":
+        spec = HardwareSpec.pipelined()
+    elif isinstance(spec_data, dict):
+        spec = _spec_from_dict(spec_data)
+    else:
+        raise RequestError("request 'spec' must be 'non_pipelined', "
+                           "'pipelined' or a spec document")
+
+    weights_data = data.get("weights")
+    if weights_data is None:
+        weights = CostWeights()
+    else:
+        try:
+            weights = CostWeights(**weights_data)
+        except TypeError as exc:
+            raise RequestError(f"bad weights: {exc}") from None
+
+    fu_counts = data.get("fu_counts")
+    if fu_counts is not None:
+        fu_counts = {str(k): int(v) for k, v in fu_counts.items()}
+    try:
+        return AllocateRequest(
+            graph=graph, spec=spec,
+            model=data.get("model", "salsa"),
+            engine=data.get("engine", "improve"),
+            length=data.get("length"),
+            fu_counts=fu_counts,
+            registers=data.get("registers"),
+            weights=weights,
+            seed=int(data.get("seed", 0)),
+            restarts=int(data.get("restarts", 1)),
+            improve=dict(data.get("improve", {})),
+            anneal=dict(data.get("anneal", {})),
+            deadline_ms=data.get("deadline_ms"),
+            warm_start=bool(data.get("warm_start", False)))
+    except (ValueError, TypeError) as exc:
+        raise RequestError(f"bad request field: {exc}") from None
+
+
+# ----------------------------------------------------------------- encode
+
+def _weights_to_dict(weights: CostWeights) -> Dict[str, float]:
+    return {"fu": weights.fu, "register": weights.register,
+            "mux": weights.mux, "wire": weights.wire}
+
+
+def _shape_payload(request: AllocateRequest) -> Dict[str, Any]:
+    """The problem-shape identity shared by :func:`warm_key`."""
+    return {
+        "format": REQUEST_FORMAT,
+        "cdfg": cdfg_to_dict(request.graph),
+        "spec": spec_to_dict(request.spec),
+        "model": request.model,
+        "length": request.length,
+        "fu_counts": dict(sorted(request.fu_counts.items()))
+        if request.fu_counts is not None else None,
+        "registers": request.registers,
+        "weights": _weights_to_dict(request.weights),
+    }
+
+
+def cache_key_payload(request: AllocateRequest) -> Dict[str, Any]:
+    """The full identity payload hashed by :func:`request_key`.
+
+    Delivery options (deadline, warm-start permission) are deliberately
+    absent: they select *how hard* to try, not *what* the answer is.
+    """
+    payload = _shape_payload(request)
+    payload.update({
+        "engine": request.engine,
+        "seed": request.seed,
+        "restarts": request.restarts,
+        "improve": dict(sorted(request.improve.items())),
+        "anneal": dict(sorted(request.anneal.items())),
+    })
+    return payload
+
+
+def request_key(request: AllocateRequest) -> str:
+    """sha256 over the canonical JSON of the request identity."""
+    text = canonical_dumps(cache_key_payload(request))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def warm_key(request: AllocateRequest) -> str:
+    """sha256 over the problem shape only (search knobs/seeds excluded)."""
+    text = canonical_dumps(_shape_payload(request))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def job_id_for(key: str) -> str:
+    """Deterministic job ID: identical requests map to the same job.
+
+    This is what makes duplicate in-flight submissions coalesce instead of
+    running the same search twice.
+    """
+    digest = hashlib.sha256(b"repro-job:" + key.encode("ascii"))
+    return digest.hexdigest()[:16]

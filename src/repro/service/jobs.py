@@ -1,0 +1,475 @@
+"""Async job orchestration over the allocation engines.
+
+A :class:`JobManager` owns a bounded FIFO queue and a pool of worker
+*threads* (not processes: jobs need live deadline/cancellation closures,
+which must observe caller state — see ``repro.core.parallel``'s serial
+path).  Each job runs the restart loop of one
+:class:`~repro.service.codec.AllocateRequest` through
+:func:`repro.core.parallel.run_restart` and ends in exactly one of:
+
+* **done** — full-fidelity result, written through to the exact-key cache;
+* **done, degraded** — the deadline fired mid-search: the response is the
+  checker-validated best-so-far binding plus telemetry, marked
+  ``degraded: true`` and *not* cached (a later undeadlined request must
+  not inherit a truncated answer);
+* **cancelled** — the client gave up; nothing is returned or cached;
+* **failed** — a fatal error, or a retryable one that survived
+  ``max_attempts`` fresh-seed retries.
+
+Retry policy rides on :mod:`repro.verify.classify`: a
+:class:`~repro.verify.sanitizer.SanitizerError` or worker crash gets a
+fresh seed (derived via :class:`repro.rng.SeedStream`, never reusing the
+failed trajectory); deterministic :class:`~repro.errors.ReproError`\\ s
+fail immediately.
+
+Warm starts: every successful job publishes its winning decision-state
+snapshot under ``warm:<shape-key>``; a request with ``warm_start: true``
+whose exact key misses but whose shape key hits restores that snapshot on
+top of the constructive initial allocation before searching.  Warm-started
+results are themselves kept out of the exact-key cache, because their
+content depends on what happened to be in the warm store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.alloc.checker import assert_legal
+from repro.core.allocator import SalsaAllocator, TraditionalAllocator
+from repro.core.anneal import AnnealConfig, anneal
+from repro.core.improve import ImproveConfig, ImproveStats
+from repro.core.initial import initial_allocation
+from repro.core.moves import MoveSet
+from repro.core.parallel import (RestartJob, RestartOutcome, best_outcome,
+                                 rebuild_binding, run_restart)
+from repro.rng import SeedStream
+from repro.io.json_io import binding_to_dict, canonical_dumps
+from repro.verify.classify import is_retryable
+from repro.verify.sanitizer import decode_state, encode_state
+from repro.analysis.stats import telemetry_report
+from repro.service.cache import TieredCache
+from repro.service.codec import (AllocateRequest, job_id_for, request_key,
+                                 warm_key)
+from repro.service.metrics import MetricsRegistry
+
+#: job states
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = \
+    "queued", "running", "done", "failed", "cancelled"
+
+#: default propose/evaluate/rollback sampling density fed into the
+#: per-phase latency histograms (0 disables; sampling never changes
+#: search results, only telemetry)
+DEFAULT_PROFILE_EVERY = 64
+
+#: completed jobs retained for GET /jobs/<id> after they finish
+RETAINED_JOBS = 1024
+
+
+class QueueFullError(ReproError):
+    """The job queue is at capacity; the caller should back off."""
+
+
+class JobNotFoundError(ReproError):
+    """No job with the requested ID (expired or never submitted)."""
+
+
+@dataclass
+class Job:
+    """One submitted allocation request and its lifecycle."""
+
+    id: str
+    key: str
+    shape_key: str
+    request: AllocateRequest
+    status: str = QUEUED
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    attempts: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self.done_event.wait(timeout)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able job status (without the result payload)."""
+        return {
+            "job_id": self.id,
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobManager:
+    """Bounded-queue thread-pool executor for allocation requests."""
+
+    def __init__(self, cache: Optional[TieredCache] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 workers: int = 2, queue_limit: int = 64,
+                 max_attempts: int = 3,
+                 profile_every: int = DEFAULT_PROFILE_EVERY) -> None:
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_attempts = max(1, max_attempts)
+        self.queue_limit = max(1, queue_limit)
+        self.profile_every = profile_every
+
+        self._lock = threading.Lock()
+        self._queue: List[Job] = []
+        self._work = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # insertion order, for pruning
+        self._shutdown = False
+
+        m = self.metrics
+        self._submitted = m.counter("jobs_submitted", "requests accepted")
+        self._coalesced = m.counter(
+            "jobs_coalesced", "submissions attached to an in-flight job")
+        self._rejected = m.counter(
+            "jobs_rejected", "submissions refused by the full queue")
+        self._completed = m.counter("jobs_completed", "jobs finished done")
+        self._failed = m.counter("jobs_failed", "jobs finished failed")
+        self._cancelled = m.counter("jobs_cancelled", "jobs cancelled")
+        self._retried = m.counter(
+            "jobs_retried", "fresh-seed retries after retryable failures")
+        self._degraded = m.counter(
+            "jobs_degraded", "jobs that returned best-so-far on deadline")
+        self._warm = m.counter(
+            "jobs_warm_started", "jobs seeded from a cached shape snapshot")
+        self._queue_depth = m.gauge("queue_depth", "jobs waiting to run")
+        self._in_flight = m.gauge("jobs_in_flight", "jobs currently running")
+        self._job_seconds = m.histogram(
+            "job_seconds", "wall-clock seconds per executed job")
+
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-worker-{index}",
+                             daemon=True)
+            for index in range(max(1, workers))]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def submit(self, request: AllocateRequest) \
+            -> Tuple[Job, Optional[bytes]]:
+        """Queue a request; returns ``(job, cached_payload)``.
+
+        When the exact key is already cached the returned job is a
+        synthetic already-done record and ``cached_payload`` holds the
+        byte-identical stored result; nothing is queued.
+        """
+        key = request_key(request)
+        job_id = job_id_for(key)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                job = Job(id=job_id, key=key, shape_key=warm_key(request),
+                          request=request, status=DONE)
+                job.finished_at = job.started_at = job.submitted_at
+                job.done_event.set()
+                with self._lock:
+                    self._remember(job)
+                return job, cached
+
+        with self._lock:
+            if self._shutdown:
+                raise QueueFullError("job manager is shut down")
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.status in (QUEUED, RUNNING):
+                self._coalesced.inc()
+                return existing, None
+            if len(self._queue) >= self.queue_limit:
+                self._rejected.inc()
+                raise QueueFullError(
+                    f"queue is full ({self.queue_limit} jobs waiting)")
+            job = Job(id=job_id, key=key, shape_key=warm_key(request),
+                      request=request)
+            self._remember(job)
+            self._queue.append(job)
+            self._queue_depth.set(len(self._queue))
+            self._submitted.inc()
+            self._work.notify()
+        return job, None
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no job {job_id!r}")
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job (no-op once it finished)."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.status == QUEUED and job in self._queue:
+                self._queue.remove(job)
+                self._queue_depth.set(len(self._queue))
+                self._finish(job, CANCELLED)
+                return job
+        job.cancel_event.set()
+        return job
+
+    def shutdown(self, wait: bool = True, timeout: float = 10.0) -> None:
+        with self._lock:
+            self._shutdown = True
+            for job in self._queue:
+                self._finish(job, CANCELLED)
+            self._queue.clear()
+            self._queue_depth.set(0)
+            self._work.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------- internals
+
+    def _remember(self, job: Job) -> None:
+        # caller holds self._lock
+        if job.id not in self._jobs:
+            self._order.append(job.id)
+        self._jobs[job.id] = job
+        while len(self._order) > RETAINED_JOBS:
+            oldest = self._order.pop(0)
+            stale = self._jobs.get(oldest)
+            if stale is not None and stale.status in (QUEUED, RUNNING):
+                self._order.append(oldest)  # never drop live jobs
+                break
+            self._jobs.pop(oldest, None)
+
+    def _finish(self, job: Job, status: str) -> None:
+        job.status = status
+        job.finished_at = time.time()
+        job.done_event.set()
+        if status == DONE:
+            self._completed.inc()
+        elif status == FAILED:
+            self._failed.inc()
+        elif status == CANCELLED:
+            self._cancelled.inc()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._shutdown:
+                    self._work.wait()
+                if self._shutdown and not self._queue:
+                    return
+                job = self._queue.pop(0)
+                self._queue_depth.set(len(self._queue))
+                job.status = RUNNING
+                job.started_at = time.time()
+                self._in_flight.inc()
+            try:
+                self._execute(job)
+            finally:
+                self._in_flight.dec()
+
+    def _execute(self, job: Job) -> None:
+        request = job.request
+        started = time.monotonic()
+        deadline = None
+        if request.deadline_ms is not None:
+            deadline = started + request.deadline_ms / 1000.0
+
+        def should_stop() -> bool:
+            if job.cancel_event.is_set():
+                return True
+            return deadline is not None and time.monotonic() >= deadline
+
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if should_stop() and job.cancel_event.is_set():
+                self._finish(job, CANCELLED)
+                return
+            job.attempts = attempt + 1
+            try:
+                result = self._run_search(job, attempt, should_stop)
+                break
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                last_error = exc
+                out_of_time = should_stop()
+                if (is_retryable(exc) and attempt + 1 < self.max_attempts
+                        and not out_of_time):
+                    self._retried.inc()
+                    continue
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.error_kind = type(exc).__name__
+                self._finish(job, FAILED)
+                self._job_seconds.observe(time.monotonic() - started)
+                return
+        else:  # pragma: no cover - loop always breaks or returns
+            raise AssertionError(f"retry loop fell through: {last_error}")
+
+        if job.cancel_event.is_set():
+            self._finish(job, CANCELLED)
+            self._job_seconds.observe(time.monotonic() - started)
+            return
+
+        job.result = result
+        self._observe_phases(result)
+        if result["degraded"]:
+            self._degraded.inc()
+        if self.cache is not None:
+            # degraded/warm-started answers depend on the deadline or on
+            # whatever the warm store held — only full-fidelity results
+            # are publishable under the exact key
+            if not result["degraded"] and not result["warm_started"]:
+                self.cache.put(job.key,
+                               canonical_dumps(result).encode("utf-8"))
+            self.cache.put("warm_" + job.shape_key,
+                           canonical_dumps(
+                               result["best_state"]).encode("utf-8"))
+        self._finish(job, DONE)
+        self._job_seconds.observe(time.monotonic() - started)
+
+    # ------------------------------------------------------------ the search
+
+    def _allocator(self, request: AllocateRequest, attempt: int):
+        seed = request.seed if attempt == 0 else \
+            SeedStream(request.seed).child(0xDEAD, attempt)
+        config = ImproveConfig(**request.improve)
+        if request.model == "traditional":
+            return TraditionalAllocator(seed=seed, restarts=request.restarts,
+                                        weights=request.weights,
+                                        config=config)
+        return SalsaAllocator(seed=seed, restarts=request.restarts,
+                              weights=request.weights, config=config)
+
+    def _warm_state(self, job: Job) -> Optional[Dict[str, Any]]:
+        if not job.request.warm_start or self.cache is None:
+            return None
+        payload = self.cache.get("warm_" + job.shape_key)
+        if payload is None:
+            return None
+        import json as _json
+        try:
+            return decode_state(_json.loads(payload.decode("utf-8")))
+        except (ValueError, KeyError, TypeError):
+            return None  # torn/old snapshot: fall back to a cold start
+
+    def _run_search(self, job: Job, attempt: int,
+                    should_stop) -> Dict[str, Any]:
+        request = job.request
+        allocator = self._allocator(request, attempt)
+        schedule, restart_jobs = allocator.prepare_jobs(
+            request.graph, spec=request.spec, length=request.length,
+            fu_counts=request.fu_counts, registers=request.registers)
+
+        warm_state = self._warm_state(job)
+        if warm_state is not None:
+            self._warm.inc()
+
+        restart_jobs = [
+            replace(rjob,
+                    warm_state=warm_state,
+                    configs=tuple(
+                        replace(config, should_stop=should_stop,
+                                profile_every=self.profile_every)
+                        for config in rjob.configs))
+            for rjob in restart_jobs]
+
+        if request.engine == "anneal":
+            outcomes = self._run_anneal_restarts(request, restart_jobs,
+                                                 should_stop)
+        else:
+            outcomes = []
+            for rjob in restart_jobs:
+                outcomes.append(run_restart(rjob))
+                if should_stop():
+                    break  # remaining restarts are skipped: degraded
+
+        best = best_outcome(outcomes)
+        binding = rebuild_binding(restart_jobs[best.index], best)
+        # even a degraded best-so-far answer must be a *legal* allocation
+        assert_legal(binding)
+
+        all_stats: List[ImproveStats] = \
+            [s for outcome in outcomes for s in outcome.stats]
+        skipped = len(restart_jobs) - len(outcomes)
+        degraded = skipped > 0 or any(s.stopped_early for s in all_stats)
+        return {
+            "key": job.key,
+            "engine": request.engine,
+            "model": request.model,
+            "schedule_label": schedule.label,
+            "schedule_length": schedule.length,
+            "degraded": degraded,
+            "warm_started": warm_state is not None,
+            "restarts_requested": len(restart_jobs),
+            "restarts_run": len(outcomes),
+            "best_restart": best.index,
+            "cost": self._cost_to_dict(best.cost),
+            "binding": binding_to_dict(binding),
+            "best_state": encode_state(binding.clone_state()),
+            "telemetry": telemetry_report(all_stats),
+            "search_seconds": sum(o.seconds for o in outcomes),
+        }
+
+    def _run_anneal_restarts(self, request: AllocateRequest,
+                             restart_jobs: List[RestartJob],
+                             should_stop) -> List[RestartOutcome]:
+        """Annealing engine: same restart fan-in, ``anneal()`` per trial."""
+        move_set = MoveSet.traditional() \
+            if request.model == "traditional" else MoveSet()
+        outcomes = []
+        for rjob in restart_jobs:
+            started = time.perf_counter()
+            binding = initial_allocation(
+                rjob.schedule, list(rjob.fus), list(rjob.regs),
+                weights=rjob.weights, allow_split=rjob.allow_split)
+            if rjob.warm_state is not None:
+                binding.restore_state(dict(rjob.warm_state))
+            config = AnnealConfig(move_set=move_set,
+                                  seed=rjob.configs[-1].seed,
+                                  should_stop=should_stop,
+                                  **request.anneal)
+            stats = anneal(binding, config)
+            outcomes.append(RestartOutcome(
+                index=rjob.index, state=binding.clone_state(),
+                cost=binding.cost(), stats=[stats],
+                seconds=time.perf_counter() - started))
+            if should_stop():
+                break
+        return outcomes
+
+    # ------------------------------------------------------------- reporting
+
+    @staticmethod
+    def _cost_to_dict(cost) -> Dict[str, Any]:
+        return {"total": cost.total, "fu_count": cost.fu_count,
+                "fu_area": cost.fu_area,
+                "register_count": cost.register_count,
+                "mux_count": cost.mux_count, "wire_count": cost.wire_count}
+
+    def _observe_phases(self, result: Dict[str, Any]) -> None:
+        """Feed sampled per-phase ns totals into latency histograms."""
+        telemetry = result.get("telemetry", {})
+        phase_ns = telemetry.get("phase_ns", {})
+        phase_samples = telemetry.get("phase_samples", {})
+        for phase, total_ns in phase_ns.items():
+            samples = phase_samples.get(phase, 0)
+            if samples > 0:
+                self.metrics.histogram(
+                    f"phase_us_{phase}",
+                    f"sampled µs per {phase} step",
+                    buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500,
+                             1000, 5000)).observe(
+                    total_ns / samples / 1000.0)

@@ -1,0 +1,164 @@
+"""Concurrent load generation against the service (bench + smoke).
+
+:func:`mutant_requests` builds a deterministic pool of EWF/DCT request
+mutants (schedule-length × seed × register-slack variations of the
+paper's two benchmarks — the BandMap-style design-space-point workload),
+with deliberate repeats so a run exercises the cache, not just the
+search.  :func:`run_throughput_bench` drives them from N concurrent
+client threads — against a remote URL or an in-process
+:class:`~repro.service.server.ServerThread` — and reports sustained
+allocations/sec, drop and error counts, latency percentiles and the
+server's ``/metricsz`` view of the same window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service.client import ServiceClient, ServiceError
+
+#: (bench, schedule length, extra registers) mutant axes; lengths follow
+#: the paper's design points (EWF 17/19/21, DCT 10/12)
+_EWF_LENGTHS = (17, 19, 21)
+_DCT_LENGTHS = (10, 12)
+
+
+def mutant_requests(count: int, fast: bool = True,
+                    deadline_ms: Optional[int] = None) \
+        -> List[Dict[str, Any]]:
+    """A deterministic pool of *count* EWF/DCT request-body mutants.
+
+    Roughly one request in three repeats an earlier mutant exactly
+    (same key), so a concurrent run measures both search throughput and
+    cache behaviour.
+    """
+    budget = {"max_trials": 2, "moves_per_trial": 120} if fast else \
+        {"max_trials": 6, "moves_per_trial": 600}
+    pool: List[Dict[str, Any]] = []
+    variant = 0
+    while len(pool) < count:
+        # every third request re-issues an earlier one verbatim
+        if variant and variant % 3 == 2 and pool:
+            pool.append(dict(pool[(variant // 3) % len(pool)]))
+            variant += 1
+            continue
+        if variant % 2 == 0:
+            bench, length = "ewf", _EWF_LENGTHS[variant % len(_EWF_LENGTHS)]
+        else:
+            bench, length = "dct", _DCT_LENGTHS[variant % len(_DCT_LENGTHS)]
+        body: Dict[str, Any] = {
+            "cdfg": {"bench": bench},
+            "length": length,
+            "seed": variant // 3,
+            "restarts": 1,
+            "improve": dict(budget),
+        }
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        pool.append(body)
+        variant += 1
+    return pool[:count]
+
+
+def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
+                         requests_per_client: int = 6, fast: bool = True,
+                         server_workers: int = 4,
+                         deadline_ms: Optional[int] = None) \
+        -> Dict[str, Any]:
+    """Drive N concurrent clients; returns the JSON-able bench report."""
+    own_server = None
+    if url is None:
+        from repro.service.server import ServerThread
+        own_server = ServerThread(workers=server_workers,
+                                  queue_limit=max(64, clients * 8),
+                                  persistent_cache=False)
+        url = own_server.__enter__()
+    try:
+        client = ServiceClient(url)
+        client.wait_until_healthy()
+        total = clients * requests_per_client
+        pool = mutant_requests(total, fast=fast, deadline_ms=deadline_ms)
+        lock = threading.Lock()
+        samples: List[Dict[str, Any]] = []
+
+        def drive(worker_index: int) -> None:
+            for slot in range(requests_per_client):
+                body = pool[worker_index * requests_per_client + slot]
+                issued = time.perf_counter()
+                sample: Dict[str, Any] = {"client": worker_index}
+                try:
+                    response = ServiceClient(url).allocate(body)
+                    sample.update({
+                        "ok": response.get("status") == "done",
+                        "status": response.get("status"),
+                        "cached": bool(response.get("cached")),
+                        "degraded": bool(response.get("degraded")),
+                        "cost": response.get("result", {})
+                        .get("cost", {}).get("total"),
+                    })
+                except (ServiceError, OSError) as exc:
+                    sample.update({"ok": False, "status": "error",
+                                   "error": str(exc), "cached": False,
+                                   "degraded": False})
+                sample["seconds"] = time.perf_counter() - issued
+                with lock:
+                    samples.append(sample)
+
+        threads = [threading.Thread(target=drive, args=(index,),
+                                    name=f"bench-client-{index}")
+                   for index in range(clients)]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_started
+
+        metrics = client.metricsz(condensed=True)
+        raw = client.metricsz()
+        completed = [s for s in samples if s["ok"]]
+        latencies = sorted(s["seconds"] for s in samples)
+
+        def percentile(q: float) -> Optional[float]:
+            if not latencies:
+                return None
+            index = min(len(latencies) - 1,
+                        round(q / 100 * (len(latencies) - 1)))
+            return latencies[index]
+
+        report = {
+            "workload": {
+                "clients": clients,
+                "requests_per_client": requests_per_client,
+                "total_requests": total,
+                "fast_mode": fast,
+                "deadline_ms": deadline_ms,
+                "benches": sorted({body["cdfg"]["bench"] for body in pool}),
+            },
+            "outcome": {
+                "completed": len(completed),
+                "dropped": total - len(samples),
+                "errors": sum(1 for s in samples if not s["ok"]),
+                "cache_hits": sum(1 for s in samples if s.get("cached")),
+                "degraded": sum(1 for s in samples if s.get("degraded")),
+            },
+            "throughput": {
+                "wall_seconds": wall,
+                "allocations_per_sec": len(completed) / wall if wall else 0,
+                "client_latency_p50_s": percentile(50),
+                "client_latency_p90_s": percentile(90),
+                "client_latency_max_s": latencies[-1] if latencies else None,
+            },
+            "server": {
+                "cache_hit_rate": metrics["cache"]["hit_rate"],
+                "jobs": metrics["jobs"],
+                "latency": metrics["latency"],
+                "queue_depth_final": raw.get("queue_depth", {}).get("value"),
+            },
+        }
+        return report
+    finally:
+        if own_server is not None:
+            own_server.__exit__(None, None, None)

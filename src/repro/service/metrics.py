@@ -1,0 +1,194 @@
+"""Thread-safe counter/gauge/histogram registry for the service layer.
+
+The allocator itself stays dependency-free, so this is a small stdlib-only
+metrics kernel rather than a prometheus client: counters and gauges are
+plain locked floats, histograms keep fixed bucket counts plus a bounded
+reservoir of recent observations for percentile estimates.  A registry
+snapshot is a JSON-able dict — exactly what ``GET /metricsz`` returns and
+what :func:`repro.analysis.stats.service_report` summarizes.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: default latency buckets in seconds (sub-ms cache hits up to multi-minute
+#: full searches)
+DEFAULT_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+#: how many recent observations a histogram keeps for percentile estimates
+RESERVOIR_SIZE = 2048
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "help": self.help}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, jobs in flight)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "help": self.help}
+
+
+class Histogram:
+    """Fixed-bucket histogram with reservoir-backed percentile estimates.
+
+    Buckets are cumulative upper bounds (prometheus-style ``le``); the
+    reservoir holds the most recent :data:`RESERVOIR_SIZE` observations in
+    a ring, which is plenty for the p50/p90/p99 of a serving window.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name!r} needs buckets")
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * (len(self.bounds) + 1)  # +inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._ring: List[float] = []
+        self._ring_next = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._bucket_counts[bisect_left(self.bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+            if len(self._ring) < RESERVOIR_SIZE:
+                self._ring.append(value)
+            else:
+                self._ring[self._ring_next] = value
+                self._ring_next = (self._ring_next + 1) % RESERVOIR_SIZE
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated q-th percentile (0..100) over the reservoir window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._ring:
+                return None
+            ordered = sorted(self._ring)
+        index = min(len(ordered) - 1,
+                    max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total, total_sum = self._count, self._sum
+        mean = total_sum / total if total else None
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "count": total,
+            "sum": total_sum,
+            "mean": mean,
+            "buckets": {str(bound): count
+                        for bound, count in zip(self.bounds, counts)},
+            "overflow": counts[-1],
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named metric instances plus a JSON-able whole-registry snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name, help))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {metric.kind}")
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name, help))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} is a {metric.kind}")
+        return metric
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, help, buckets))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {metric.kind}")
+        return metric
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot()
+                for name, metric in sorted(metrics.items())}

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.verify.classify import (FATAL, RETRYABLE, classify_failure,
+                                   is_retryable)
 from repro.verify.sanitizer import (SANITIZE_ENV, SanitizerError,
                                     ShadowSanitizer, decode_state,
                                     encode_state, make_sanitizer,
@@ -44,8 +46,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _LAZY_SUBMODULES = ("corpus", "fuzz", "shrink")
 
 __all__ = [
-    "SANITIZE_ENV", "SanitizerError", "ShadowSanitizer", "corpus",
-    "decode_state", "encode_state", "fuzz", "make_sanitizer",
+    "FATAL", "RETRYABLE", "SANITIZE_ENV", "SanitizerError",
+    "ShadowSanitizer", "classify_failure", "corpus", "decode_state",
+    "encode_state", "fuzz", "is_retryable", "make_sanitizer",
     "sanitize_enabled", "shrink",
 ]
 

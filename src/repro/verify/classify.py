@@ -1,0 +1,52 @@
+"""Failure classification for the serving layer's retry policy.
+
+The job manager (:mod:`repro.service.jobs`) retries a failed search with a
+fresh seed only when retrying can plausibly help.  The split:
+
+* **retryable** — the failure depends on the particular random walk or on
+  transient process state: a :class:`~repro.verify.sanitizer.SanitizerError`
+  (the sanitizer already filed a reproducer; a different seed takes a
+  different trajectory through the move space), a crashed worker process,
+  or resource exhaustion (``MemoryError``, pool breakage, ``OSError``);
+* **fatal** — the failure is a deterministic property of the request
+  itself (infeasible register budget, malformed CDFG, bad config), so the
+  same error would come back on every retry and the client should see it
+  immediately.
+
+``KeyboardInterrupt``/``SystemExit`` are neither: they must propagate.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import ReproError
+from repro.verify.sanitizer import SanitizerError
+
+RETRYABLE = "retryable"
+FATAL = "fatal"
+
+#: transient process/runtime failures worth a fresh-seed retry
+_TRANSIENT_TYPES = (BrokenProcessPool, BrokenExecutor, ConnectionError,
+                    MemoryError, OSError)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"retryable"`` or ``"fatal"`` for the service retry policy."""
+    if isinstance(exc, SanitizerError):
+        # seed-dependent by construction: the sanitizer trips on one
+        # specific move trajectory, and it has already serialized the
+        # reproducer for offline debugging
+        return RETRYABLE
+    if isinstance(exc, ReproError):
+        # deterministic library errors (infeasible problem, bad config,
+        # malformed input) reproduce identically under any seed
+        return FATAL
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return RETRYABLE
+    return FATAL
+
+
+def is_retryable(exc: BaseException) -> bool:
+    return classify_failure(exc) == RETRYABLE

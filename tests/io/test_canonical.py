@@ -1,0 +1,88 @@
+"""Canonical-encoding regression tests.
+
+``repro.service`` hashes these encodings into content-addressed cache
+keys, so two semantically equal objects must serialize to byte-identical
+JSON no matter what order they were constructed in.
+"""
+
+import json
+import random
+
+from repro.bench import elliptic_wave_filter
+from repro.cdfg.graph import CDFG
+from repro.cdfg.nodes import Operation, Value
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.io import (binding_from_json, binding_to_json, canonical_dumps,
+                      cdfg_from_json, cdfg_to_dict, cdfg_to_json,
+                      schedule_to_json, spec_to_dict)
+from repro.sched.explore import schedule_graph
+from repro.core import ImproveConfig, SalsaAllocator
+
+
+def shuffled_copy(graph: CDFG, seed: int) -> CDFG:
+    """The same graph with operations/values inserted in random order."""
+    rng = random.Random(seed)
+    ops = [Operation(o.name, o.kind, o.operands, o.result)
+           for o in graph.ops.values()]
+    vals = [Value(v.name, is_input=v.is_input, is_output=v.is_output,
+                  loop_carried=v.loop_carried, arrival_step=v.arrival_step)
+            for v in graph.values.values()]
+    rng.shuffle(ops)
+    rng.shuffle(vals)
+    return CDFG(graph.name, ops, vals, cyclic=graph.cyclic)
+
+
+class TestCanonicalCDFG:
+    def test_equal_graphs_encode_identically(self):
+        graph = elliptic_wave_filter()
+        for seed in (1, 2, 3):
+            assert cdfg_to_json(shuffled_copy(graph, seed)) == \
+                cdfg_to_json(graph)
+
+    def test_node_lists_are_name_ordered(self):
+        data = cdfg_to_dict(shuffled_copy(elliptic_wave_filter(), 4))
+        op_names = [op["name"] for op in data["operations"]]
+        value_names = [v["name"] for v in data["values"]]
+        assert op_names == sorted(op_names)
+        assert value_names == sorted(value_names)
+
+    def test_round_trip_is_a_fixpoint(self):
+        text = cdfg_to_json(elliptic_wave_filter())
+        assert cdfg_to_json(cdfg_from_json(text)) == text
+
+    def test_round_trip_preserves_structure(self):
+        graph = elliptic_wave_filter()
+        again = cdfg_from_json(cdfg_to_json(shuffled_copy(graph, 5)))
+        assert set(again.ops) == set(graph.ops)
+        assert again.topo_order() == graph.topo_order()
+
+
+class TestCanonicalSpecAndSchedule:
+    def test_spec_types_are_name_ordered(self):
+        spec = HardwareSpec.non_pipelined()
+        names = [t["name"] for t in spec_to_dict(spec)["fu_types"]]
+        assert names == sorted(names)
+
+    def test_schedule_encoding_ignores_graph_build_order(self):
+        graph = elliptic_wave_filter()
+        spec = HardwareSpec.non_pipelined()
+        a = schedule_graph(graph, spec, 19)
+        b = schedule_graph(shuffled_copy(graph, 6), spec, 19)
+        assert schedule_to_json(a) == schedule_to_json(b)
+
+
+class TestCanonicalBinding:
+    def test_binding_round_trip_is_a_fixpoint(self):
+        graph = elliptic_wave_filter()
+        schedule = schedule_graph(graph, HardwareSpec.non_pipelined(), 19)
+        result = SalsaAllocator(
+            seed=3, restarts=1,
+            config=ImproveConfig(max_trials=2, moves_per_trial=120)
+        ).allocate(graph, schedule=schedule)
+        text = binding_to_json(result.binding)
+        assert binding_to_json(binding_from_json(text)) == text
+
+    def test_canonical_dumps_is_minified_and_sorted(self):
+        text = canonical_dumps({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+        assert json.loads(text) == {"a": [1, 2], "b": 1}

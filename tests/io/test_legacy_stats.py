@@ -1,0 +1,72 @@
+"""Pin the legacy telemetry-payload path against an on-disk fixture.
+
+``ImproveStats`` grew many fields after the first release (per-move
+counters, trial timings, phase profiles, ``stopped_early``); loading
+stats JSON written before those existed must keep working with default
+values, not KeyError.  The fixture is a file, not an inline dict, so the
+pinned payload cannot silently drift with the dataclass.
+"""
+
+import json
+import os
+
+from repro.core.improve import ImproveStats
+from repro.io import stats_from_json, stats_to_json
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "legacy_stats.json")
+
+
+def load_fixture_text() -> str:
+    with open(FIXTURE) as fh:
+        return fh.read()
+
+
+class TestLegacyStatsPayload:
+    def test_fixture_is_genuinely_legacy(self):
+        runs = json.loads(load_fixture_text())["runs"]
+        modern_only = {"per_move", "trial_seconds", "uphill_used",
+                       "best_trace", "seconds", "seed", "phase_ns",
+                       "phase_samples", "stopped_early"}
+        for run in runs:
+            assert not modern_only & set(run)
+
+    def test_loads_with_defaults(self):
+        first, second = stats_from_json(load_fixture_text())
+
+        assert first.trials_run == 5
+        assert first.moves_attempted == 7500
+        assert first.final_cost is not None
+        assert first.final_cost.mux_count == 24
+        assert first.per_move_accepts == {"F1": 300, "R1": 1400, "R2": 600}
+        # absent extended telemetry falls back to the dataclass defaults
+        assert first.per_move == {}
+        assert first.trial_seconds == []
+        assert first.uphill_used == []
+        assert first.best_trace == []
+        assert first.seconds == 0.0
+        assert first.seed is None
+        assert first.phase_ns == {}
+        assert first.phase_samples == {}
+        assert not first.stopped_early
+
+        # null costs (a run that never completed) survive too
+        assert second.initial_cost is None
+        assert second.final_cost is None
+
+    def test_legacy_payload_round_trips_through_modern_codec(self):
+        loaded = stats_from_json(load_fixture_text())
+        again = stats_from_json(stats_to_json(loaded))
+        assert [s.to_dict() for s in again] == [s.to_dict() for s in loaded]
+
+    def test_from_dict_rejects_nothing_it_used_to_accept(self):
+        # the five original aggregate fields are still the only required
+        # keys; everything later must be optional
+        minimal = {"trials_run": 1, "moves_attempted": 10,
+                   "moves_applied": 8, "moves_accepted": 4,
+                   "uphill_accepted": 0, "initial_cost": None,
+                   "final_cost": None, "per_move_accepts": {},
+                   "cost_trace": []}
+        stats = ImproveStats.from_dict(minimal)
+        assert stats.trials_run == 1
+        assert stats.summary().startswith("improve: 1 trials")

@@ -1,0 +1,122 @@
+"""LRU budgets, disk atomicity and tiered promotion."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service.cache import (DiskCache, MemoryLRUCache, TieredCache,
+                                 _safe_key, default_cache_dir)
+from repro.service.metrics import MetricsRegistry
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def test_memory_lru_hit_and_miss():
+    cache = MemoryLRUCache(byte_budget=1024)
+    assert cache.get(KEY_A) is None
+    cache.put(KEY_A, b"payload")
+    assert cache.get(KEY_A) == b"payload"
+    assert len(cache) == 1
+
+
+def test_memory_lru_evicts_by_byte_budget():
+    cache = MemoryLRUCache(byte_budget=20)
+    cache.put(KEY_A, b"x" * 10)
+    cache.put(KEY_B, b"y" * 10)
+    cache.put(KEY_C, b"z" * 10)  # 30 bytes resident: A must go
+    assert cache.get(KEY_A) is None
+    assert cache.get(KEY_B) == b"y" * 10
+    assert cache.get(KEY_C) == b"z" * 10
+
+
+def test_memory_lru_recency_protects_entries():
+    cache = MemoryLRUCache(byte_budget=20)
+    cache.put(KEY_A, b"x" * 10)
+    cache.put(KEY_B, b"y" * 10)
+    cache.get(KEY_A)  # touch A so B is now the LRU victim
+    cache.put(KEY_C, b"z" * 10)
+    assert cache.get(KEY_A) == b"x" * 10
+    assert cache.get(KEY_B) is None
+
+
+def test_memory_lru_rejects_oversized_entry():
+    cache = MemoryLRUCache(byte_budget=8)
+    cache.put(KEY_A, b"way too big for the budget")
+    assert cache.get(KEY_A) is None
+    assert len(cache) == 0
+
+
+def test_disk_cache_round_trip(tmp_path):
+    cache = DiskCache(root=str(tmp_path))
+    assert cache.get(KEY_A) is None
+    cache.put(KEY_A, b'{"answer": 42}')
+    assert cache.get(KEY_A) == b'{"answer": 42}'
+    # two-level fan-out layout: <root>/aa/aaaa...json
+    assert os.path.exists(os.path.join(str(tmp_path), "aa",
+                                       KEY_A + ".json"))
+    assert len(cache) == 1
+
+
+def test_disk_cache_overwrite_is_atomic_no_tmp_left(tmp_path):
+    cache = DiskCache(root=str(tmp_path))
+    cache.put(KEY_A, b"first")
+    cache.put(KEY_A, b"second")
+    assert cache.get(KEY_A) == b"second"
+    shard = os.path.join(str(tmp_path), "aa")
+    assert all(not name.endswith(".tmp") for name in os.listdir(shard))
+
+
+def test_disk_cache_unwritable_root_degrades_to_cache_off(tmp_path):
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file, not a directory")
+    cache = DiskCache(root=str(blocked))
+    cache.put(KEY_A, b"payload")  # must not raise
+    assert cache.get(KEY_A) is None
+
+
+def test_tiered_promotes_disk_hits_into_memory(tmp_path):
+    metrics = MetricsRegistry()
+    disk = DiskCache(root=str(tmp_path))
+    disk.put(KEY_A, b"cold")
+    cache = TieredCache(MemoryLRUCache(1024), disk, metrics=metrics)
+    assert cache.get(KEY_A) == b"cold"       # disk hit, promoted
+    assert cache.memory.get(KEY_A) == b"cold"
+    assert cache.get(KEY_B) is None
+    snapshot = metrics.snapshot()
+    assert snapshot["cache_hits"]["value"] == 1
+    assert snapshot["cache_misses"]["value"] == 1
+
+
+def test_tiered_write_through(tmp_path):
+    cache = TieredCache(MemoryLRUCache(1024), DiskCache(root=str(tmp_path)))
+    cache.put(KEY_A, b"both layers")
+    assert cache.memory.get(KEY_A) == b"both layers"
+    assert cache.disk.get(KEY_A) == b"both layers"
+    assert cache.stats() == {"memory_entries": 1, "disk_entries": 1}
+
+
+def test_standard_factory_honours_persistence_flag(tmp_path):
+    persistent = TieredCache.standard(cache_dir=str(tmp_path))
+    assert persistent.disk is not None
+    ephemeral = TieredCache.standard(persistent=False)
+    assert ephemeral.disk is None
+
+
+def test_safe_key_namespacing_and_rejection():
+    assert _safe_key("warm_" + KEY_A) == "warm_" + KEY_A
+    with pytest.raises(ValueError):
+        _safe_key("../escape")
+    with pytest.raises(ValueError):
+        _safe_key("")
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == str(tmp_path / "custom")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == str(tmp_path / "xdg" / "repro")

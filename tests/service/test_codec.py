@@ -1,0 +1,113 @@
+"""Request decoding and content-addressed key invariants."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import elliptic_wave_filter
+from repro.io.json_io import cdfg_to_json
+from repro.service.codec import (AllocateRequest, RequestError,
+                                 cache_key_payload, job_id_for,
+                                 request_from_dict, request_key, warm_key)
+
+
+def make_request(**overrides):
+    body = {"cdfg": {"bench": "ewf"}, "length": 17, "seed": 3}
+    body.update(overrides)
+    return request_from_dict(body)
+
+
+def test_decode_named_bench():
+    request = make_request()
+    assert request.graph.name == elliptic_wave_filter().name
+    assert request.length == 17
+    assert request.seed == 3
+    assert request.engine == "improve"
+    assert request.model == "salsa"
+
+
+def test_embedded_document_matches_named_bench_key():
+    # {"bench": "ewf"} and the full serialized EWF graph are the same
+    # request: both must land on the same cache key
+    named = make_request()
+    document = json.loads(cdfg_to_json(elliptic_wave_filter()))
+    embedded = request_from_dict(
+        {"cdfg": document, "length": 17, "seed": 3})
+    assert request_key(named) == request_key(embedded)
+    assert warm_key(named) == warm_key(embedded)
+
+
+def test_delivery_options_do_not_change_the_key():
+    base = make_request()
+    with_deadline = make_request(deadline_ms=50)
+    with_warm = make_request(warm_start=True)
+    assert request_key(base) == request_key(with_deadline)
+    assert request_key(base) == request_key(with_warm)
+    # ... but search identity does
+    assert request_key(base) != request_key(make_request(seed=4))
+    assert request_key(base) != request_key(make_request(restarts=2))
+    assert request_key(base) != request_key(make_request(engine="anneal"))
+
+
+def test_warm_key_ignores_search_knobs():
+    base = make_request()
+    assert warm_key(base) == warm_key(make_request(seed=99))
+    assert warm_key(base) == warm_key(make_request(engine="anneal"))
+    assert warm_key(base) == warm_key(
+        make_request(improve={"max_trials": 1}))
+    # the problem shape does change it
+    assert warm_key(base) != warm_key(make_request(length=19))
+    assert warm_key(base) != warm_key(make_request(model="traditional"))
+
+
+def test_key_payload_is_canonical_json():
+    payload = cache_key_payload(make_request())
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    assert json.loads(text) == payload  # round-trips losslessly
+
+
+def test_job_id_is_deterministic_and_short():
+    key = request_key(make_request())
+    assert job_id_for(key) == job_id_for(key)
+    assert len(job_id_for(key)) == 16
+    assert job_id_for(key) != job_id_for(request_key(make_request(seed=4)))
+
+
+@pytest.mark.parametrize("body,phrase", [
+    ({}, "missing the 'cdfg'"),
+    ({"cdfg": {"bench": "nope"}}, "unknown benchmark"),
+    ({"cdfg": {"bench": "ewf"}, "bogus": 1}, "unknown request fields"),
+    ({"cdfg": {"bench": "ewf"}, "engine": "genetic"}, "unknown engine"),
+    ({"cdfg": {"bench": "ewf"}, "model": "quantum"}, "unknown model"),
+    ({"cdfg": {"bench": "ewf"}, "restarts": 0}, "restarts"),
+    ({"cdfg": {"bench": "ewf"}, "deadline_ms": -5}, "deadline_ms"),
+    ({"cdfg": {"bench": "ewf"}, "improve": {"warp": 9}}, "improve knob"),
+    ({"cdfg": {"bench": "ewf"}, "anneal": {"warp": 9}}, "anneal knob"),
+    ({"cdfg": {"bench": "ewf"}, "spec": 7}, "spec"),
+    ({"cdfg": "ewf"}, "'cdfg' must be"),
+])
+def test_bad_requests_are_rejected(body, phrase):
+    with pytest.raises(RequestError, match=phrase):
+        request_from_dict(body)
+
+
+def test_spec_strings_and_knob_dicts_accepted():
+    request = request_from_dict({
+        "cdfg": {"bench": "dct"}, "spec": "pipelined",
+        "engine": "anneal", "model": "traditional",
+        "anneal": {"temperature_levels": 3, "moves_per_level": 50},
+        "weights": {"mux": 2.0},
+    })
+    assert request.spec.fu_types["pmult"].pipelined
+    assert request.anneal["temperature_levels"] == 3
+    assert request.weights.mux == 2.0
+
+
+def test_direct_construction_validates_too():
+    graph = elliptic_wave_filter()
+    from repro.datapath.units import HardwareSpec
+    with pytest.raises(RequestError):
+        AllocateRequest(graph=graph, spec=HardwareSpec.non_pipelined(),
+                        engine="bogus")

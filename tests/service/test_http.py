@@ -1,0 +1,109 @@
+"""End-to-end HTTP tests driving a real in-process server."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServerThread
+
+FAST_BODY = {"cdfg": {"bench": "ewf"}, "length": 17, "seed": 2,
+             "improve": {"max_trials": 1, "moves_per_trial": 60}}
+
+
+@pytest.fixture(scope="module")
+def service_url():
+    with ServerThread(workers=2, persistent_cache=False) as url:
+        ServiceClient(url).wait_until_healthy()
+        yield url
+
+
+def test_healthz(service_url):
+    health = ServiceClient(service_url).healthz()
+    assert health["status"] == "ok"
+    assert health["uptime_s"] >= 0
+    assert "cache" in health
+
+
+def test_allocate_sync_then_cached(service_url):
+    client = ServiceClient(service_url)
+    first = client.allocate(dict(FAST_BODY))
+    assert first["status"] == "done"
+    assert first["cached"] is False
+    assert first["degraded"] is False
+    assert first["result"]["binding"]["type"] == "binding"
+
+    second = client.allocate(dict(FAST_BODY))
+    assert second["cached"] is True
+    assert json.dumps(second["result"], sort_keys=True) == \
+        json.dumps(first["result"], sort_keys=True)
+    # the job is addressable afterwards, too
+    status = client.job(first["job_id"])
+    assert status["status"] == "done"
+
+
+def test_allocate_async_then_poll(service_url):
+    client = ServiceClient(service_url)
+    body = dict(FAST_BODY, seed=77)
+    envelope = client.submit(body)
+    assert envelope["job_id"]
+    assert envelope["status"] in ("queued", "running")
+    final = client.wait(envelope["job_id"], timeout=120)
+    assert final["status"] == "done"
+    assert final["result"]["cost"]["total"] > 0
+
+
+def test_deadline_degraded_over_http(service_url):
+    client = ServiceClient(service_url)
+    body = dict(FAST_BODY, seed=31, deadline_ms=1, restarts=3,
+                improve={"max_trials": 50, "moves_per_trial": 5000})
+    response = client.allocate(body)
+    # degraded still means HTTP 200 + a usable best-so-far result
+    assert response["status"] == "done"
+    assert response["degraded"] is True
+    assert response["result"]["binding"]["type"] == "binding"
+    assert response["result"]["telemetry"]["runs"] >= 1
+
+
+def test_metricsz_raw_and_condensed(service_url):
+    client = ServiceClient(service_url)
+    raw = client.metricsz()
+    assert raw["jobs_submitted"]["kind"] == "counter"
+    condensed = client.metricsz(condensed=True)
+    assert set(condensed) == {"requests", "jobs", "cache", "latency"}
+    assert condensed["jobs"]["completed"] >= 1
+    assert condensed["cache"]["hit_rate"] is not None
+
+
+def test_bad_request_is_400(service_url):
+    client = ServiceClient(service_url)
+    with pytest.raises(ServiceError) as excinfo:
+        client.allocate({"cdfg": {"bench": "ewf"}, "bogus_field": 1})
+    assert excinfo.value.status == 400
+    assert "unknown request fields" in str(excinfo.value)
+
+
+def test_unknown_job_is_404(service_url):
+    with pytest.raises(ServiceError) as excinfo:
+        ServiceClient(service_url).job("feedfacedeadbeef")
+    assert excinfo.value.status == 404
+
+
+def test_unknown_route_is_404(service_url):
+    with pytest.raises(ServiceError) as excinfo:
+        ServiceClient(service_url)._expect_2xx(
+            *ServiceClient(service_url)._call("GET", "/nope"))
+    assert excinfo.value.status == 404
+
+
+def test_cancel_unknown_job_is_404(service_url):
+    with pytest.raises(ServiceError) as excinfo:
+        ServiceClient(service_url).cancel("feedfacedeadbeef")
+    assert excinfo.value.status == 404
+
+
+def test_cli_smoke_command_passes():
+    from repro.service.__main__ import main
+    assert main(["smoke"]) == 0

@@ -1,0 +1,251 @@
+"""Job orchestration: caching, coalescing, deadlines, retries, cancel."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.alloc.checker import check_binding
+from repro.errors import ReproError
+from repro.io.json_io import binding_from_json
+from repro.service.cache import MemoryLRUCache, TieredCache
+from repro.service.codec import request_from_dict, request_key
+from repro.service.jobs import (CANCELLED, DONE, FAILED, JobManager,
+                                JobNotFoundError, QueueFullError)
+from repro.service.metrics import MetricsRegistry
+from repro.verify.sanitizer import SanitizerError
+
+FAST_BUDGET = {"max_trials": 1, "moves_per_trial": 60}
+
+
+def make_manager(**kwargs):
+    metrics = MetricsRegistry()
+    cache = TieredCache(MemoryLRUCache(16 * 1024 * 1024), None,
+                        metrics=metrics)
+    kwargs.setdefault("workers", 2)
+    manager = JobManager(cache=cache, metrics=metrics, **kwargs)
+    return manager, cache, metrics
+
+
+def fast_request(**overrides):
+    body = {"cdfg": {"bench": "ewf"}, "length": 17, "seed": 5,
+            "improve": dict(FAST_BUDGET)}
+    body.update(overrides)
+    return request_from_dict(body)
+
+
+@pytest.fixture
+def manager_setup():
+    manager, cache, metrics = make_manager()
+    yield manager, cache, metrics
+    manager.shutdown()
+
+
+def test_job_runs_to_done_with_legal_binding(manager_setup):
+    manager, _, _ = manager_setup
+    job, cached = manager.submit(fast_request())
+    assert cached is None
+    assert job.wait(120)
+    assert job.status == DONE
+    result = job.result
+    assert result["degraded"] is False
+    assert result["restarts_run"] == 1
+    binding = binding_from_json(json.dumps(result["binding"]))
+    assert check_binding(binding) == []
+    assert binding.cost().total == pytest.approx(result["cost"]["total"])
+
+
+def test_second_submit_is_a_byte_identical_cache_hit(manager_setup):
+    manager, cache, _ = manager_setup
+    request = fast_request()
+    job, cached = manager.submit(request)
+    assert cached is None
+    job.wait(120)
+    stored = cache.get(request_key(request))
+    assert stored is not None
+
+    again, payload = manager.submit(fast_request())
+    assert again.status == DONE
+    assert payload == stored  # byte-identical, served without queueing
+    assert json.loads(payload.decode("utf-8")) == job.result
+
+
+def test_inflight_duplicates_coalesce_to_one_job(manager_setup):
+    manager, _, metrics = manager_setup
+    block = threading.Event()
+    real = manager._run_search
+
+    def slow(job, attempt, should_stop):
+        block.wait(30)
+        return real(job, attempt, should_stop)
+
+    manager._run_search = slow
+    first, _ = manager.submit(fast_request())
+    second, payload = manager.submit(fast_request())
+    assert second is first
+    assert payload is None
+    assert metrics.counter("jobs_coalesced").value == 1
+    block.set()
+    assert first.wait(120)
+    assert first.status == DONE
+
+
+def test_deadline_returns_degraded_best_so_far(manager_setup):
+    manager, cache, metrics = manager_setup
+    request = fast_request(
+        deadline_ms=1, restarts=3,
+        improve={"max_trials": 50, "moves_per_trial": 5000})
+    job, cached = manager.submit(request)
+    assert cached is None
+    assert job.wait(120)
+    assert job.status == DONE
+    result = job.result
+    assert result["degraded"] is True
+    assert result["restarts_run"] < 3 or \
+        result["telemetry"]["stopped_early_runs"] > 0
+    # the degraded answer is still a checker-valid allocation
+    binding = binding_from_json(json.dumps(result["binding"]))
+    assert check_binding(binding) == []
+    # ... and is never published under the exact key
+    assert cache.get(request_key(request)) is None
+    assert metrics.counter("jobs_degraded").value == 1
+
+
+def test_warm_start_reuses_shape_snapshot(manager_setup):
+    manager, cache, metrics = manager_setup
+    job, _ = manager.submit(fast_request(seed=5))
+    job.wait(120)
+    assert job.status == DONE
+
+    # same shape, different seed, warm_start on: exact key misses but the
+    # shape snapshot seeds the search
+    warm_job, cached = manager.submit(fast_request(seed=6, warm_start=True))
+    assert cached is None
+    assert warm_job.wait(120)
+    assert warm_job.status == DONE
+    assert warm_job.result["warm_started"] is True
+    assert metrics.counter("jobs_warm_started").value == 1
+    # warm-started results stay out of the exact-key cache
+    assert cache.get(warm_job.key) is None
+
+
+def test_retryable_failure_gets_a_fresh_seed(manager_setup):
+    manager, _, metrics = manager_setup
+    real = manager._run_search
+    calls = []
+
+    def flaky(job, attempt, should_stop):
+        calls.append(attempt)
+        if len(calls) == 1:
+            raise SanitizerError("injected shadow-state divergence")
+        return real(job, attempt, should_stop)
+
+    manager._run_search = flaky
+    job, _ = manager.submit(fast_request())
+    assert job.wait(120)
+    assert job.status == DONE
+    assert job.attempts == 2
+    assert calls == [0, 1]
+    assert metrics.counter("jobs_retried").value == 1
+
+
+def test_fatal_error_fails_without_retry(manager_setup):
+    manager, _, metrics = manager_setup
+
+    def broken(job, attempt, should_stop):
+        raise ReproError("deterministic modeling error")
+
+    manager._run_search = broken
+    job, _ = manager.submit(fast_request())
+    assert job.wait(120)
+    assert job.status == FAILED
+    assert job.attempts == 1
+    assert "deterministic modeling error" in job.error
+    assert metrics.counter("jobs_retried").value == 0
+    assert metrics.counter("jobs_failed").value == 1
+
+
+def test_retry_budget_exhausts_to_failed():
+    manager, _, metrics = make_manager(max_attempts=2)
+    try:
+        def always_flaky(job, attempt, should_stop):
+            raise SanitizerError("never converges")
+
+        manager._run_search = always_flaky
+        job, _ = manager.submit(fast_request())
+        assert job.wait(120)
+        assert job.status == FAILED
+        assert job.attempts == 2
+        assert metrics.counter("jobs_retried").value == 1
+    finally:
+        manager.shutdown()
+
+
+def test_queue_full_rejects_with_backpressure():
+    manager, _, metrics = make_manager(workers=1, queue_limit=1)
+    try:
+        block = threading.Event()
+        real = manager._run_search
+
+        def slow(job, attempt, should_stop):
+            block.wait(30)
+            return real(job, attempt, should_stop)
+
+        manager._run_search = slow
+        running, _ = manager.submit(fast_request(seed=1))
+        time.sleep(0.2)  # let the worker pick it up
+        queued, _ = manager.submit(fast_request(seed=2))
+        with pytest.raises(QueueFullError):
+            manager.submit(fast_request(seed=3))
+        assert metrics.counter("jobs_rejected").value == 1
+        block.set()
+        assert running.wait(120) and queued.wait(120)
+    finally:
+        manager.shutdown()
+
+
+def test_cancel_queued_job():
+    manager, _, _ = make_manager(workers=1, queue_limit=8)
+    try:
+        block = threading.Event()
+        real = manager._run_search
+
+        def slow(job, attempt, should_stop):
+            block.wait(30)
+            return real(job, attempt, should_stop)
+
+        manager._run_search = slow
+        running, _ = manager.submit(fast_request(seed=1))
+        time.sleep(0.2)
+        queued, _ = manager.submit(fast_request(seed=2))
+        cancelled = manager.cancel(queued.id)
+        assert cancelled.status == CANCELLED
+        assert queued.wait(1)
+        block.set()
+        running.wait(120)
+    finally:
+        manager.shutdown()
+
+
+def test_cancel_running_job_stops_the_search(manager_setup):
+    manager, _, metrics = manager_setup
+    request = fast_request(
+        improve={"max_trials": 100, "moves_per_trial": 10000})
+    job, _ = manager.submit(request)
+    deadline = time.monotonic() + 10
+    while job.started_at is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    manager.cancel(job.id)
+    assert job.wait(120)
+    assert job.status == CANCELLED
+    assert job.result is None
+    assert metrics.counter("jobs_cancelled").value == 1
+
+
+def test_unknown_job_raises(manager_setup):
+    manager, _, _ = manager_setup
+    with pytest.raises(JobNotFoundError):
+        manager.get("feedfacedeadbeef")

@@ -1,0 +1,88 @@
+"""Unit tests for the counter/gauge/histogram registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (Counter, Gauge, Histogram,
+                                   MetricsRegistry)
+
+
+def test_counter_inc():
+    counter = Counter("hits", "cache hits")
+    assert counter.value == 0
+    counter.inc()
+    counter.inc(3)
+    assert counter.value == 4
+    snap = counter.snapshot()
+    assert snap == {"kind": "counter", "help": "cache hits", "value": 4}
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge("depth", "queue depth")
+    gauge.set(5)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 4
+    assert gauge.snapshot()["kind"] == "gauge"
+
+
+def test_histogram_percentiles_exact_on_small_samples():
+    histogram = Histogram("lat", "latency", buckets=(1, 10, 100))
+    for value in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["count"] == 10
+    assert snap["sum"] == pytest.approx(55)
+    assert snap["mean"] == pytest.approx(5.5)
+    assert snap["p50"] == pytest.approx(5, abs=1)
+    assert snap["p99"] == pytest.approx(10, abs=1)
+
+
+def test_histogram_bucket_counts():
+    histogram = Histogram("lat", "latency", buckets=(1.0, 10.0))
+    for value in (0.5, 0.7, 5.0, 50.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    # per-bucket counts keyed by upper bound, plus the overflow tally
+    assert snap["buckets"]["1.0"] == 2
+    assert snap["buckets"]["10.0"] == 1
+    assert snap["overflow"] == 1
+
+
+def test_registry_get_or_create_and_type_conflict():
+    registry = MetricsRegistry()
+    counter = registry.counter("a", "first")
+    assert registry.counter("a") is counter
+    with pytest.raises(TypeError):
+        registry.gauge("a")
+    snapshot = registry.snapshot()
+    assert snapshot["a"]["value"] == 0
+
+
+def test_registry_snapshot_is_plain_data():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(2)
+    registry.histogram("h").observe(0.5)
+    snapshot = registry.snapshot()
+    import json
+    json.dumps(snapshot)  # must be JSON-able as-is
+    assert set(snapshot) == {"c", "g", "h"}
+
+
+def test_concurrent_counter_updates():
+    counter = Counter("n", "")
+
+    def spin():
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 8000
