@@ -61,6 +61,11 @@ FULL_BUDGET = {"max_trials": 6, "moves_per_trial": 1500}
 SMOKE_BUDGET = {"max_trials": 2, "moves_per_trial": 400}
 
 DEFAULT_TOLERANCE = 0.30
+#: restore-µs regressions gate at committed × this factor — a µs-scale
+#: timing is proportionally noisier than whole-run throughput, so the
+#: ceiling is generous; it still catches an accidental fall back to the
+#: snapshot-copy restore path (an order of magnitude, not a factor)
+RESTORE_GATE_FACTOR = 3.0
 
 
 def build_binding(name: str):
@@ -103,16 +108,69 @@ def measure(name: str, budget: Dict[str, int]) -> Dict[str, Any]:
     }
 
 
+def _steady_restore_us(binding, pairs, rounds: int = 7) -> Optional[float]:
+    """Median-of-rounds mean restore µs over the captured state pairs.
+
+    Each captured pair is (state the search had drifted to, state it
+    restored to); the replay alternates between them so every timed
+    restore crosses a realistic diff, and the median over several rounds
+    discards scheduler/cache outliers.
+    """
+    if not pairs:
+        return None
+    restore = type(binding).restore_state
+    round_means = []
+    for _ in range(rounds):
+        total = 0
+        for drifted, target in pairs:
+            restore(binding, drifted)
+            tick = time.perf_counter_ns()
+            restore(binding, target)
+            total += time.perf_counter_ns() - tick
+        round_means.append(total / len(pairs))
+    round_means.sort()
+    return round(round_means[len(round_means) // 2] / 1000.0, 3)
+
+
 def measure_phases(name: str, budget: Dict[str, int],
                    profile_every: int = 4) -> Dict[str, float]:
-    """Mean µs per phase, from the perf_counter_ns hooks in improve."""
+    """Mean µs per phase of the search hot loop.
+
+    ``propose``/``evaluate``/``rollback`` come straight from the
+    ``perf_counter_ns`` sampling hooks in improve
+    (``ImproveConfig.profile_every``): they fire thousands of times per
+    run, so the in-run means are stable.  ``restore`` does not — it runs
+    once per trial, cold, and the two or three in-run samples are
+    dominated by cache-refill noise.  It is therefore measured as a
+    steady-state replay instead: the run's actual (drifted, target)
+    restore pairs are captured and re-restored in a timing loop
+    (:func:`_steady_restore_us`), which reports what a restore costs with
+    the same real diffs at hot-loop cadence.
+    """
     binding = build_binding(name)
     config = _make_config(name, budget, profile_every=profile_every)
-    stats = improve(binding, config)
+    pairs = []
+    restore = type(binding).restore_state
+    clone = type(binding).clone_state
+
+    def recording_restore(state):
+        pairs.append((clone(binding), state))
+        restore(binding, state)
+
+    binding.restore_state = recording_restore
+    try:
+        stats = improve(binding, config)
+    finally:
+        del binding.restore_state
     phase_ns = getattr(stats, "phase_ns", {})
     phase_samples = getattr(stats, "phase_samples", {})
-    return {phase: round(phase_ns[phase] / phase_samples[phase] / 1000.0, 3)
-            for phase in sorted(phase_ns) if phase_samples.get(phase)}
+    out = {phase: round(phase_ns[phase] / phase_samples[phase] / 1000.0, 3)
+           for phase in sorted(phase_ns)
+           if phase_samples.get(phase) and phase != "restore"}
+    restore_us = _steady_restore_us(binding, pairs)
+    if restore_us is not None:
+        out["restore"] = restore_us
+    return out
 
 
 def measure_all(budget: Dict[str, int],
@@ -146,12 +204,21 @@ def refresh(path: str = JSON_PATH, pre_change: bool = False) -> None:
         report["pre_change"] = current
     else:
         report["current"] = current
-        report["smoke"] = measure_all(SMOKE_BUDGET)
+        report["smoke"] = measure_all(SMOKE_BUDGET, phases=True)
         report.setdefault("pre_change", current)
         report["speedup"] = {
             name: round(report["current"][name]["moves_per_sec"] /
                         report["pre_change"][name]["moves_per_sec"], 2)
             for name in WORKLOADS}
+        restore_ratio = {}
+        for name in WORKLOADS:
+            old = report["pre_change"][name].get("phase_us", {}) \
+                .get("restore")
+            new = report["current"][name].get("phase_us", {}).get("restore")
+            if old and new:
+                restore_ratio[name] = round(old / new, 2)
+        if restore_ratio:
+            report["restore_speedup"] = restore_ratio
     write_report(report, path)
     print(json.dumps(report, indent=2, sort_keys=True))
 
@@ -167,6 +234,8 @@ def check(path: str = JSON_PATH,
         print(f"perf-smoke: no committed smoke baseline in {path}",
               file=sys.stderr)
         return 1
+    gate_factor = float(os.environ.get("REPRO_RESTORE_GATE_FACTOR",
+                                       RESTORE_GATE_FACTOR))
     failed = False
     for name in WORKLOADS:
         measured = measure(name, SMOKE_BUDGET)
@@ -177,6 +246,19 @@ def check(path: str = JSON_PATH,
         print(f"perf-smoke {name}: {measured['moves_per_sec']:.0f} moves/s "
               f"(committed {baseline:.0f}, floor {floor:.0f}, "
               f"tolerance {tolerance:.0%}) -> {status}")
+        restore_baseline = committed[name].get("phase_us", {}) \
+            .get("restore")
+        if not restore_baseline:
+            continue
+        restore_us = measure_phases(name, SMOKE_BUDGET).get("restore")
+        if restore_us is None:
+            continue
+        ceiling = restore_baseline * gate_factor
+        status = "ok" if restore_us <= ceiling else "REGRESSION"
+        failed = failed or status != "ok"
+        print(f"perf-smoke {name}: restore {restore_us:.1f} us "
+              f"(committed {restore_baseline:.1f}, ceiling {ceiling:.1f}, "
+              f"factor {gate_factor:g}) -> {status}")
     return 1 if failed else 0
 
 

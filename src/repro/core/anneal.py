@@ -25,7 +25,7 @@ from typing import Callable, Optional
 from repro.rng import RngLike, WeightedChooser, make_rng
 from repro.core.binding import Binding
 from repro.core.improve import ImproveStats
-from repro.core.moves import MoveSet, rollback
+from repro.core.moves import MoveSet
 from repro.verify.sanitizer import make_sanitizer
 
 
@@ -97,8 +97,10 @@ def anneal(binding: Binding,
             counters.attempts += 1
             if sanitizer is not None:
                 sanitizer.pre_move(name, stats.moves_attempted)
+            binding.begin_move()
             undos = fns[name](binding, rng)
             if undos is None:
+                binding.commit_move()  # no-op move: nothing to revert
                 continue
             stats.moves_applied += 1
             counters.applies += 1
@@ -108,6 +110,7 @@ def anneal(binding: Binding,
                 new_cost = binding.cost().total
             delta = new_cost - current
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                binding.commit_move()
                 stats.moves_accepted += 1
                 counters.accepts += 1
                 stats.per_move_accepts[name] = \
@@ -124,8 +127,9 @@ def anneal(binding: Binding,
                     sanitizer.after_accept(name, stats.moves_attempted)
             else:
                 counters.rollbacks += 1
-                rollback(undos)
-                binding.flush()
+                # abort_move replays the write journal; the undo closures
+                # in `undos` are not needed on this path
+                binding.abort_move()
                 if sanitizer is not None:
                     sanitizer.after_rollback(name, stats.moves_attempted)
         stats.cost_trace.append(current)

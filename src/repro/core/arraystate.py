@@ -1,0 +1,276 @@
+"""Compact array-backed snapshots of the binding decision state.
+
+:meth:`repro.core.binding.Binding.clone_state` returns a
+:class:`CompactState`: six flat integer columns (interned through the
+binding's :class:`~repro.core.interning.BindingTables`) plus the tiny
+pass-through table, instead of a deep dict-of-dicts copy.  Cloning is a
+handful of C-speed ``array`` slices, diffing two snapshots is an array
+compare, and the whole object pickles compactly for the parallel restart
+engine.
+
+A snapshot cloned from a live binding also carries a
+:class:`DerivedSnapshot` — shallow copies of the incrementally-maintained
+derived state (occupancy, FU tokens, load counters, per-site event lists
+and the connection-ledger refcount columns).  ``restore_state`` uses it to
+diff-replay a same-binding restore without re-deriving any site;
+cross-binding consumers (the sanitizer's shadow rebuild, ``duplicate``,
+process-boundary warm starts) ignore it and re-derive from the decision
+columns alone, which is what keeps the shadow-rebuild referee independent
+of the live derived state.
+
+For compatibility with the name-keyed JSON codecs
+(:func:`repro.verify.sanitizer.encode_state`), a :class:`CompactState` is
+also a read-only :class:`~collections.abc.Mapping` with the legacy
+sections (``state["op_fu"]`` etc.), materialized on demand; ``placements``
+materializes in live-dict insertion order (ascending ``seg_seq``), so a
+name-keyed restore of ``state.to_mapping()`` reproduces the same dict
+order a direct restore would.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Mapping
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.interning import BindingTables
+
+#: the legacy snapshot sections, in the order ``clone_state`` emitted them
+_SECTIONS = ("op_fu", "op_swap", "placements", "read_src", "out_src",
+             "pt_impl")
+
+#: payload marker for the JSON codec (:meth:`CompactState.to_payload`)
+PAYLOAD_FORMAT = "compact-state-v1"
+
+
+class DerivedSnapshot:
+    """Shallow clone-time copies of a binding's derived state.
+
+    Everything here is redundant with the decision columns (it can be
+    re-derived from them), so it is excluded from snapshot equality and
+    from the JSON payload; it exists purely so a same-binding restore can
+    bulk-copy instead of re-derive.  The site-event lists are shared, not
+    copied — the flush engine replaces event lists wholesale and never
+    mutates one in place, so sharing is safe.
+    """
+
+    __slots__ = ("reg_occ", "fu_tokens", "fu_load", "reg_load",
+                 "fu_by_type", "counters", "site_events", "ledger")
+
+    def __init__(self, reg_occ: Dict, fu_tokens: Dict, fu_load: Dict,
+                 reg_load: Dict, fu_by_type: Dict,
+                 counters: Tuple[int, int, float], site_events: Dict,
+                 ledger: Tuple) -> None:
+        self.reg_occ = reg_occ
+        self.fu_tokens = fu_tokens
+        self.fu_load = fu_load
+        self.reg_load = reg_load
+        self.fu_by_type = fu_by_type
+        self.counters = counters
+        self.site_events = site_events
+        self.ledger = ledger
+
+
+class CompactState(Mapping):
+    """One binding decision state as dense-id integer columns.
+
+    Columns (all indexed by the ids of ``tables``):
+
+    * ``op_fu`` — FU id per op, ``-1`` when unbound;
+    * ``op_swap`` — 0/1 operand-reversal flag per op (the legacy dicts'
+      explicit-``False``-vs-absent distinction is semantically void and is
+      deliberately collapsed);
+    * ``read_src`` / ``out_src`` — register id per read/output site,
+      ``-1`` when unset;
+    * ``seg`` — :class:`~repro.core.interning.PlacementPool` id per value
+      segment, ``0`` when unplaced;
+    * ``seg_seq`` — the segment's insertion tick; ascending ``seg_seq``
+      over placed segments *is* the placements dict's iteration order,
+      which is what lets a diff-replay restore reproduce the exact dict
+      order (and therefore the exact search trajectory) of a name-keyed
+      restore.
+
+    Equality compares decision content only: columns, decoded placements
+    and the pass-through table — never ``seg_seq`` (iteration order is not
+    a decision) and never the derived payload.
+    """
+
+    __slots__ = ("tables", "op_fu", "op_swap", "read_src", "out_src",
+                 "seg", "seg_seq", "pt", "derived")
+
+    def __init__(self, tables: BindingTables, op_fu: array, op_swap: array,
+                 read_src: array, out_src: array, seg: array,
+                 seg_seq: array, pt: Tuple,
+                 derived: Optional[DerivedSnapshot] = None) -> None:
+        self.tables = tables
+        self.op_fu = op_fu
+        self.op_swap = op_swap
+        self.read_src = read_src
+        self.out_src = out_src
+        self.seg = seg
+        self.seg_seq = seg_seq
+        self.pt = pt  # ((value, dst_step, dst_reg), (src_reg, fu, port))...
+        self.derived = derived
+
+    # --------------------------------------------------- legacy dict views
+
+    def __getitem__(self, key: str) -> Dict:
+        if key == "op_fu":
+            fu_names = self.tables.fu_names
+            return {self.tables.op_names[i]: fu_names[f]
+                    for i, f in enumerate(self.op_fu) if f >= 0}
+        if key == "op_swap":
+            return {self.tables.op_names[i]: True
+                    for i, f in enumerate(self.op_swap) if f}
+        if key == "placements":
+            tuples = self.tables.pool.tuples
+            seg = self.seg
+            seg_keys = self.tables.seg_keys
+            order = sorted((self.seg_seq[i], i)
+                           for i, pid in enumerate(seg) if pid)
+            return {seg_keys[i]: tuples[seg[i]] for _tick, i in order}
+        if key == "read_src":
+            reg_names = self.tables.reg_names
+            return {self.tables.read_keys[i]: reg_names[r]
+                    for i, r in enumerate(self.read_src) if r >= 0}
+        if key == "out_src":
+            reg_names = self.tables.reg_names
+            return {self.tables.out_values[i]: reg_names[r]
+                    for i, r in enumerate(self.out_src) if r >= 0}
+        if key == "pt_impl":
+            return dict(self.pt)
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_SECTIONS)
+
+    def __len__(self) -> int:
+        return len(_SECTIONS)
+
+    def to_mapping(self) -> Dict[str, Dict]:
+        """The full legacy name-keyed snapshot (restorable anywhere)."""
+        return {section: self[section] for section in _SECTIONS}
+
+    # -------------------------------------------------------------- equality
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, CompactState):
+            if not self.tables.same_problem(other.tables):
+                return False
+            if not (self.op_fu == other.op_fu
+                    and self.op_swap == other.op_swap
+                    and self.read_src == other.read_src
+                    and self.out_src == other.out_src
+                    and self.pt == other.pt):
+                return False
+            if self.tables.pool is other.tables.pool:
+                return self.seg == other.seg
+            mine = self.tables.pool.tuples
+            theirs = other.tables.pool.tuples
+            return all(mine[a] == theirs[b]
+                       for a, b in zip(self.seg, other.seg))
+        if isinstance(other, Mapping):
+            return self._eq_mapping(other)
+        return NotImplemented
+
+    def _eq_mapping(self, other: Mapping) -> Any:
+        """Content equality against a legacy name-keyed snapshot dict."""
+        try:
+            other_swap = {op for op, flag in other["op_swap"].items()
+                          if flag}
+            return (self["op_fu"] == dict(other["op_fu"])
+                    and set(self["op_swap"]) == other_swap
+                    and self["placements"] == {
+                        key: tuple(regs)
+                        for key, regs in other["placements"].items()}
+                    and self["read_src"] == dict(other["read_src"])
+                    and self["out_src"] == dict(other["out_src"])
+                    and self["pt_impl"] == {
+                        key: tuple(impl)
+                        for key, impl in other["pt_impl"].items()})
+        except (KeyError, TypeError, AttributeError):
+            return NotImplemented
+
+    # dict-valued equality is the only comparison snapshots need; they are
+    # never hashed (defining __eq__ disables the inherited hash anyway)
+    __hash__ = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> Tuple:
+        # the derived payload only speeds up a same-binding restore, and
+        # table identity never survives a process boundary — drop it so a
+        # pickled snapshot ships just the decision columns
+        return (self.tables, self.op_fu, self.op_swap, self.read_src,
+                self.out_src, self.seg, self.seg_seq, self.pt)
+
+    def __setstate__(self, state: Tuple) -> None:
+        (self.tables, self.op_fu, self.op_swap, self.read_src,
+         self.out_src, self.seg, self.seg_seq, self.pt) = state
+        self.derived = None
+
+    def __repr__(self) -> str:
+        placed = sum(1 for pid in self.seg if pid)
+        return (f"CompactState(ops={len(self.op_fu)}, segs={placed}/"
+                f"{len(self.seg)}, pt={len(self.pt)}, "
+                f"derived={self.derived is not None})")
+
+    # ------------------------------------------------------------ JSON codec
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-able compact encoding (decision columns + tables, no
+        derived state, no insertion order — a decoded payload restores in
+        sorted-segment order, matching the legacy name-keyed codec)."""
+        return {
+            "format": PAYLOAD_FORMAT,
+            "tables": {
+                "ops": list(self.tables.op_names),
+                "fus": list(self.tables.fu_names),
+                "regs": list(self.tables.reg_names),
+                "segs": [[value, step]
+                         for value, step in self.tables.seg_keys],
+                "reads": [[op, port] for op, port in self.tables.read_keys],
+                "outs": list(self.tables.out_values),
+            },
+            "pool": [list(regs) for regs in self.tables.pool.tuples],
+            "op_fu": list(self.op_fu),
+            "op_swap": list(self.op_swap),
+            "read_src": list(self.read_src),
+            "out_src": list(self.out_src),
+            "seg": list(self.seg),
+            "pt": [[value, step, reg, list(impl)]
+                   for (value, step, reg), impl in self.pt],
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "CompactState":
+        """Inverse of :meth:`to_payload`."""
+        if data.get("format") != PAYLOAD_FORMAT:
+            raise ValueError(
+                f"not a {PAYLOAD_FORMAT} payload: {data.get('format')!r}")
+        raw = data["tables"]
+        tables = BindingTables(
+            ops=raw["ops"], fus=raw["fus"], regs=raw["regs"],
+            segs=[(value, step) for value, step in raw["segs"]],
+            reads=[(op, port) for op, port in raw["reads"]],
+            outs=raw["outs"])
+        for regs in data["pool"]:
+            tables.pool.intern(tuple(regs))
+        n_segs = len(tables.seg_keys)
+        seg_seq = array("q", bytes(8 * n_segs))
+        ranks: List[int] = sorted(
+            range(n_segs), key=tables.seg_keys.__getitem__)
+        for rank, index in enumerate(ranks):
+            seg_seq[index] = rank + 1
+        return cls(
+            tables=tables,
+            op_fu=array("i", data["op_fu"]),
+            op_swap=array("b", data["op_swap"]),
+            read_src=array("i", data["read_src"]),
+            out_src=array("i", data["out_src"]),
+            seg=array("i", data["seg"]),
+            seg_seq=seg_seq,
+            pt=tuple(sorted(
+                ((value, step, reg), tuple(impl))
+                for value, step, reg, impl in data["pt"])),
+        )

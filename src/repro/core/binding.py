@@ -32,12 +32,16 @@ register.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.errors import BindingError
 from repro.cdfg.graph import CDFG
 from repro.cdfg.lifetimes import LiveInterval
+from repro.core.arraystate import CompactState, DerivedSnapshot
+from repro.core.interning import BindingTables
 from repro.datapath.cost import CostBreakdown, CostWeights, weighted_total
 from repro.datapath.interconnect import (ConnectionLedger, fu_in, fu_out,
                                          in_port, out_port, reg_in, reg_out)
@@ -116,8 +120,11 @@ class Binding:
         #: when journaling (:meth:`begin_move`), the pre-move event list of
         #: every site :meth:`flush` has changed since the journal started
         self._journal: Optional[Dict[SiteKey, List[Tuple]]] = None
-        #: write log of raw/occupancy dict mutations since :meth:`begin_move`
-        #: — ``(dict, key, old_value_or_ABSENT)`` in write order
+        #: write log of raw/occupancy mutations since :meth:`begin_move` —
+        #: ``(container, key, old_value_or_ABSENT)`` in write order, where
+        #: the container is a decision/occupancy dict or a flat array
+        #: column (arrays replay through the same ``container[key] = old``
+        #: branch; their old value is never ``_ABSENT``)
         self._raw_journal: Optional[List[Tuple]] = None
         self._counter_snap: Tuple[int, int, float] = (0, 0, 0.0)
 
@@ -216,6 +223,36 @@ class Binding:
         # reusable journal containers (avoid two allocations per move)
         self._journal_store: Dict[SiteKey, List[Tuple]] = {}
         self._raw_store: List[Tuple] = []
+
+        # dense-id tables + flat integer columns: the array mirror of the
+        # decision dicts (repro.core.interning / repro.core.arraystate).
+        # Every primitive writes dict and column together — through the
+        # same write journal, so abort_move replays both — and the columns
+        # are what clone_state()/restore_state() snapshot and diff.
+        self._tables = BindingTables(
+            ops=self.ops_sorted,
+            fus=tuple(fus_sorted),
+            regs=self.regs_sorted,
+            segs=sorted(self._live_pairs),
+            reads=sorted({(op_name, port)
+                          for val in self.graph.values.values()
+                          for op_name, port in val.consumers}),
+            outs=sorted(v for v, val in self.graph.values.items()
+                        if val.is_output))
+        tables = self._tables
+        self._op_fu_col = array("i", [-1]) * len(tables.op_names)
+        self._op_swap_col = array("b", bytes(len(tables.op_names)))
+        self._read_col = array("i", [-1]) * len(tables.read_keys)
+        self._out_col = array("i", [-1]) * len(tables.out_values)
+        self._seg_col = array("i", bytes(4 * len(tables.seg_keys)))
+        #: dict-position tick per segment: ascending ticks over the placed
+        #: segments reproduce the placements dict's iteration order, which
+        #: is the one dict order the search trajectory observes
+        self._seg_seq = array("q", bytes(8 * len(tables.seg_keys)))
+        #: next position tick; monotone for the binding's life (abort_move
+        #: restores seq cells but never rewinds the counter — monotonicity
+        #: is the only property the order reconstruction needs)
+        self._seg_tick = 1
 
     # ------------------------------------------------------------------ helpers
 
@@ -424,6 +461,13 @@ class Binding:
             self.op_fu[op_name] = fu_name
         else:
             self.op_fu.pop(op_name, None)
+        tables = self._tables
+        op_fu_col = self._op_fu_col
+        op_idx = tables.op_ids[op_name]
+        if journal is not None:
+            journal.append((op_fu_col, op_idx, op_fu_col[op_idx]))
+        op_fu_col[op_idx] = \
+            -1 if fu_name is None else tables.fu_ids[fu_name]
         self._mark(("read", op_name))
         if op.result is not None:
             self._mark(("write", op.result))
@@ -441,11 +485,16 @@ class Binding:
         if flag and (op.arity != 2 or not op.commutative):
             raise BindingError(
                 f"operand reverse illegal on {op_name!r} ({op.kind})")
-        if self._raw_journal is not None:
-            self._raw_journal.append(
+        journal = self._raw_journal
+        swap_col = self._op_swap_col
+        op_idx = self._tables.op_ids[op_name]
+        if journal is not None:
+            journal.append(
                 (self.op_swap, op_name,
                  self.op_swap.get(op_name, _ABSENT)))
+            journal.append((swap_col, op_idx, swap_col[op_idx]))
         self.op_swap[op_name] = flag
+        swap_col[op_idx] = 1 if flag else 0
         self._mark(("read", op_name))
 
         def undo() -> None:
@@ -515,6 +564,19 @@ class Binding:
             self.placements[(value, step)] = new
         else:
             self.placements.pop((value, step), None)
+        tables = self._tables
+        seg_idx = tables.seg_ids[(value, step)]
+        seg_col = self._seg_col
+        if append is not None:
+            append((seg_col, seg_idx, seg_col[seg_idx]))
+        seg_col[seg_idx] = tables.pool.intern(new)
+        if not old:
+            # fresh dict insert (at the end): stamp its position tick
+            seg_seq = self._seg_seq
+            if append is not None:
+                append((seg_seq, seg_idx, seg_seq[seg_idx]))
+            seg_seq[seg_idx] = self._seg_tick
+            self._seg_tick += 1
         self._xfer_cache = None
         self._mark_segment_sites(value, step)
 
@@ -530,10 +592,19 @@ class Binding:
             return _noop
         if reg is not None and reg not in self.regs:
             raise BindingError(f"unknown register {reg!r}")
-        if self._raw_journal is not None:
-            self._raw_journal.append(
+        tables = self._tables
+        read_idx = tables.read_ids.get((op_name, port))
+        if read_idx is None:
+            raise BindingError(
+                f"({op_name!r}, {port}) is not a consumer read site")
+        journal = self._raw_journal
+        read_col = self._read_col
+        if journal is not None:
+            journal.append(
                 (self.read_src, (op_name, port),
                  _ABSENT if old is None else old))
+            journal.append((read_col, read_idx, read_col[read_idx]))
+        read_col[read_idx] = -1 if reg is None else tables.reg_ids[reg]
         if reg is None:
             self.read_src.pop((op_name, port), None)
         else:
@@ -551,9 +622,17 @@ class Binding:
             return _noop
         if reg is not None and reg not in self.regs:
             raise BindingError(f"unknown register {reg!r}")
-        if self._raw_journal is not None:
-            self._raw_journal.append(
+        tables = self._tables
+        out_idx = tables.out_ids.get(value)
+        if out_idx is None:
+            raise BindingError(f"{value!r} is not an output value")
+        journal = self._raw_journal
+        out_col = self._out_col
+        if journal is not None:
+            journal.append(
                 (self.out_src, value, _ABSENT if old is None else old))
+            journal.append((out_col, out_idx, out_col[out_idx]))
+        out_col[out_idx] = -1 if reg is None else tables.reg_ids[reg]
         if reg is None:
             self.out_src.pop(value, None)
         else:
@@ -954,26 +1033,203 @@ class Binding:
         twin.restore_state(self.clone_state())
         return twin
 
-    def clone_state(self) -> Dict[str, object]:
-        """Deep snapshot of the raw decision state (for best-so-far)."""
-        return {
-            "op_fu": dict(self.op_fu),
-            "op_swap": dict(self.op_swap),
-            "placements": dict(self.placements),
-            "read_src": dict(self.read_src),
-            "out_src": dict(self.out_src),
-            "pt_impl": dict(self.pt_impl),
-        }
+    def clone_state(self) -> CompactState:
+        """Compact snapshot of the decision state (for best-so-far).
 
-    def restore_state(self, state: Dict[str, object]) -> None:
+        Column slices plus shallow copies of the derived state — no
+        per-key dict copying.  The result is a read-only
+        :class:`~repro.core.arraystate.CompactState`; it also behaves as
+        the legacy ``{"op_fu": {...}, ...}`` mapping for name-keyed
+        consumers (codecs, cross-binding restores).
+        """
+        if self._dirty:
+            self.flush()
+        derived = DerivedSnapshot(
+            reg_occ=dict(self.reg_occ),
+            fu_tokens=dict(self.fu_tokens),
+            fu_load=dict(self._fu_load),
+            reg_load=dict(self._reg_load),
+            fu_by_type=dict(self._fu_used_by_type),
+            counters=(self._fu_used_count, self._reg_used_count,
+                      self._fu_used_area),
+            site_events=dict(self._site_events),
+            ledger=self.ledger.snapshot(),
+        )
+        return CompactState(
+            tables=self._tables,
+            op_fu=self._op_fu_col[:],
+            op_swap=self._op_swap_col[:],
+            read_src=self._read_col[:],
+            out_src=self._out_col[:],
+            seg=self._seg_col[:],
+            seg_seq=self._seg_seq[:],
+            pt=tuple(sorted(self.pt_impl.items())),
+            derived=derived,
+        )
+
+    def restore_state(self, state: Mapping) -> None:
         """Restore a snapshot taken with :meth:`clone_state`.
+
+        A :class:`~repro.core.arraystate.CompactState` made by **this**
+        binding takes the fast path (:meth:`_restore_fast`): column diffs
+        applied to the decision dicts plus a bulk copy of the clone-time
+        derived state — no site is re-derived.  Anything else — a legacy
+        name-keyed dict, or a compact snapshot from another binding (the
+        sanitizer's shadow rebuild, ``duplicate``, a deserialized warm
+        start) — goes through :meth:`_restore_mapping`, which mutates via
+        the primitives and re-derives the dirty sites, keeping the
+        shadow-rebuild oracle independent of this binding's derived state.
+        Both paths yield bit-identical dict iteration orders and search
+        trajectories.
+        """
+        if isinstance(state, CompactState):
+            if (state.tables is self._tables and state.derived is not None
+                    and self._raw_journal is None):
+                self._restore_fast(state)
+            else:
+                self._restore_mapping(state.to_mapping())
+            return
+        self._restore_mapping(state)
+
+    def _restore_fast(self, state: CompactState) -> None:
+        """Same-binding diff-replay restore from the array columns.
+
+        For each column, a C-speed array compare decides whether anything
+        changed; only differing indices touch the name-keyed dicts.
+        Removed placements are popped first, then the snapshot's differing
+        segments are re-inserted in ascending clone-time ``seg_seq`` with
+        fresh ticks — reproducing exactly the dict order the primitive
+        path would produce ([unchanged keys in live order] + [restored
+        keys in snapshot order]).  Derived state is then bulk-copied from
+        the clone-time :class:`DerivedSnapshot` instead of re-derived.
+        """
+        if self._dirty:
+            self.flush()
+        tables = self._tables
+        changed = False
+        xfer_dirty = False
+
+        seg_col = self._seg_col
+        snap_seg = state.seg
+        if seg_col != snap_seg:
+            changed = True
+            xfer_dirty = True
+            placements = self.placements
+            seg_keys = tables.seg_keys
+            pool_tuples = tables.pool.tuples
+            snap_seq = state.seg_seq
+            diff = [i for i, (live, want)
+                    in enumerate(zip(seg_col, snap_seg)) if live != want]
+            for i in diff:
+                if seg_col[i]:
+                    del placements[seg_keys[i]]
+            seg_seq = self._seg_seq
+            tick = self._seg_tick
+            for _pos, i in sorted((snap_seq[i], i) for i in diff
+                                  if snap_seg[i]):
+                placements[seg_keys[i]] = pool_tuples[snap_seg[i]]
+                seg_seq[i] = tick
+                tick += 1
+            self._seg_tick = tick
+            seg_col[:] = snap_seg
+
+        col = self._op_fu_col
+        snap = state.op_fu
+        if col != snap:
+            changed = True
+            op_names = tables.op_names
+            fu_names = tables.fu_names
+            op_fu = self.op_fu
+            for i, (live, want) in enumerate(zip(col, snap)):
+                if live != want:
+                    if want < 0:
+                        op_fu.pop(op_names[i], None)
+                    else:
+                        op_fu[op_names[i]] = fu_names[want]
+            col[:] = snap
+
+        col = self._op_swap_col
+        snap = state.op_swap
+        if col != snap:
+            changed = True
+            op_names = tables.op_names
+            op_swap = self.op_swap
+            for i, (live, want) in enumerate(zip(col, snap)):
+                if live != want:
+                    if want:
+                        op_swap[op_names[i]] = True
+                    else:
+                        op_swap.pop(op_names[i], None)
+            col[:] = snap
+
+        col = self._read_col
+        snap = state.read_src
+        if col != snap:
+            changed = True
+            read_keys = tables.read_keys
+            reg_names = tables.reg_names
+            read_src = self.read_src
+            for i, (live, want) in enumerate(zip(col, snap)):
+                if live != want:
+                    if want < 0:
+                        read_src.pop(read_keys[i], None)
+                    else:
+                        read_src[read_keys[i]] = reg_names[want]
+            col[:] = snap
+
+        col = self._out_col
+        snap = state.out_src
+        if col != snap:
+            changed = True
+            out_values = tables.out_values
+            reg_names = tables.reg_names
+            out_src = self.out_src
+            for i, (live, want) in enumerate(zip(col, snap)):
+                if live != want:
+                    if want < 0:
+                        out_src.pop(out_values[i], None)
+                    else:
+                        out_src[out_values[i]] = reg_names[want]
+            col[:] = snap
+
+        if tuple(sorted(self.pt_impl.items())) != state.pt:
+            changed = True
+            xfer_dirty = True
+            self.pt_impl.clear()
+            self.pt_impl.update(state.pt)
+
+        if not changed:
+            return
+
+        derived = state.derived
+        assert derived is not None
+        self.reg_occ.clear()
+        self.reg_occ.update(derived.reg_occ)
+        self.fu_tokens.clear()
+        self.fu_tokens.update(derived.fu_tokens)
+        self._fu_load.clear()
+        self._fu_load.update(derived.fu_load)
+        self._reg_load.clear()
+        self._reg_load.update(derived.reg_load)
+        self._fu_used_by_type.clear()
+        self._fu_used_by_type.update(derived.fu_by_type)
+        (self._fu_used_count, self._reg_used_count,
+         self._fu_used_area) = derived.counters
+        self._site_events.clear()
+        self._site_events.update(derived.site_events)
+        self.ledger.restore(derived.ledger)
+        if xfer_dirty:
+            self._xfer_cache = None
+
+    def _restore_mapping(self, state: Mapping) -> None:
+        """Restore a legacy name-keyed snapshot through the primitives.
 
         Diff-based: only keys whose value differs between the live state
         and the snapshot are touched, so restoring a near-identical state
-        (every ``restart_from_best`` trial, every parallel-engine restart,
-        every sanitizer shadow rebuild) costs proportional to the drift,
-        not to the binding size.  All mutation still goes through the
-        primitives, so the derived state stays incrementally consistent.
+        costs proportional to the drift, not to the binding size.  All
+        mutation goes through the primitives, so the derived state is
+        re-derived incrementally and independently of the snapshot's
+        origin — the property the sanitizer's shadow rebuild relies on.
 
         Clear-then-set ordering keeps every intermediate state legal:
         stale pass-throughs are dropped first (they pin FU tokens and

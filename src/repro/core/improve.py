@@ -66,6 +66,17 @@ class ImproveConfig:
     #: and accumulate per-phase totals (propose/evaluate/rollback/restore)
     #: into ``ImproveStats.phase_ns`` / ``phase_samples``
     profile_every: int = 0
+    #: fuzz/stress knob: when > 0, every Nth trial round-trips the live
+    #: state through ``clone_state()`` → ``restore_state(best)`` →
+    #: ``restore_state(clone)`` before searching.  Content-preserving (the
+    #: trial still starts from exactly the state it would have), but it
+    #: drives the diff-replay restore machinery across a real diff twice
+    #: per churn, so a restore bug surfaces as a sanitizer/differential
+    #: failure instead of hiding behind the rare once-per-trial restore.
+    #: Not trajectory-neutral: restores reconcile dict iteration order, so
+    #: runs with different churn settings are each deterministic but not
+    #: comparable move-for-move
+    restore_churn: int = 0
     #: cooperative cancellation/deadline hook: checked once per attempted
     #: move (and between trials); when it returns True the search stops,
     #: restores the best allocation seen so far and sets
@@ -278,9 +289,16 @@ def improve(binding: Binding,
     full_cost = binding.cost
     counters_map = stats.per_move
 
+    restore_churn = config.restore_churn
     for _trial in range(config.max_trials):
         trial_started = time.perf_counter()
         stats.trials_run += 1
+        if restore_churn > 0 and _trial % restore_churn == 0:
+            churn_snap = binding.clone_state()
+            binding.restore_state(best_state)
+            binding.restore_state(churn_snap)
+            if sanitizer is not None:
+                sanitizer.check()
         if config.restart_from_best and current > best + 1e-9:
             if profile_every:
                 tick = time.perf_counter_ns()

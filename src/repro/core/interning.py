@@ -1,0 +1,122 @@
+"""Dense-id interning for the array-backed binding state.
+
+The hot binding state (:mod:`repro.core.binding`) keys its decision dicts
+by names and tuples — ``op -> fu``, ``(value, step) -> (regs, ...)`` — which
+makes snapshots and diffs cost a hash lookup and a tuple compare per key.
+This module supplies the id side of the dual representation:
+
+* every op, FU, register, value segment, consumer read site and output
+  sample site of a problem is interned to a dense integer id **at
+  construction**, in sorted-name order, so the same schedule always yields
+  the same ids no matter the search history (ids are portable between
+  bindings of the same problem, including across process boundaries);
+* placement tuples — the ordered register copies of one segment — are
+  interned per binding into an append-only :class:`PlacementPool`, so the
+  hot segment column stores one small int per segment instead of a tuple
+  of register names.
+
+:class:`BindingTables` bundles the six id tables plus the pool; a
+:class:`~repro.core.arraystate.CompactState` snapshot carries a reference
+to the tables it was encoded against, and
+:meth:`BindingTables.same_problem` decides whether a snapshot's columns
+can be interpreted index-for-index by another binding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: a value segment: (value name, control step)
+SegKey = Tuple[str, int]
+#: a consumer read site: (op name, input port)
+ReadKey = Tuple[str, int]
+
+
+class PlacementPool:
+    """Append-only intern table for placement tuples.
+
+    Id 0 is always the empty placement ``()`` (segment not placed), so a
+    zeroed segment column means "no placements" without a lookup.  Ids are
+    handed out in first-seen order and never reused; a pool therefore only
+    grows, and every snapshot that references it stays decodable for the
+    life of the binding.
+    """
+
+    __slots__ = ("ids", "tuples")
+
+    def __init__(self) -> None:
+        self.tuples: List[Tuple[str, ...]] = [()]
+        self.ids: Dict[Tuple[str, ...], int] = {(): 0}
+
+    def intern(self, regs: Tuple[str, ...]) -> int:
+        """The dense id of *regs*, allocating one on first sight."""
+        pid = self.ids.get(regs)
+        if pid is None:
+            pid = len(self.tuples)
+            self.ids[regs] = pid
+            self.tuples.append(regs)
+        return pid
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __repr__(self) -> str:
+        return f"PlacementPool({len(self.tuples)} tuples)"
+
+
+class BindingTables:
+    """The dense-id tables of one allocation problem.
+
+    Built once per :class:`~repro.core.binding.Binding` from sorted key
+    lists, so two bindings of the same schedule/hardware always agree on
+    every id.  The placement pool is the only history-dependent member;
+    snapshot columns store pool ids, and cross-binding consumers decode
+    them through the pool the snapshot was encoded against.
+    """
+
+    __slots__ = ("op_names", "op_ids", "fu_names", "fu_ids",
+                 "reg_names", "reg_ids", "seg_keys", "seg_ids",
+                 "read_keys", "read_ids", "out_values", "out_ids", "pool")
+
+    def __init__(self, ops: Sequence[str], fus: Sequence[str],
+                 regs: Sequence[str], segs: Sequence[SegKey],
+                 reads: Sequence[ReadKey], outs: Sequence[str]) -> None:
+        self.op_names: Tuple[str, ...] = tuple(ops)
+        self.op_ids: Dict[str, int] = _ids(self.op_names)
+        self.fu_names: Tuple[str, ...] = tuple(fus)
+        self.fu_ids: Dict[str, int] = _ids(self.fu_names)
+        self.reg_names: Tuple[str, ...] = tuple(regs)
+        self.reg_ids: Dict[str, int] = _ids(self.reg_names)
+        self.seg_keys: Tuple[SegKey, ...] = tuple(segs)
+        self.seg_ids: Dict[SegKey, int] = _ids(self.seg_keys)
+        self.read_keys: Tuple[ReadKey, ...] = tuple(reads)
+        self.read_ids: Dict[ReadKey, int] = _ids(self.read_keys)
+        self.out_values: Tuple[str, ...] = tuple(outs)
+        self.out_ids: Dict[str, int] = _ids(self.out_values)
+        self.pool = PlacementPool()
+
+    def same_problem(self, other: "BindingTables") -> bool:
+        """True when *other* assigns every id to the same key.
+
+        Identity short-circuits the common case (snapshot restored into
+        the binding that made it); otherwise the sorted key tuples are
+        compared, which holds exactly when both tables were built from
+        the same schedule and hardware names.
+        """
+        if self is other:
+            return True
+        return (self.op_names == other.op_names
+                and self.fu_names == other.fu_names
+                and self.reg_names == other.reg_names
+                and self.seg_keys == other.seg_keys
+                and self.read_keys == other.read_keys
+                and self.out_values == other.out_values)
+
+    def __repr__(self) -> str:
+        return (f"BindingTables(ops={len(self.op_names)}, "
+                f"fus={len(self.fu_names)}, regs={len(self.reg_names)}, "
+                f"segs={len(self.seg_keys)})")
+
+
+def _ids(keys: Iterable) -> Dict:
+    return {key: index for index, key in enumerate(keys)}

@@ -20,6 +20,20 @@ that reverts it) or leaves the binding untouched and returns ``None``.
 Moves keep the binding legal: they repair consumer read sources, output
 sample sources and pass-through implementations invalidated by placement
 changes (:func:`fixup_segment`).
+
+Moves mutate the binding **only through its primitives** (``set_op_fu``,
+``set_placements``, ``set_read_src``, ``set_pt``, …).  That is a hard
+rule, not a style preference: each primitive mirrors its dict write into
+the interned array columns and appends the old value to the open write
+journal, which is what makes ``Binding.abort_move()`` (journal replay)
+and the diff-replay ``restore_state()`` sound.  A move that poked a dict
+or a column directly would bypass both, and the next rollback or restore
+would silently corrupt the search (see DESIGN.md §3.3; the shadow-state
+sanitizer exists to catch exactly this).  The undo closures returned by a
+move re-execute primitives too, so engines may revert with either the
+closures or the journal — ``improve``/``anneal``/``polish`` all use the
+journal; the closures remain for nested partial reverts inside a still
+-open move (e.g. the pass-through trial in ``polish.sweep_segment_hops``).
 """
 
 from __future__ import annotations

@@ -31,7 +31,7 @@ import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import AllocationError
 from repro.datapath.cost import CostBreakdown, CostWeights
@@ -56,11 +56,14 @@ class RestartJob:
     configs: Tuple[ImproveConfig, ...]
     weights: CostWeights = CostWeights()
     allow_split: bool = True
-    #: optional decision-state snapshot (``Binding.clone_state``) restored
-    #: on top of the constructive initial allocation before the first
-    #: improvement pass — the warm-start seam used by ``repro.service`` to
-    #: reuse a cached allocation of the same problem shape
-    warm_state: Optional[Dict[str, object]] = None
+    #: optional decision-state snapshot (``Binding.clone_state`` /
+    #: :class:`~repro.core.arraystate.CompactState`) restored on top of the
+    #: constructive initial allocation before the first improvement pass —
+    #: the warm-start seam used by ``repro.service`` to reuse a cached
+    #: allocation of the same problem shape.  Compact states pickle as flat
+    #: integer columns, so shipping one to a worker never deep-copies
+    #: per-op objects.
+    warm_state: Optional[Mapping[str, object]] = None
 
 
 @dataclass
@@ -69,7 +72,7 @@ class RestartOutcome:
 
     index: int
     #: :meth:`Binding.clone_state` snapshot of the restart's best binding
-    state: Dict[str, object]
+    state: Mapping[str, object]
     cost: CostBreakdown
     stats: List[ImproveStats] = field(default_factory=list)
     seconds: float = 0.0
@@ -89,8 +92,11 @@ def run_restart(job: RestartJob) -> RestartOutcome:
     binding = initial_allocation(job.schedule, list(job.fus),
                                  list(job.regs), weights=job.weights,
                                  allow_split=job.allow_split)
+    warm_restore_ns = 0
     if job.warm_state is not None:
-        binding.restore_state(dict(job.warm_state))
+        tick = time.perf_counter_ns()
+        binding.restore_state(job.warm_state)
+        warm_restore_ns = time.perf_counter_ns() - tick
     configs = job.configs
     if sanitize_enabled():
         # REPRO_SANITIZE=1 reaches workers through the environment even
@@ -98,6 +104,11 @@ def run_restart(job: RestartJob) -> RestartOutcome:
         configs = tuple(replace(config, sanitize=True)
                         for config in configs)
     stats = [improve(binding, config) for config in configs]
+    if warm_restore_ns and stats and configs[0].profile_every:
+        # the warm-start restore happens outside improve()'s own sampling
+        # window; fold it into the first pass so phase reports see every
+        # restore the restart performed
+        stats[0].add_phase("restore", warm_restore_ns)
     return RestartOutcome(index=job.index, state=binding.clone_state(),
                           cost=binding.cost(), stats=stats,
                           seconds=time.perf_counter() - started)
@@ -163,5 +174,5 @@ def rebuild_binding(job: RestartJob, outcome: RestartOutcome) -> Binding:
     """Materialize a full :class:`Binding` from a restart outcome."""
     binding = Binding(job.schedule, list(job.fus), list(job.regs),
                       weights=job.weights)
-    binding.restore_state(dict(outcome.state))
+    binding.restore_state(outcome.state)
     return binding

@@ -7,6 +7,12 @@ read-source choices, whole-value register moves (R4), value-suffix hops
 candidate, keeps any strict improvement immediately, and the polish loop
 repeats until a full pass makes no progress.
 
+Every candidate runs inside a ``begin_move``/``commit_move``/``abort_move``
+journal bracket: a rejected or illegal candidate is reverted by replaying
+the binding's write journal (:meth:`~repro.core.binding.Binding.abort_move`)
+rather than by running undo closures plus a second flush — the same cheap
+reject path the randomized engine uses.
+
 The randomized engine (:mod:`repro.core.improve`) supplies the global
 exploration; polishing collapses the search variance at the bottom of each
 basin, which is what makes per-configuration comparisons between binding
@@ -36,13 +42,13 @@ def _tie_rng(rng: Optional[random.Random]) -> random.Random:
     return rng if rng is not None else random.Random(0)
 
 
-def _try(binding: Binding, undos, current: float) -> Optional[float]:
-    """Keep the applied mutation if it strictly improves the cost."""
+def _try(binding: Binding, current: float) -> Optional[float]:
+    """Commit the open journaled mutation if it strictly improves."""
     new = binding.total_cost()
     if new < current - 1e-9:
+        binding.commit_move()
         return new
-    rollback(undos)
-    binding.flush()
+    binding.abort_move()
     return None
 
 
@@ -57,8 +63,9 @@ def sweep_fu_moves(binding: Binding, current: float) -> float:
                 continue
             if not binding.fu_free_all(fu_name, busy):
                 continue
-            undos = [binding.set_op_fu(op_name, fu_name)]
-            improved = _try(binding, undos, current)
+            binding.begin_move()
+            binding.set_op_fu(op_name, fu_name)
+            improved = _try(binding, current)
             if improved is not None:
                 current = improved
     return current
@@ -69,8 +76,9 @@ def sweep_operand_swaps(binding: Binding, current: float) -> float:
         if op.arity != 2 or not op.commutative:
             continue
         flag = not binding.op_swap.get(op_name, False)
-        undos = [binding.set_op_swap(op_name, flag)]
-        improved = _try(binding, undos, current)
+        binding.begin_move()
+        binding.set_op_swap(op_name, flag)
+        improved = _try(binding, current)
         if improved is not None:
             current = improved
     return current
@@ -87,8 +95,9 @@ def sweep_read_sources(binding: Binding, current: float) -> float:
             for reg in regs:
                 if reg == binding.read_src.get((op_name, port)):
                     continue
-                undos = [binding.set_read_src(op_name, port, reg)]
-                improved = _try(binding, undos, current)
+                binding.begin_move()
+                binding.set_read_src(op_name, port, reg)
+                improved = _try(binding, current)
                 if improved is not None:
                     current = improved
     return current
@@ -105,18 +114,17 @@ def sweep_value_moves(binding: Binding, current: float) -> float:
                 continue
             if all(binding.segment_regs(value, s) == (reg,) for s in steps):
                 continue
-            undos: List = []
+            binding.begin_move()
             try:
                 for key in [k for k in binding.pt_impl if k[0] == value]:
-                    undos.append(binding.set_pt(key[0], key[1], key[2], None))
+                    binding.set_pt(key[0], key[1], key[2], None)
                 for step in steps:
-                    undos.append(binding.set_placements(value, step, (reg,)))
-                    undos.extend(fixup_segment(binding, value, step))
+                    binding.set_placements(value, step, (reg,))
+                    fixup_segment(binding, value, step)
             except BindingError:
-                rollback(undos)
-                binding.flush()
+                binding.abort_move()
                 continue
-            improved = _try(binding, undos, current)
+            improved = _try(binding, current)
             if improved is not None:
                 current = improved
     return current
@@ -143,28 +151,26 @@ def sweep_segment_hops(binding: Binding, current: float,
                     continue
                 if not all(binding.reg_free(reg, s) for s in run):
                     continue
-                undos: List = []
+                binding.begin_move()
                 try:
                     for step in run:
-                        undos.append(
-                            binding.set_placements(value, step, (reg,)))
-                        undos.extend(fixup_segment(binding, value, step))
+                        binding.set_placements(value, step, (reg,))
+                        fixup_segment(binding, value, step)
                     if reg not in binding.segment_regs(value, src_step):
                         hop_cost = binding.total_cost()
                         impl = _best_pt_choice(binding, rng, value,
                                                run[0], reg, src_step)
                         if impl is not None:
+                            # inner trial inside the open journal: revert
+                            # with its own undo closure, not abort_move
                             trial = [binding.set_pt(value, run[0], reg, impl)]
                             if binding.total_cost() >= hop_cost - 1e-9:
                                 rollback(trial)
                                 binding.flush()
-                            else:
-                                undos.extend(trial)
                 except BindingError:
-                    rollback(undos)
-                    binding.flush()
+                    binding.abort_move()
                     continue
-                improved = _try(binding, undos, current)
+                improved = _try(binding, current)
                 if improved is not None:
                     current = improved
     return current
@@ -183,15 +189,15 @@ def sweep_value_exchanges(binding: Binding, current: float) -> float:
             shared = sorted(steps1 & set(binding.interval(v2).steps))
             if not shared:
                 continue
+            binding.begin_move()
             undos: List = []
             try:
                 for step in shared:
                     _swap_segments(binding, v1, v2, step, undos)
             except BindingError:
-                rollback(undos)
-                binding.flush()
+                binding.abort_move()
                 continue
-            improved = _try(binding, undos, current)
+            improved = _try(binding, current)
             if improved is not None:
                 current = improved
     return current
@@ -206,17 +212,20 @@ def sweep_passthroughs(binding: Binding, current: float,
                                src_step)
         if impl is None:
             continue
+        binding.begin_move()
         try:
-            undos = [binding.set_pt(value, dst_step, dst_reg, impl)]
+            binding.set_pt(value, dst_step, dst_reg, impl)
         except BindingError:
+            binding.abort_move()
             continue
-        improved = _try(binding, undos, current)
+        improved = _try(binding, current)
         if improved is not None:
             current = improved
     # and drop any pass-through that no longer pays for itself
     for key in sorted(binding.pt_impl):
-        undos = [binding.set_pt(key[0], key[1], key[2], None)]
-        improved = _try(binding, undos, current)
+        binding.begin_move()
+        binding.set_pt(key[0], key[1], key[2], None)
+        improved = _try(binding, current)
         if improved is not None:
             current = improved
     return current

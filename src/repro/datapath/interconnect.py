@@ -23,6 +23,14 @@ A connection may be *used* by many events (the same register feeding the
 same FU port in several control steps); the ledger reference-counts uses so
 that removing one use does not delete a connection that another control
 step still needs.
+
+Internally the refcounts live in slot-indexed integer columns, not a
+``dict``: each distinct pair ever seen is interned to a dense *slot* id and
+each sink to a dense sink id, and the hot state is two flat lists of ints
+(``uses`` per slot, ``fanin`` per sink).  Slots are append-only for the
+life of the ledger, which is what makes :meth:`snapshot` two list copies
+and :meth:`restore` two slice assignments — any slot allocated after a
+snapshot necessarily had zero uses when it was taken.
 """
 
 from __future__ import annotations
@@ -34,6 +42,9 @@ from repro.errors import DatapathError
 
 Endpoint = Tuple  # ("fu_out", name) etc.
 Connection = Tuple[Endpoint, Endpoint]
+
+#: snapshot payload: (uses column, fanin column, mux total, wire total)
+LedgerSnapshot = Tuple[List[int], List[int], int, int]
 
 
 def fu_out(fu: str) -> Endpoint:
@@ -64,55 +75,74 @@ class ConnectionLedger:
     """Reference-counted (source, sink) connection set with O(1) mux total."""
 
     def __init__(self) -> None:
-        # plain dicts, not Counters: the hot loop hits add/remove tens of
-        # thousands of times per second and Counter.__delitem__ alone is
-        # measurable there
-        #: (src, sink) -> number of events using this connection
-        self._uses: Dict[Connection, int] = {}
-        #: sink -> number of *distinct* sources driving it
-        self._fanin: Dict[Endpoint, int] = {}
+        #: (src, sink) -> slot id (append-only intern table)
+        self._slot_ids: Dict[Connection, int] = {}
+        #: slot id -> pair
+        self._pairs: List[Connection] = []
+        #: slot id -> number of events using this connection (0 = absent)
+        self._uses: List[int] = []
+        #: slot id -> sink id of the pair's sink
+        self._slot_sink: List[int] = []
+        #: sink -> sink id (append-only intern table)
+        self._sink_ids: Dict[Endpoint, int] = {}
+        #: sink id -> sink
+        self._sinks: List[Endpoint] = []
+        #: sink id -> number of *distinct* live sources driving it
+        self._fanin: List[int] = []
         self._mux_total = 0
+        self._wire_total = 0
 
     # -- mutation -------------------------------------------------------------
 
     def add_pair(self, pair: Connection) -> None:
         """Record one more use of the ``(src, sink)`` connection *pair*.
 
-        The pair tuple itself is the refcount key, so hot callers that
+        The pair tuple itself is the intern key, so hot callers that
         already hold one (the site-event lists are lists of pairs) pay no
         re-packing.
         """
-        uses = self._uses
-        count = uses.get(pair)
-        if count is None:
-            uses[pair] = 1
+        slot = self._slot_ids.get(pair)
+        if slot is None:
             sink = pair[1]
+            sink_id = self._sink_ids.get(sink)
+            if sink_id is None:
+                sink_id = len(self._sinks)
+                self._sink_ids[sink] = sink_id
+                self._sinks.append(sink)
+                self._fanin.append(0)
+            slot = len(self._pairs)
+            self._slot_ids[pair] = slot
+            self._pairs.append(pair)
+            self._uses.append(0)
+            self._slot_sink.append(sink_id)
+        uses = self._uses
+        count = uses[slot]
+        uses[slot] = count + 1
+        if count == 0:
+            self._wire_total += 1
             fanin = self._fanin
-            sink_fanin = fanin.get(sink, 0) + 1
-            fanin[sink] = sink_fanin
+            sink_id = self._slot_sink[slot]
+            sink_fanin = fanin[sink_id] + 1
+            fanin[sink_id] = sink_fanin
             if sink_fanin > 1:
                 self._mux_total += 1
-        else:
-            uses[pair] = count + 1
 
     def remove_pair(self, pair: Connection) -> None:
-        """Drop one use; deletes the connection when uses reach zero."""
-        uses = self._uses
-        count = uses.get(pair, 0)
-        if count <= 0:
+        """Drop one use; the connection goes dead when uses reach zero."""
+        slot = self._slot_ids.get(pair)
+        if slot is None or self._uses[slot] <= 0:
             raise DatapathError(f"removing non-existent connection {pair}")
-        if count == 1:
-            del uses[pair]
-            sink = pair[1]
+        uses = self._uses
+        count = uses[slot] - 1
+        uses[slot] = count
+        if count == 0:
+            self._wire_total -= 1
             fanin = self._fanin
-            sink_fanin = fanin[sink] - 1
+            sink_id = self._slot_sink[slot]
+            sink_fanin = fanin[sink_id] - 1
+            fanin[sink_id] = sink_fanin
             if sink_fanin > 0:
-                fanin[sink] = sink_fanin
                 self._mux_total -= 1
-            else:
-                del fanin[sink]
-        else:
-            uses[pair] = count - 1
 
     def add(self, src: Endpoint, sink: Endpoint) -> None:
         """Record one more use of the connection *src* -> *sink*."""
@@ -132,6 +162,36 @@ class ConnectionLedger:
         for pair in events:
             remove_pair(pair)
 
+    # -- bulk state -----------------------------------------------------------
+
+    def snapshot(self) -> LedgerSnapshot:
+        """O(slots) copy of the refcount columns for :meth:`restore`.
+
+        Valid only against the same ledger instance: the payload stores no
+        keys, just counts per slot/sink id.
+        """
+        return (self._uses[:], self._fanin[:], self._mux_total,
+                self._wire_total)
+
+    def restore(self, snap: LedgerSnapshot) -> None:
+        """Rewind this ledger's counts to a :meth:`snapshot` of **itself**.
+
+        Slots and sink ids allocated after the snapshot are zeroed — they
+        had zero uses when it was taken (slots are append-only and never
+        reused).
+        """
+        uses, fanin, mux_total, wire_total = snap
+        live_uses = self._uses
+        live_uses[:len(uses)] = uses
+        for slot in range(len(uses), len(live_uses)):
+            live_uses[slot] = 0
+        live_fanin = self._fanin
+        live_fanin[:len(fanin)] = fanin
+        for sink_id in range(len(fanin), len(live_fanin)):
+            live_fanin[sink_id] = 0
+        self._mux_total = mux_total
+        self._wire_total = wire_total
+
     # -- queries --------------------------------------------------------------
 
     @property
@@ -142,44 +202,64 @@ class ConnectionLedger:
     @property
     def wire_count(self) -> int:
         """Number of distinct point-to-point connections."""
-        return len(self._uses)
+        return self._wire_total
 
     def fanin(self, sink: Endpoint) -> int:
-        return self._fanin.get(sink, 0)
+        sink_id = self._sink_ids.get(sink)
+        return 0 if sink_id is None else self._fanin[sink_id]
 
     def sources_of(self, sink: Endpoint) -> List[Endpoint]:
         """Distinct sources driving *sink*, sorted for determinism."""
-        return sorted({src for (src, snk) in self._uses if snk == sink})
+        pairs = self._pairs
+        return sorted({pairs[slot][0]
+                       for slot, count in enumerate(self._uses)
+                       if count and pairs[slot][1] == sink})
 
     def sinks(self) -> List[Endpoint]:
-        return sorted(self._fanin)
+        return sorted(sink for sink_id, sink in enumerate(self._sinks)
+                      if self._fanin[sink_id] > 0)
 
     def connections(self) -> List[Connection]:
-        """All distinct connections, sorted."""
-        return sorted(self._uses)
+        """All distinct live connections, sorted."""
+        pairs = self._pairs
+        return sorted(pairs[slot] for slot, count in enumerate(self._uses)
+                      if count)
 
     def uses(self, src: Endpoint, sink: Endpoint) -> int:
-        return self._uses.get((src, sink), 0)
+        slot = self._slot_ids.get((src, sink))
+        return 0 if slot is None else self._uses[slot]
 
     def use_counts(self) -> Dict[Connection, int]:
-        """Snapshot of every connection's reference count.
+        """Snapshot of every live connection's reference count.
 
         The sanitizer and the legality checker compare this against a
         from-scratch re-derivation: totals (``mux_count``/``wire_count``)
         can agree while an individual connection's count is off, so the
         per-connection map is the stronger oracle.
         """
-        return dict(self._uses)
+        pairs = self._pairs
+        return {pairs[slot]: count
+                for slot, count in enumerate(self._uses) if count}
 
     def verify(self) -> None:
         """Cross-check the incremental counters (used by tests)."""
-        fanin = Counter(sink for (_src, sink) in self._uses)
-        if fanin != self._fanin:
+        pairs = self._pairs
+        fanin = Counter(pairs[slot][1]
+                        for slot, count in enumerate(self._uses) if count)
+        live_fanin = {sink: self._fanin[sink_id]
+                      for sink, sink_id in self._sink_ids.items()
+                      if self._fanin[sink_id]}
+        if fanin != live_fanin:
             raise DatapathError("ledger fanin counters out of sync")
         mux = sum(max(0, n - 1) for n in fanin.values())
         if mux != self._mux_total:
             raise DatapathError(
                 f"ledger mux total out of sync: {self._mux_total} != {mux}")
+        wires = sum(1 for count in self._uses if count)
+        if wires != self._wire_total:
+            raise DatapathError(
+                f"ledger wire total out of sync: "
+                f"{self._wire_total} != {wires}")
 
     def __repr__(self) -> str:
         return (f"ConnectionLedger(wires={self.wire_count}, "

@@ -35,10 +35,11 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.alloc.checker import assert_legal
+from repro.core.arraystate import PAYLOAD_FORMAT, CompactState
 from repro.core.allocator import SalsaAllocator, TraditionalAllocator
 from repro.core.anneal import AnnealConfig, anneal
 from repro.core.improve import ImproveConfig, ImproveStats
@@ -95,6 +96,10 @@ class Job:
     finished_at: Optional[float] = None
     done_event: threading.Event = field(default_factory=threading.Event)
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: compact warm snapshot of the winning state
+    #: (``CompactState.to_payload`` as canonical JSON), published to the
+    #: warm store when the job finishes; internal, never in ``describe()``
+    warm_payload: Optional[bytes] = field(default=None, repr=False)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self.done_event.wait(timeout)
@@ -334,9 +339,12 @@ class JobManager:
             if not result["degraded"] and not result["warm_started"]:
                 self.cache.put(job.key,
                                canonical_dumps(result).encode("utf-8"))
-            self.cache.put("warm_" + job.shape_key,
-                           canonical_dumps(
-                               result["best_state"]).encode("utf-8"))
+            # the warm store holds the compact array payload: decoding it
+            # rebuilds flat integer columns, never per-op/per-segment
+            # Python object graphs
+            warm_blob = job.warm_payload or canonical_dumps(
+                result["best_state"]).encode("utf-8")
+            self.cache.put("warm_" + job.shape_key, warm_blob)
         self._finish(job, DONE)
         self._job_seconds.observe(time.monotonic() - started)
 
@@ -353,7 +361,7 @@ class JobManager:
         return SalsaAllocator(seed=seed, restarts=request.restarts,
                               weights=request.weights, config=config)
 
-    def _warm_state(self, job: Job) -> Optional[Dict[str, Any]]:
+    def _warm_state(self, job: Job) -> Optional[Mapping[str, Any]]:
         if not job.request.warm_start or self.cache is None:
             return None
         payload = self.cache.get("warm_" + job.shape_key)
@@ -361,7 +369,12 @@ class JobManager:
             return None
         import json as _json
         try:
-            return decode_state(_json.loads(payload.decode("utf-8")))
+            data = _json.loads(payload.decode("utf-8"))
+            if isinstance(data, dict) and \
+                    data.get("format") == PAYLOAD_FORMAT:
+                return CompactState.from_payload(data)
+            # legacy name-keyed snapshot left by an older server build
+            return decode_state(data)
         except (ValueError, KeyError, TypeError):
             return None  # torn/old snapshot: fall back to a cold start
 
@@ -400,6 +413,8 @@ class JobManager:
         binding = rebuild_binding(restart_jobs[best.index], best)
         # even a degraded best-so-far answer must be a *legal* allocation
         assert_legal(binding)
+        job.warm_payload = canonical_dumps(
+            binding.clone_state().to_payload()).encode("utf-8")
 
         all_stats: List[ImproveStats] = \
             [s for outcome in outcomes for s in outcome.stats]
@@ -436,7 +451,7 @@ class JobManager:
                 rjob.schedule, list(rjob.fus), list(rjob.regs),
                 weights=rjob.weights, allow_split=rjob.allow_split)
             if rjob.warm_state is not None:
-                binding.restore_state(dict(rjob.warm_state))
+                binding.restore_state(rjob.warm_state)
             config = AnnealConfig(move_set=move_set,
                                   seed=rjob.configs[-1].seed,
                                   should_stop=should_stop,

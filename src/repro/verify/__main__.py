@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip minimizing failing cases")
     parser.add_argument("--inject", choices=["undo"], default=None,
                         help="test-only fault injection")
+    parser.add_argument("--restore-churn", type=int, default=0,
+                        metavar="N",
+                        help="every Nth improvement trial, round-trip the "
+                             "binding through clone/restore to stress the "
+                             "diff-replay restore path (0 disables)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress lines")
     return parser
@@ -98,6 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_dir=args.out,
         known_buckets=args.known,
         inject=args.inject,
+        restore_churn=args.restore_churn,
     )
 
     def progress(case: FuzzCase, failure: Optional[FuzzFailure]) -> None:

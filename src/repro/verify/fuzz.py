@@ -124,6 +124,10 @@ class FuzzConfig:
     known_buckets: Optional[str] = None
     #: test-only fault injection ("undo" breaks one move's undo closure)
     inject: Optional[str] = None
+    #: when > 0, every Nth improvement trial round-trips the binding
+    #: through clone/restore (``ImproveConfig.restore_churn``), stressing
+    #: the diff-replay restore path under the sanitizer
+    restore_churn: int = 0
 
 
 # ------------------------------------------------------------ fault injection
@@ -242,14 +246,16 @@ def build_problem(case: FuzzCase) -> Tuple[CDFG, Schedule]:
 # --------------------------------------------------------------- case replay
 
 def _improve_config(case: FuzzCase, sanitize_every: int,
-                    move_set: Optional[MoveSet]) -> ImproveConfig:
+                    move_set: Optional[MoveSet],
+                    restore_churn: int = 0) -> ImproveConfig:
     config = ImproveConfig(
         max_trials=max(1, case.max_trials),
         moves_per_trial=max(1, case.moves_per_trial),
         uphill_per_trial=max(0, case.uphill),
         idle_trials_stop=2,
         sanitize=True,
-        sanitize_every=max(1, sanitize_every))
+        sanitize_every=max(1, sanitize_every),
+        restore_churn=max(0, restore_churn))
     if move_set is not None:
         config = replace(config, move_set=move_set)
     return config
@@ -292,7 +298,8 @@ def _check_invariants(case: FuzzCase, trad: AllocationResult,
 
 def run_case(case: FuzzCase,
              inject: Optional[str] = None,
-             sanitize_every: int = 8) -> Optional[FuzzFailure]:
+             sanitize_every: int = 8,
+             restore_churn: int = 0) -> Optional[FuzzFailure]:
     """Replay one case; ``None`` on success, the failure otherwise."""
     stage = "generate"
     try:
@@ -302,7 +309,9 @@ def run_case(case: FuzzCase,
         stage = "traditional"
         trad = TraditionalAllocator(
             seed=case.seed, restarts=max(1, case.restarts),
-            config=_improve_config(case, sanitize_every, None)).allocate(
+            config=_improve_config(
+                case, sanitize_every, None,
+                restore_churn=restore_churn)).allocate(
                 schedule.graph, schedule=schedule, registers=registers)
         stage = "traditional-simulate"
         verify_binding(trad.binding, iterations=max(1, case.iterations),
@@ -311,8 +320,9 @@ def run_case(case: FuzzCase,
         stage = "salsa"
         salsa = SalsaAllocator(
             seed=case.seed, restarts=max(1, case.restarts),
-            config=_improve_config(case, sanitize_every,
-                                   _injected_move_set(inject))).allocate(
+            config=_improve_config(
+                case, sanitize_every, _injected_move_set(inject),
+                restore_churn=restore_churn)).allocate(
                 schedule.graph, schedule=schedule, registers=registers)
         stage = "salsa-simulate"
         verify_binding(salsa.binding, iterations=max(1, case.iterations),
@@ -389,7 +399,8 @@ def run_fuzz(config: FuzzConfig,
         index += 1
         report.cases_run += 1
         failure = run_case(case, inject=config.inject,
-                           sanitize_every=config.sanitize_every)
+                           sanitize_every=config.sanitize_every,
+                           restore_churn=config.restore_churn)
         if progress is not None:
             progress(case, failure)
         if failure is None:
@@ -401,7 +412,8 @@ def run_fuzz(config: FuzzConfig,
 
             def replay(candidate: FuzzCase) -> Optional[str]:
                 result = run_case(candidate, inject=config.inject,
-                                  sanitize_every=config.sanitize_every)
+                                  sanitize_every=config.sanitize_every,
+                                  restore_churn=config.restore_churn)
                 return None if result is None else result.signature
 
             shrunk = shrink_case(failure.case, target, replay,

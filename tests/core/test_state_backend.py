@@ -1,0 +1,161 @@
+"""Differential regression: array-backed snapshots vs the legacy dicts.
+
+The binding's hot state lives in interned integer columns
+(:mod:`repro.core.arraystate`), but every snapshot is still a readable
+legacy mapping and every restore accepts one.  These tests pin the
+contract that makes that safe: the diff-replay restore path and the
+name-keyed ``to_mapping()`` path must produce **bit-identical search
+trajectories** — same best/cost traces, same final cost, same decision
+dicts, and the same ``placements`` iteration order (dict order feeds the
+transfer-enumeration RNG, so an ordering difference *is* a trajectory
+difference).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bench import discrete_cosine_transform, elliptic_wave_filter
+from repro.datapath.units import HardwareSpec, make_registers
+from repro.sched.explore import schedule_graph
+from repro.core import (AnnealConfig, ImproveConfig, anneal, improve,
+                        initial_allocation)
+from repro.core.arraystate import CompactState
+from repro.core.binding import Binding
+
+SPEC = HardwareSpec.non_pipelined()
+
+
+def fresh_binding(bench="ewf"):
+    if bench == "ewf":
+        graph, length = elliptic_wave_filter(), 17
+    else:
+        graph, length = discrete_cosine_transform(), 10
+    schedule = schedule_graph(graph, SPEC, length)
+    return initial_allocation(
+        schedule, SPEC.make_fus(schedule.min_fus()),
+        make_registers(schedule.min_registers() + 1))
+
+
+def observables(binding):
+    """Every live-binding datum a backend difference could perturb."""
+    return (
+        binding.total_cost(),
+        sorted(binding.op_fu.items()),
+        sorted((k, tuple(v)) for k, v in binding.placements.items()),
+        list(binding.placements),  # iteration order is trajectory-relevant
+        sorted(binding.read_src.items()),
+        sorted(binding.pt_impl.items()),
+        binding.derived_snapshot(),
+    )
+
+
+def trajectory(binding, stats):
+    """Everything a backend difference could perturb, in one tuple."""
+    return (
+        tuple(stats.best_trace),
+        tuple(stats.cost_trace),
+        stats.final_cost.total,
+    ) + observables(binding)
+
+
+def force_legacy_backend(monkeypatch):
+    """Route every clone/restore through the name-keyed dict snapshots."""
+    original = Binding.clone_state
+    monkeypatch.setattr(
+        Binding, "clone_state",
+        lambda self: original(self).to_mapping())
+
+
+class TestImproveBackendParity:
+
+    @pytest.mark.parametrize("bench", ["ewf", "dct"])
+    @pytest.mark.parametrize("seed", [1, 9])
+    def test_diff_replay_matches_legacy_restore(self, bench, seed,
+                                                monkeypatch):
+        config = ImproveConfig(max_trials=3, moves_per_trial=200,
+                               seed=seed, sanitize=True, sanitize_every=32)
+        binding = fresh_binding(bench)
+        compact = trajectory(binding, improve(binding, config))
+
+        with monkeypatch.context() as patch:
+            force_legacy_backend(patch)
+            binding = fresh_binding(bench)
+            legacy = trajectory(binding, improve(binding, config))
+
+        assert compact == legacy
+
+    def test_anneal_backend_parity(self, monkeypatch):
+        config = AnnealConfig(temperature_levels=4, moves_per_level=150,
+                              seed=3, sanitize=True, sanitize_every=32)
+        binding = fresh_binding("dct")
+        compact = trajectory(binding, anneal(binding, config))
+
+        with monkeypatch.context() as patch:
+            force_legacy_backend(patch)
+            binding = fresh_binding("dct")
+            legacy = trajectory(binding, anneal(binding, config))
+
+        assert compact == legacy
+
+
+class TestSnapshotRoundTrips:
+
+    def test_clone_equals_its_own_mapping(self):
+        binding = fresh_binding("dct")
+        state = binding.clone_state()
+        assert isinstance(state, CompactState)
+        assert state == state.to_mapping()
+        assert state == binding.clone_state()
+
+    def test_restore_round_trip_is_identity(self):
+        # Both restore paths must agree bit-for-bit — including the
+        # placements iteration order, which by design is NOT the clone
+        # -time order after a restore (unchanged keys keep their live
+        # position, diff keys re-enter in snapshot order), but IS a
+        # deterministic function both paths must compute identically.
+        def drift_and_restore(through_mapping):
+            binding = fresh_binding("ewf")
+            improve(binding, ImproveConfig(max_trials=1,
+                                           moves_per_trial=150, seed=4))
+            state = binding.clone_state()
+            improve(binding, ImproveConfig(max_trials=1,
+                                           moves_per_trial=150, seed=5,
+                                           restart_from_best=False))
+            binding.restore_state(state.to_mapping()
+                                  if through_mapping else state)
+            return state, binding, observables(binding)
+
+        state, binding, via_compact = drift_and_restore(False)
+        _, _, via_mapping = drift_and_restore(True)
+        assert via_compact == via_mapping
+        # and the restored binding's decision content is the snapshot's
+        assert state == binding.clone_state()
+
+    def test_payload_round_trip(self):
+        binding = fresh_binding("dct")
+        improve(binding, ImproveConfig(max_trials=1, moves_per_trial=150,
+                                       seed=7))
+        state = binding.clone_state()
+        decoded = CompactState.from_payload(state.to_payload())
+        assert decoded == state
+        other = fresh_binding("dct")
+        other.restore_state(decoded)
+        assert other.total_cost() == pytest.approx(binding.total_cost())
+        # a decoded payload carries no live insertion order, so its view
+        # materializes in sorted-segment order (the legacy codec's order)
+        decoded_view = decoded["placements"]
+        assert list(decoded_view) == sorted(decoded_view)
+
+    def test_pickle_drops_derived_but_keeps_decisions(self):
+        binding = fresh_binding("dct")
+        state = binding.clone_state()
+        assert state.derived is not None
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.derived is None
+        assert clone == state
+        other = fresh_binding("dct")
+        other.restore_state(clone)
+        assert other.total_cost() == pytest.approx(binding.total_cost())

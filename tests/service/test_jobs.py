@@ -132,6 +132,42 @@ def test_warm_start_reuses_shape_snapshot(manager_setup):
     assert cache.get(warm_job.key) is None
 
 
+def test_warm_snapshot_is_compact_and_column_backed(manager_setup,
+                                                    monkeypatch):
+    """The warm store holds the compact array payload, and a warm-started
+    job restores it as flat integer columns — it never rebuilds (or deep
+    -copies) the per-op/per-segment dict graphs of the legacy codec."""
+    import repro.service.jobs as jobs_mod
+    from repro.core.arraystate import PAYLOAD_FORMAT, CompactState
+
+    manager, cache, _ = manager_setup
+    job, _ = manager.submit(fast_request(seed=5))
+    assert job.wait(120)
+    assert job.status == DONE
+    blob = cache.get("warm_" + job.shape_key)
+    assert json.loads(blob.decode("utf-8"))["format"] == PAYLOAD_FORMAT
+
+    warm_states = []
+    real_run = jobs_mod.run_restart
+
+    def spying_run(rjob):
+        warm_states.append(rjob.warm_state)
+        return real_run(rjob)
+
+    def legacy_decode_forbidden(_data):
+        raise AssertionError(
+            "warm snapshot went through the legacy decode_state path")
+
+    monkeypatch.setattr(jobs_mod, "run_restart", spying_run)
+    monkeypatch.setattr(jobs_mod, "decode_state", legacy_decode_forbidden)
+    warm_job, _ = manager.submit(fast_request(seed=6, warm_start=True))
+    assert warm_job.wait(120)
+    assert warm_job.status == DONE
+    assert warm_job.result["warm_started"] is True
+    assert warm_states
+    assert all(isinstance(state, CompactState) for state in warm_states)
+
+
 def test_retryable_failure_gets_a_fresh_seed(manager_setup):
     manager, _, metrics = manager_setup
     real = manager._run_search
