@@ -1,15 +1,26 @@
-"""Throughput of the allocation service under concurrent load.
+"""Throughput and saturation of the allocation service under load.
 
-Boots an in-process :class:`repro.service.ServerThread` and drives it with
-N concurrent clients issuing EWF/DCT request mutants (the pool repeats
-roughly every third request, so the run exercises both the search path and
-the content-addressed cache).  Asserts the service-level objectives the
-subsystem is built around — no dropped requests, no errors, at least four
-concurrent jobs sustained, a visible cache hit-rate on ``/metricsz`` — and
-writes the full JSON report to ``results/out/service_throughput.json``
+Two measurements, one committed artifact:
+
+* **sustained throughput, thread vs process workers** — the same
+  concurrent EWF/DCT mutant mix (cache-exercising: roughly every third
+  request repeats) driven against an in-process server in both worker
+  modes, so the report shows what moving the search off the GIL buys on
+  this box;
+* **saturation / tail latency** — an offered-load sweep with
+  cache-bypassing requests (``"cache": false``, fresh seed space per
+  level) from an increasing number of concurrent clients, recording
+  sustained allocations/sec plus client-side p50/p99/max latency per
+  level.  Levels scale with ``REPRO_BENCH_FULL`` (hundreds of clients in
+  full mode; a client is one blocking thread, so the limit is server
+  capacity, not the loadgen).
+
+Asserts the service-level objectives — zero dropped requests, zero
+errors in every mode and at every load level, a visible cache hit-rate —
+and writes the full JSON report to ``results/out/service_throughput.json``
 (a curated copy is committed at ``results/service_throughput.json``).
 
-Run standalone with ``python -m repro.service bench``.
+Run standalone with ``python -m repro.service bench --saturation ...``.
 """
 
 import json
@@ -17,32 +28,58 @@ import os
 
 from conftest import FAST, RESULTS_DIR
 
-from repro.service import run_throughput_bench
+from repro.service import run_saturation_bench, run_throughput_bench
 
 CLIENTS = 4
 REQUESTS_PER_CLIENT = 6
+SERVER_WORKERS = 4
+
+#: offered-load sweep levels (concurrent clients); full mode pushes into
+#: the hundreds to map the post-knee tail, fast mode keeps CI quick
+SATURATION_LEVELS = (2, 8, 32) if FAST else (2, 8, 32, 128, 256)
+SATURATION_REQUESTS = 2
 
 
-def test_service_throughput(benchmark, capsys):
+def _drive_mode(worker_mode):
+    return run_throughput_bench(
+        clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+        fast=FAST, server_workers=SERVER_WORKERS, worker_mode=worker_mode)
+
+
+def _check_outcome(report, label):
+    outcome = report["outcome"]
+    assert outcome["dropped"] == 0, f"{label}: requests dropped under load"
+    assert outcome["errors"] == 0, f"{label}: requests errored under load"
+    assert outcome["completed"] == CLIENTS * REQUESTS_PER_CLIENT
+    assert outcome["cache_hits"] > 0, \
+        f"{label}: the mutant pool must exercise the cache"
+    assert report["server"]["cache_hit_rate"] is not None
+    assert report["server"]["cache_hit_rate"] > 0
+
+
+def test_service_throughput_and_saturation(benchmark, capsys):
     report = {}
 
     def drive():
         report.clear()
-        report.update(run_throughput_bench(
-            clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
-            fast=FAST, server_workers=CLIENTS))
-        return report["throughput"]["allocations_per_sec"]
+        report["thread_mode"] = _drive_mode("thread")
+        report["process_mode"] = _drive_mode("process")
+        report["saturation"] = run_saturation_bench(
+            levels=SATURATION_LEVELS,
+            requests_per_client=SATURATION_REQUESTS, fast=FAST,
+            server_workers=SERVER_WORKERS, worker_mode="process")
+        return report["process_mode"]["throughput"]["allocations_per_sec"]
 
     benchmark.pedantic(drive, rounds=1, iterations=1)
 
-    outcome = report["outcome"]
-    assert outcome["dropped"] == 0, "requests were dropped under load"
-    assert outcome["errors"] == 0, "requests errored under load"
-    assert outcome["completed"] == CLIENTS * REQUESTS_PER_CLIENT
-    assert outcome["cache_hits"] > 0, "the mutant pool must exercise cache"
-    assert report["workload"]["clients"] >= 4
-    assert report["server"]["cache_hit_rate"] is not None
-    assert report["server"]["cache_hit_rate"] > 0
+    _check_outcome(report["thread_mode"], "thread mode")
+    _check_outcome(report["process_mode"], "process mode")
+    for level in report["saturation"]["levels"]:
+        label = f"saturation @{level['offered_clients']} clients"
+        assert level["dropped"] == 0, f"{label}: requests dropped"
+        assert level["errors"] == 0, f"{label}: requests errored"
+        assert level["completed"] == level["total_requests"]
+        assert level["latency_p99_s"] is not None
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "service_throughput.json")
@@ -50,8 +87,16 @@ def test_service_throughput(benchmark, capsys):
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     with capsys.disabled():
-        print(f"\nservice throughput: "
-              f"{report['throughput']['allocations_per_sec']:.2f} alloc/s, "
-              f"{outcome['cache_hits']} cache hits / "
-              f"{outcome['completed']} requests "
-              f"(hit rate {report['server']['cache_hit_rate']:.2f})")
+        thread_rate = \
+            report["thread_mode"]["throughput"]["allocations_per_sec"]
+        process_rate = \
+            report["process_mode"]["throughput"]["allocations_per_sec"]
+        print(f"\nservice throughput: thread {thread_rate:.2f} alloc/s, "
+              f"process {process_rate:.2f} alloc/s "
+              f"(mode actually run: "
+              f"{report['process_mode']['workload']['worker_mode']})")
+        for level in report["saturation"]["levels"]:
+            print(f"  {level['offered_clients']:4d} clients: "
+                  f"{level['allocations_per_sec']:6.2f} alloc/s, "
+                  f"p50 {level['latency_p50_s']:.3f}s, "
+                  f"p99 {level['latency_p99_s']:.3f}s")

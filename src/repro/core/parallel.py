@@ -28,10 +28,12 @@ for any worker count.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, \
+    Tuple
 
 from repro.errors import AllocationError
 from repro.datapath.cost import CostBreakdown, CostWeights
@@ -41,6 +43,70 @@ from repro.core.binding import Binding
 from repro.core.improve import ImproveConfig, ImproveStats, improve
 from repro.core.initial import initial_allocation
 from repro.verify.sanitizer import sanitize_enabled
+
+
+class StopSignal:
+    """A picklable cooperative stop condition for cross-process workers.
+
+    A live ``should_stop`` closure cannot cross a process boundary (it
+    must observe its caller's state), so process workers get this instead:
+
+    * ``deadline`` — an absolute :func:`time.monotonic` instant.  With the
+      fork start method on Linux ``CLOCK_MONOTONIC`` is system-wide, so a
+      deadline computed in the parent is directly comparable in a child;
+    * ``flag_path`` — a sentinel file whose *existence* means "stop now".
+      The parent signals cancellation by creating the file (see
+      ``repro.service.jobs``); existence checks are throttled to one
+      ``stat`` every ``check_every`` calls so the per-move cost stays in
+      the nanoseconds.
+
+    Once either condition trips the signal latches: every later call
+    returns True without touching the clock or the filesystem again.
+    """
+
+    __slots__ = ("deadline", "flag_path", "check_every", "_calls",
+                 "_tripped")
+
+    def __init__(self, deadline: Optional[float] = None,
+                 flag_path: Optional[str] = None,
+                 check_every: int = 32) -> None:
+        self.deadline = deadline
+        self.flag_path = flag_path
+        self.check_every = max(1, check_every)
+        self._calls = 0
+        self._tripped = False
+
+    def __call__(self) -> bool:
+        if self._tripped:
+            return True
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            self._tripped = True
+            return True
+        if self.flag_path is not None:
+            self._calls += 1
+            if self._calls >= self.check_every:
+                self._calls = 0
+                if os.path.exists(self.flag_path):
+                    self._tripped = True
+                    return True
+        return False
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # the latch and throttle counter are per-process scratch state
+        return {"deadline": self.deadline, "flag_path": self.flag_path,
+                "check_every": self.check_every}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.deadline = state["deadline"]
+        self.flag_path = state["flag_path"]
+        self.check_every = state["check_every"]
+        self._calls = 0
+        self._tripped = False
+
+
+def is_process_safe_callback(callback: Optional[object]) -> bool:
+    """True when a ``should_stop`` value may cross a process boundary."""
+    return callback is None or isinstance(callback, StopSignal)
 
 
 @dataclass(frozen=True)
@@ -143,8 +209,10 @@ def run_restarts(jobs: Iterable[RestartJob],
     context = _fork_context()
     # a live should_stop callback (deadline/cancellation closure) must keep
     # observing its caller's state, so those jobs never cross a process
-    # boundary — the serial path runs them in-process
-    has_callback = any(config.should_stop is not None
+    # boundary — the serial path runs them in-process.  A picklable
+    # :class:`StopSignal` carries its own deadline/flag-file condition and
+    # is explicitly process-safe.
+    has_callback = any(not is_process_safe_callback(config.should_stop)
                        for job in job_list for config in job.configs)
     if (workers == 1 or len(job_list) <= 1 or context is None
             or has_callback):

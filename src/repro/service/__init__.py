@@ -23,7 +23,8 @@ from repro.service.metrics import (Counter, Gauge, Histogram,
 from repro.service.server import (AllocationService, ServerThread,
                                   make_server, serve_forever)
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.loadgen import mutant_requests, run_throughput_bench
+from repro.service.loadgen import (mutant_requests, run_saturation_bench,
+                                   run_throughput_bench)
 
 __all__ = [
     "AllocateRequest", "AllocationService", "Counter", "DiskCache",
@@ -32,5 +33,6 @@ __all__ = [
     "ServerThread", "ServiceClient", "ServiceError", "TieredCache",
     "cache_key_payload", "default_cache_dir", "job_id_for",
     "make_server", "mutant_requests", "request_from_dict", "request_key",
-    "run_throughput_bench", "serve_forever", "warm_key",
+    "run_saturation_bench", "run_throughput_bench", "serve_forever",
+    "warm_key",
 ]

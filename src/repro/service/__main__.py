@@ -5,21 +5,29 @@
   POST it; prints the JSON response.
 * ``status`` — poll ``GET /jobs/<id>`` (``--wait`` blocks until done).
 * ``bench``  — the concurrent throughput benchmark; against ``--url`` or
-  an in-process server.
+  an in-process server (``--saturation`` adds the offered-load sweep).
 * ``smoke``  — the CI end-to-end check: start a server, submit the same
   EWF request twice, assert the second is a cache hit with a
   byte-identical result payload, scrape ``/metricsz``.
+  ``--multiprocess`` hardens the check: two *separate server processes*
+  share one on-disk cache tier, and the reply served by the second
+  process must be byte-identical to the one computed by the first.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
+import socket
+import subprocess
 import sys
-from typing import Any, Dict, List, Optional
+import tempfile
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.loadgen import run_throughput_bench
+from repro.service.loadgen import run_saturation_bench, run_throughput_bench
 from repro.service.server import ServerThread, serve_forever
 
 
@@ -51,7 +59,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   queue_limit=args.queue_limit,
                   cache_dir=args.cache_dir,
                   persistent_cache=not args.no_disk_cache,
-                  max_attempts=args.max_attempts)
+                  max_attempts=args.max_attempts,
+                  worker_mode=args.worker_mode,
+                  batch_limit=args.batch_limit)
     return 0
 
 
@@ -77,18 +87,99 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    report = run_throughput_bench(
+    report: Dict[str, Any] = run_throughput_bench(
         url=args.url, clients=args.clients,
         requests_per_client=args.requests, fast=not args.full,
-        deadline_ms=args.deadline_ms)
+        deadline_ms=args.deadline_ms, worker_mode=args.worker_mode,
+        server_workers=args.workers)
+    dropped = report["outcome"]["dropped"]
+    errors = report["outcome"]["errors"]
+    if args.saturation:
+        levels = tuple(int(level) for level in args.saturation.split(","))
+        report["saturation"] = run_saturation_bench(
+            levels=levels, fast=not args.full,
+            server_workers=args.workers, worker_mode=args.worker_mode,
+            url=args.url)
+        for level in report["saturation"]["levels"]:
+            dropped += level["dropped"]
+            errors += level["errors"]
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.json}")
     print(text)
-    outcome = report["outcome"]
-    return 0 if outcome["dropped"] == 0 and outcome["errors"] == 0 else 1
+    return 0 if dropped == 0 and errors == 0 else 1
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_server(port: int, cache_dir: str, workers: int,
+                  worker_mode: str) -> "subprocess.Popen[bytes]":
+    """Start a *real* server process sharing ``cache_dir`` as disk tier."""
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing
+                                    else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve",
+         "--port", str(port), "--workers", str(workers),
+         "--worker-mode", worker_mode, "--cache-dir", cache_dir],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _smoke_multiprocess(body: Dict[str, Any],
+                        check: Callable[[bool, str], None],
+                        workers: int, worker_mode: str) -> None:
+    """Two server *processes* share one disk tier; B must replay A's
+    answer byte-for-byte without recomputing it."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-smoke-cache-")
+    procs: List["subprocess.Popen[bytes]"] = []
+    try:
+        ports = [_free_port(), _free_port()]
+        procs = [_spawn_server(port, cache_dir, workers, worker_mode)
+                 for port in ports]
+        first_client, second_client = (
+            ServiceClient(f"http://127.0.0.1:{port}") for port in ports)
+        for label, client in (("A", first_client), ("B", second_client)):
+            health = client.wait_until_healthy(timeout=90.0)
+            check(health.get("status") == "ok",
+                  f"server process {label} answers healthz")
+            check(health.get("worker_mode") == worker_mode,
+                  f"server process {label} runs worker_mode="
+                  f"{worker_mode}")
+
+        first = first_client.allocate(body)
+        check(first.get("status") == "done",
+              "process A computes the allocation")
+        check(not first.get("cached"), "process A starts from a cold cache")
+
+        second = second_client.allocate(body)
+        check(bool(second.get("cached")),
+              "process B serves the request from the shared disk tier")
+        check(json.dumps(first.get("result"), sort_keys=True)
+              == json.dumps(second.get("result"), sort_keys=True),
+              "cross-process cached reply is byte-identical")
+
+        metrics = second_client.metricsz(condensed=True)
+        check(metrics["jobs"]["completed"] == 0,
+              "process B never ran the search itself")
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=15)
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
@@ -106,7 +197,9 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         urls = [args.url]
         server: Optional[ServerThread] = None
     else:
-        server = ServerThread(workers=2, persistent_cache=False)
+        server = ServerThread(workers=args.workers,
+                              worker_mode=args.worker_mode,
+                              persistent_cache=False)
         urls = [server.__enter__()]
     try:
         client = ServiceClient(urls[0])
@@ -134,6 +227,10 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         if server is not None:
             server.__exit__(None, None, None)
 
+    if args.multiprocess and not args.url:
+        _smoke_multiprocess(body, check, workers=args.workers,
+                            worker_mode=args.worker_mode)
+
     if failures:
         print(f"smoke FAILED ({len(failures)} checks)")
         return 1
@@ -155,6 +252,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--cache-dir", default=None)
     serve.add_argument("--no-disk-cache", action="store_true")
     serve.add_argument("--max-attempts", type=int, default=3)
+    serve.add_argument("--worker-mode", choices=("thread", "process"),
+                       default="process",
+                       help="run searches in worker processes (default) "
+                            "or threads; falls back to threads where "
+                            "fork is unavailable")
+    serve.add_argument("--batch-limit", type=int, default=None,
+                       help="max same-shape queued requests dispatched "
+                            "as one batch")
     serve.set_defaults(func=_cmd_serve)
 
     submit = commands.add_parser("submit", help="POST /allocate")
@@ -194,6 +299,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--full", action="store_true",
                        help="paper-scale search budgets (slow)")
     bench.add_argument("--deadline-ms", type=int, default=None)
+    bench.add_argument("--workers", type=int, default=4,
+                       help="in-process server worker count")
+    bench.add_argument("--worker-mode", choices=("thread", "process"),
+                       default="process",
+                       help="in-process server worker mode")
+    bench.add_argument("--saturation", default=None, metavar="LEVELS",
+                       help="comma-separated client counts for the "
+                            "offered-load sweep (e.g. 1,4,16,64,256)")
     bench.add_argument("--json", default=None,
                        help="also write the report to this file")
     bench.set_defaults(func=_cmd_bench)
@@ -202,6 +315,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "smoke", help="CI end-to-end check (cache-hit identity)")
     smoke.add_argument("--url", default=None,
                        help="existing server (default: in-process)")
+    smoke.add_argument("--workers", type=int, default=2)
+    smoke.add_argument("--worker-mode", choices=("thread", "process"),
+                       default="process")
+    smoke.add_argument("--multiprocess", action="store_true",
+                       help="also spawn two real server processes "
+                            "sharing one disk cache tier and assert "
+                            "byte-identical cross-process replies")
     smoke.set_defaults(func=_cmd_smoke)
 
     args = parser.parse_args(argv)

@@ -1,38 +1,59 @@
-"""Content-addressed result cache: in-memory LRU over an on-disk store.
+"""Content-addressed result cache: in-memory LRU over a shared disk tier.
 
 Keys are the sha256 hex digests produced by
 :func:`repro.service.codec.request_key` (exact results) and
 :func:`repro.service.codec.warm_key` (warm-start state snapshots under a
-``warm:`` namespace).  Values are opaque UTF-8 payload bytes — the cache
+``warm_`` prefix).  Values are opaque UTF-8 payload bytes — the cache
 never parses what it stores, so a hit can be returned byte-identical.
 
 Layers:
 
-* :class:`MemoryLRUCache` — byte-budgeted LRU (an ``OrderedDict`` ring);
-* :class:`DiskCache` — two-level fan-out directory
-  (``<root>/ab/abcdef....json``) with atomic tmp-file + rename writes, so
-  a crashed writer never leaves a torn entry;
+* :class:`MemoryLRUCache` — byte-budgeted LRU (an ``OrderedDict`` ring),
+  private to one process;
+* :class:`DiskCache` — the **shared tier**: a directory any number of
+  server processes (or hosts on a shared volume) read and write
+  concurrently.  Entries live under per-namespace shards
+  (``<root>/exact/ab/<key>.entry``, ``<root>/warm/ab/<key>.entry``) and
+  every entry is wrapped in a checksummed envelope (header line with
+  payload length + sha256), so a torn, truncated or bit-rotted file is
+  detected, unlinked and reported as a *miss* — never served as garbage.
+  Writes are atomic (``os.replace`` of a same-directory temp file); no
+  in-process lock pretends to serialize them, because the only safety
+  that matters is cross-process and the rename provides it.  A
+  byte-budgeted :meth:`DiskCache.sweep` evicts oldest-first and tolerates
+  concurrent sweepers/writers (racing deletes are idempotent);
 * :class:`TieredCache` — memory in front of disk with promotion on a disk
   hit and write-through on put.
 
-All layers are thread-safe and count hits/misses/evictions into an
-optional :class:`~repro.service.metrics.MetricsRegistry`.
+All layers are thread-safe and count hits/misses/evictions/corruption
+into an optional :class:`~repro.service.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import tempfile
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.service.metrics import MetricsRegistry
 
 #: default byte budget of the in-memory layer (64 MiB of payloads)
 DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
 
+#: default byte budget of the shared disk tier (per cache root)
+DEFAULT_DISK_BUDGET = 512 * 1024 * 1024
+
+#: puts between opportunistic eviction sweeps of the disk tier
+DEFAULT_SWEEP_EVERY = 64
+
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: first bytes of every on-disk entry; anything else is not ours
+ENVELOPE_MAGIC = b"repro-cache-v1 "
 
 
 def default_cache_dir() -> str:
@@ -51,6 +72,47 @@ def _safe_key(key: str) -> str:
     if not cleaned or not all(c.isalnum() or c in "._-" for c in cleaned):
         raise ValueError(f"unusable cache key {key!r}")
     return cleaned
+
+
+# ------------------------------------------------------------ entry envelope
+
+def encode_entry(payload: bytes) -> bytes:
+    """Wrap a payload in the checksummed on-disk envelope.
+
+    Layout: ``repro-cache-v1 {"length": N, "sha256": "..."}\\n<payload>``.
+    The header carries everything needed to detect truncation (length
+    mismatch) and bit rot (digest mismatch) without trusting the payload.
+    """
+    header = {"length": len(payload),
+              "sha256": hashlib.sha256(payload).hexdigest()}
+    return ENVELOPE_MAGIC + json.dumps(
+        header, sort_keys=True, separators=(",", ":")).encode("ascii") \
+        + b"\n" + payload
+
+
+def decode_entry(blob: bytes) -> Optional[bytes]:
+    """The payload of a well-formed envelope, else ``None``.
+
+    ``None`` means the entry cannot be trusted — wrong magic (not written
+    by this format), torn header, truncated payload, or a digest
+    mismatch — and the caller must treat it as a miss.
+    """
+    if not blob.startswith(ENVELOPE_MAGIC):
+        return None
+    newline = blob.find(b"\n", len(ENVELOPE_MAGIC))
+    if newline < 0:
+        return None
+    try:
+        header = json.loads(blob[len(ENVELOPE_MAGIC):newline])
+        length, digest = int(header["length"]), str(header["sha256"])
+    except (ValueError, KeyError, TypeError):
+        return None
+    payload = blob[newline + 1:]
+    if len(payload) != length:
+        return None
+    if hashlib.sha256(payload).hexdigest() != digest:
+        return None
+    return payload
 
 
 class MemoryLRUCache:
@@ -110,29 +172,89 @@ class MemoryLRUCache:
 
 
 class DiskCache:
-    """On-disk store under a configurable root directory."""
+    """The shared on-disk tier under a configurable root directory.
+
+    Multiple server processes — or hosts mounting the same volume — use
+    one root concurrently.  Correctness rests on three properties, not on
+    locks:
+
+    * **atomic publish** — a put writes a temp file in the target shard
+      directory and ``os.replace``\\ s it into place, so readers see the
+      old entry or the complete new one, never a torn write.  Two
+      concurrent writers of the same key both succeed; last rename wins,
+      and either winner is a full-fidelity entry for that key;
+    * **checksummed envelope** — :func:`decode_entry` rejects anything
+      truncated, bit-rotted or foreign; a rejected file is unlinked and
+      reported as a miss, so corruption costs a recompute, never a wrong
+      answer;
+    * **idempotent eviction** — :meth:`sweep` deletes oldest-first until
+      the tier fits ``byte_budget``; racing sweepers simply find some
+      victims already gone (``FileNotFoundError`` is ignored).
+
+    Entries shard by namespace then key prefix:
+    ``<root>/exact/ab/<key>.entry`` for exact results,
+    ``<root>/warm/ab/<key>.entry`` for ``warm_``-prefixed shape
+    snapshots — so operators can budget, inspect or drop the two
+    populations independently and the sweep never has to parse names.
+    """
 
     def __init__(self, root: Optional[str] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 byte_budget: int = DEFAULT_DISK_BUDGET,
+                 sweep_every: int = DEFAULT_SWEEP_EVERY) -> None:
         self.root = root if root is not None else default_cache_dir()
-        self._lock = threading.Lock()
+        self.byte_budget = byte_budget
+        self.sweep_every = max(1, sweep_every)
+        self._puts_since_sweep = 0
+        self._counter_lock = threading.Lock()
         self._metrics = metrics
         if metrics is not None:
             self._hits = metrics.counter(
                 "cache_disk_hits", "exact-key hits in the disk layer")
             self._misses = metrics.counter(
                 "cache_disk_misses", "exact-key misses in the disk layer")
+            self._corrupt = metrics.counter(
+                "cache_disk_corrupt",
+                "torn/bit-rotted entries unlinked and reported as misses")
+            self._evicted = metrics.counter(
+                "cache_disk_evictions",
+                "entries removed by the byte-budget sweep")
+
+    def _namespace(self, name: str) -> str:
+        return "warm" if name.startswith("warm_") else "exact"
 
     def _path(self, key: str) -> str:
         name = _safe_key(key)
-        return os.path.join(self.root, name[:2], name + ".json")
+        shard = name[len("warm_"):][:2] if name.startswith("warm_") \
+            else name[:2]
+        return os.path.join(self.root, self._namespace(name), shard,
+                            name + ".entry")
 
     def get(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        payload: Optional[bytes] = None
         try:
-            with open(self._path(key), "rb") as fh:
-                payload = fh.read()
+            with open(path, "rb") as fh:
+                blob = fh.read()
         except (OSError, ValueError):
-            payload = None
+            blob = None
+        if blob is not None:
+            payload = decode_entry(blob)
+            if payload is None:
+                # a torn or corrupt entry is dropped so the next writer
+                # repopulates it; racing droppers are both fine
+                if self._metrics is not None:
+                    self._corrupt.inc()
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            else:
+                try:
+                    # freshen mtime so the eviction sweep is LRU-ish
+                    os.utime(path)
+                except OSError:
+                    pass
         if self._metrics is not None:
             (self._hits if payload is not None else self._misses).inc()
         return payload
@@ -143,35 +265,95 @@ class DiskCache:
         try:
             os.makedirs(directory, exist_ok=True)
             # atomic publish: readers either see the old entry or the
-            # complete new one, never a torn write
-            with self._lock:
-                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            # complete new one, never a torn write.  No in-process lock:
+            # it would only serialize threads of *this* process while
+            # other server processes write freely, a false security —
+            # the same-directory rename is the real guarantee.
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(encode_entry(payload))
+                os.replace(tmp, path)
+            except BaseException:
                 try:
-                    with os.fdopen(fd, "wb") as fh:
-                        fh.write(payload)
-                    os.replace(tmp, path)
-                except BaseException:
-                    try:
-                        os.unlink(tmp)
-                    except OSError:
-                        pass
-                    raise
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         except OSError:
             # a read-only or full cache dir degrades to cache-off, it
             # never fails the request
-            pass
+            return
+        with self._counter_lock:
+            self._puts_since_sweep += 1
+            due = self._puts_since_sweep >= self.sweep_every
+            if due:
+                self._puts_since_sweep = 0
+        if due:
+            self.sweep()
+
+    # ------------------------------------------------------------- eviction
+
+    def _entries(self) -> List[Tuple[float, int, str]]:
+        """(mtime, size, path) for every entry file under the root."""
+        found: List[Tuple[float, int, str]] = []
+        for namespace in ("exact", "warm"):
+            base = os.path.join(self.root, namespace)
+            try:
+                shards = os.listdir(base)
+            except OSError:
+                continue
+            for shard in shards:
+                shard_dir = os.path.join(base, shard)
+                try:
+                    with os.scandir(shard_dir) as it:
+                        for entry in it:
+                            if not entry.name.endswith(".entry"):
+                                continue
+                            try:
+                                stat = entry.stat()
+                            except OSError:
+                                continue  # deleted by a racing sweeper
+                            found.append((stat.st_mtime, stat.st_size,
+                                          entry.path))
+                except OSError:
+                    continue
+        return found
+
+    def sweep(self, byte_budget: Optional[int] = None) -> int:
+        """Evict oldest entries until the tier fits the byte budget.
+
+        Safe under N concurrent server processes: the scan is a snapshot,
+        every delete tolerates the file already being gone, and a victim
+        resurrected by a concurrent writer just survives until the next
+        sweep.  Returns the number of entries this sweeper removed.
+        """
+        budget = self.byte_budget if byte_budget is None else byte_budget
+        if budget is None or budget <= 0:
+            return 0
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= budget:
+            return 0
+        removed = 0
+        for _, size, path in sorted(entries):  # oldest mtime first
+            if total <= budget:
+                break
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass  # a racing sweeper got there first; its delete counts
+            total -= size  # gone either way
+        if removed and self._metrics is not None:
+            self._evicted.inc(removed)
+        return removed
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
 
     def __len__(self) -> int:
-        count = 0
-        try:
-            for shard in os.listdir(self.root):
-                shard_dir = os.path.join(self.root, shard)
-                if os.path.isdir(shard_dir):
-                    count += sum(1 for n in os.listdir(shard_dir)
-                                 if n.endswith(".json"))
-        except OSError:
-            pass
-        return count
+        return len(self._entries())
 
 
 class TieredCache:
@@ -192,10 +374,12 @@ class TieredCache:
     @classmethod
     def standard(cls, cache_dir: Optional[str] = None,
                  memory_budget: int = DEFAULT_MEMORY_BUDGET,
+                 disk_budget: int = DEFAULT_DISK_BUDGET,
                  metrics: Optional[MetricsRegistry] = None,
                  persistent: bool = True) -> "TieredCache":
         memory = MemoryLRUCache(memory_budget, metrics=metrics)
-        disk = DiskCache(cache_dir, metrics=metrics) if persistent else None
+        disk = DiskCache(cache_dir, metrics=metrics,
+                         byte_budget=disk_budget) if persistent else None
         return cls(memory, disk, metrics=metrics)
 
     def get(self, key: str) -> Optional[bytes]:

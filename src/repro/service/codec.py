@@ -92,6 +92,12 @@ class AllocateRequest:
     deadline_ms: Optional[int] = None
     #: allow warm-starting from a cached allocation of the same shape
     warm_start: bool = False
+    #: ``"cache": false`` opts this submission out of the shared cache
+    #: tier entirely — no exact-key read, no write-back, no warm-store
+    #: publish.  A delivery option (load generators measuring pure search
+    #: throughput, operators bypassing a suspect entry), never part of
+    #: the request identity.
+    cache_ok: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -137,7 +143,7 @@ def request_from_dict(data: Dict[str, Any]) -> AllocateRequest:
         raise RequestError("request body must be a JSON object")
     known = {"cdfg", "spec", "model", "engine", "length", "fu_counts",
              "registers", "weights", "seed", "restarts", "improve",
-             "anneal", "deadline_ms", "warm_start", "async"}
+             "anneal", "deadline_ms", "warm_start", "async", "cache"}
     unknown = set(data) - known
     if unknown:
         raise RequestError(f"unknown request fields {sorted(unknown)}")
@@ -182,7 +188,8 @@ def request_from_dict(data: Dict[str, Any]) -> AllocateRequest:
             improve=dict(data.get("improve", {})),
             anneal=dict(data.get("anneal", {})),
             deadline_ms=data.get("deadline_ms"),
-            warm_start=bool(data.get("warm_start", False)))
+            warm_start=bool(data.get("warm_start", False)),
+            cache_ok=bool(data.get("cache", True)))
     except (ValueError, TypeError) as exc:
         raise RequestError(f"bad request field: {exc}") from None
 

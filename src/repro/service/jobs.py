@@ -1,29 +1,54 @@
 """Async job orchestration over the allocation engines.
 
-A :class:`JobManager` owns a bounded FIFO queue and a pool of worker
-*threads* (not processes: jobs need live deadline/cancellation closures,
-which must observe caller state — see ``repro.core.parallel``'s serial
-path).  Each job runs the restart loop of one
+A :class:`JobManager` owns a bounded FIFO queue, a small pool of
+orchestrator *threads*, and — in ``worker_mode="process"`` — a shared
+:class:`~concurrent.futures.ProcessPoolExecutor` the orchestrators fan
+restart jobs out to.  Process mode is the default for the served stack
+(one CPU-bound search no longer starves the node: the GIL is released
+while an orchestrator waits on its futures), while thread mode remains
+for embedding and for platforms without the fork start method.
+
+Each job runs the restart loop of one
 :class:`~repro.service.codec.AllocateRequest` through
-:func:`repro.core.parallel.run_restart` and ends in exactly one of:
+:func:`repro.core.parallel.run_restart` (or the annealing twin
+:func:`run_anneal_restart`) and ends in exactly one of:
 
 * **done** — full-fidelity result, written through to the exact-key cache;
 * **done, degraded** — the deadline fired mid-search: the response is the
   checker-validated best-so-far binding plus telemetry, marked
   ``degraded: true`` and *not* cached (a later undeadlined request must
   not inherit a truncated answer);
-* **cancelled** — the client gave up; nothing is returned or cached;
+* **cancelled** — every coalesced waiter gave up; nothing is returned or
+  cached;
 * **failed** — a fatal error, or a retryable one that survived
   ``max_attempts`` fresh-seed retries.
 
+Cross-process cancellation/deadlines ride a picklable
+:class:`~repro.core.parallel.StopSignal` instead of a live closure: the
+deadline is an absolute monotonic instant (system-wide under fork), and
+cancellation is a per-job sentinel *flag file* the manager touches — the
+worker's cooperative ``should_stop`` check stats it every few dozen
+moves.  All duration/latency figures (queue age, run seconds) are
+computed from ``time.monotonic()`` stamps; the wall-clock
+``submitted_at``/``started_at``/``finished_at`` fields exist only for
+display and are never subtracted from one another.
+
+Duplicate in-flight submissions coalesce onto one job and are
+*refcounted*: a cancel detaches one waiter, and only the last waiter's
+cancel stops the underlying search.
+
+Same-shape requests adjacent in the queue are claimed as one batch by a
+single orchestrator: they share a memoized schedule resolution and their
+restarts enter the process pool as one dispatch wave.
+
 Retry policy rides on :mod:`repro.verify.classify`: a
-:class:`~repro.verify.sanitizer.SanitizerError` or worker crash gets a
-fresh seed (derived via :class:`repro.rng.SeedStream`, never reusing the
-failed trajectory); deterministic :class:`~repro.errors.ReproError`\\ s
-fail immediately.
+:class:`~repro.verify.sanitizer.SanitizerError` or worker-pool breakage
+gets a fresh seed (derived via :class:`repro.rng.SeedStream`, never
+reusing the failed trajectory); deterministic
+:class:`~repro.errors.ReproError`\\ s fail immediately.
 
 Warm starts: every successful job publishes its winning decision-state
-snapshot under ``warm:<shape-key>``; a request with ``warm_start: true``
+snapshot under ``warm_<shape-key>``; a request with ``warm_start: true``
 whose exact key misses but whose shape key hits restores that snapshot on
 top of the constructive initial allocation before searching.  Warm-started
 results are themselves kept out of the exact-key cache, because their
@@ -32,10 +57,16 @@ content depends on what happened to be in the warm store.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import threading
 import time
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, \
+    wait as wait_futures
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ReproError
 from repro.alloc.checker import assert_legal
@@ -45,9 +76,11 @@ from repro.core.anneal import AnnealConfig, anneal
 from repro.core.improve import ImproveConfig, ImproveStats
 from repro.core.initial import initial_allocation
 from repro.core.moves import MoveSet
-from repro.core.parallel import (RestartJob, RestartOutcome, best_outcome,
+from repro.core.parallel import (RestartJob, RestartOutcome, StopSignal,
+                                 _fork_context, best_outcome,
                                  rebuild_binding, run_restart)
 from repro.rng import SeedStream
+from repro.sched.schedule import Schedule
 from repro.io.json_io import binding_to_dict, canonical_dumps
 from repro.verify.classify import is_retryable
 from repro.verify.sanitizer import decode_state, encode_state
@@ -61,6 +94,9 @@ from repro.service.metrics import MetricsRegistry
 QUEUED, RUNNING, DONE, FAILED, CANCELLED = \
     "queued", "running", "done", "failed", "cancelled"
 
+#: worker execution modes
+THREAD_MODE, PROCESS_MODE = "thread", "process"
+
 #: default propose/evaluate/rollback sampling density fed into the
 #: per-phase latency histograms (0 disables; sampling never changes
 #: search results, only telemetry)
@@ -69,6 +105,12 @@ DEFAULT_PROFILE_EVERY = 64
 #: completed jobs retained for GET /jobs/<id> after they finish
 RETAINED_JOBS = 1024
 
+#: most queued same-shape jobs one orchestrator claims as a batch
+DEFAULT_BATCH_LIMIT = 4
+
+#: memoized schedule resolutions kept per manager (keyed by shape key)
+SCHEDULE_MEMO_SIZE = 32
+
 
 class QueueFullError(ReproError):
     """The job queue is at capacity; the caller should back off."""
@@ -76,6 +118,17 @@ class QueueFullError(ReproError):
 
 class JobNotFoundError(ReproError):
     """No job with the requested ID (expired or never submitted)."""
+
+
+def resolve_worker_mode(mode: str) -> str:
+    """Validate a worker mode; process mode falls back where fork is
+    unavailable (Windows, some sandboxes) so the manager always starts."""
+    if mode not in (THREAD_MODE, PROCESS_MODE):
+        raise ValueError(f"unknown worker mode {mode!r} "
+                         f"(expected {THREAD_MODE!r} or {PROCESS_MODE!r})")
+    if mode == PROCESS_MODE and _fork_context() is None:
+        return THREAD_MODE
+    return mode
 
 
 @dataclass
@@ -91,9 +144,21 @@ class Job:
     error: Optional[str] = None
     error_kind: Optional[str] = None
     attempts: int = 0
+    #: coalesced submissions currently waiting on this job; the underlying
+    #: search is only cancelled when the *last* waiter cancels
+    waiters: int = 1
+    # wall-clock stamps, for display only — durations must never be
+    # derived from these (a clock step makes them negative or jumpy)
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    # monotonic stamps — the only clock durations are computed from
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
+    #: absolute monotonic deadline of the current execution (None when the
+    #: request carries no ``deadline_ms``)
+    deadline_mono: Optional[float] = None
     done_event: threading.Event = field(default_factory=threading.Event)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     #: compact warm snapshot of the winning state
@@ -104,6 +169,20 @@ class Job:
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self.done_event.wait(timeout)
 
+    def queue_seconds(self) -> Optional[float]:
+        """Monotonic queue age (``None`` until the job starts)."""
+        if self.started_mono is None:
+            return None
+        return max(0.0, self.started_mono - self.submitted_mono)
+
+    def run_seconds(self) -> Optional[float]:
+        """Monotonic execution time so far (``None`` until it starts)."""
+        if self.started_mono is None:
+            return None
+        end = self.finished_mono if self.finished_mono is not None \
+            else time.monotonic()
+        return max(0.0, end - self.started_mono)
+
     def describe(self) -> Dict[str, Any]:
         """JSON-able job status (without the result payload)."""
         return {
@@ -111,27 +190,69 @@ class Job:
             "key": self.key,
             "status": self.status,
             "attempts": self.attempts,
+            "waiters": self.waiters,
             "error": self.error,
             "error_kind": self.error_kind,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_seconds": self.queue_seconds(),
+            "run_seconds": self.run_seconds(),
         }
 
 
+def run_anneal_restart(job: RestartJob, overrides: Mapping[str, Any],
+                       model: str) -> RestartOutcome:
+    """Annealing twin of :func:`repro.core.parallel.run_restart`.
+
+    Module-level and built only from picklable pieces, so process-mode
+    managers can ship it to pool workers; the cooperative stop condition
+    rides in ``job.configs[-1].should_stop`` (a live closure in thread
+    mode, a :class:`~repro.core.parallel.StopSignal` across processes).
+    """
+    started = time.perf_counter()
+    move_set = MoveSet.traditional() if model == "traditional" else MoveSet()
+    binding = initial_allocation(
+        job.schedule, list(job.fus), list(job.regs),
+        weights=job.weights, allow_split=job.allow_split)
+    if job.warm_state is not None:
+        binding.restore_state(job.warm_state)
+    config = AnnealConfig(move_set=move_set,
+                          seed=job.configs[-1].seed,
+                          should_stop=job.configs[-1].should_stop,
+                          **overrides)
+    stats = anneal(binding, config)
+    return RestartOutcome(index=job.index, state=binding.clone_state(),
+                          cost=binding.cost(), stats=[stats],
+                          seconds=time.perf_counter() - started)
+
+
 class JobManager:
-    """Bounded-queue thread-pool executor for allocation requests."""
+    """Bounded-queue executor for allocation requests.
+
+    ``worker_mode="thread"`` runs searches on the orchestrator threads
+    themselves (the pre-existing embedded behaviour);
+    ``worker_mode="process"`` turns the orchestrators into dispatchers
+    that fan every restart out to a shared fork-based process pool, with
+    deadlines and cancellation crossing the boundary as a
+    :class:`~repro.core.parallel.StopSignal`.
+    """
 
     def __init__(self, cache: Optional[TieredCache] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  workers: int = 2, queue_limit: int = 64,
                  max_attempts: int = 3,
-                 profile_every: int = DEFAULT_PROFILE_EVERY) -> None:
+                 profile_every: int = DEFAULT_PROFILE_EVERY,
+                 worker_mode: str = THREAD_MODE,
+                 batch_limit: int = DEFAULT_BATCH_LIMIT) -> None:
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_attempts = max(1, max_attempts)
         self.queue_limit = max(1, queue_limit)
         self.profile_every = profile_every
+        self.workers = max(1, workers)
+        self.worker_mode = resolve_worker_mode(worker_mode)
+        self.batch_limit = max(1, batch_limit)
 
         self._lock = threading.Lock()
         self._queue: List[Job] = []
@@ -139,6 +260,18 @@ class JobManager:
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # insertion order, for pruning
         self._shutdown = False
+        self._schedule_memo: "OrderedDict[str, Schedule]" = OrderedDict()
+
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._signal_dir: Optional[str] = None
+        if self.worker_mode == PROCESS_MODE:
+            self._signal_dir = tempfile.mkdtemp(prefix="repro-service-stop-")
+            # create the pool *before* the orchestrator threads exist: the
+            # fork happens while this process is still single-threaded,
+            # which sidesteps forking-with-held-locks hazards
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=_fork_context())
 
         m = self.metrics
         self._submitted = m.counter("jobs_submitted", "requests accepted")
@@ -149,22 +282,33 @@ class JobManager:
         self._completed = m.counter("jobs_completed", "jobs finished done")
         self._failed = m.counter("jobs_failed", "jobs finished failed")
         self._cancelled = m.counter("jobs_cancelled", "jobs cancelled")
+        self._cancel_detached = m.counter(
+            "jobs_cancel_detached",
+            "coalesced waiters that gave up while others kept waiting")
         self._retried = m.counter(
             "jobs_retried", "fresh-seed retries after retryable failures")
         self._degraded = m.counter(
             "jobs_degraded", "jobs that returned best-so-far on deadline")
         self._warm = m.counter(
             "jobs_warm_started", "jobs seeded from a cached shape snapshot")
+        self._batched = m.counter(
+            "jobs_batched",
+            "queued same-shape jobs claimed alongside a batch leader")
+        self._memo_hits = m.counter(
+            "schedule_memo_hits",
+            "jobs that reused a memoized schedule resolution")
         self._queue_depth = m.gauge("queue_depth", "jobs waiting to run")
         self._in_flight = m.gauge("jobs_in_flight", "jobs currently running")
         self._job_seconds = m.histogram(
-            "job_seconds", "wall-clock seconds per executed job")
+            "job_seconds", "monotonic seconds per executed job")
+        self._queue_seconds = m.histogram(
+            "queue_seconds", "monotonic seconds a job waited in the queue")
 
         self._threads = [
             threading.Thread(target=self._worker_loop,
                              name=f"repro-service-worker-{index}",
                              daemon=True)
-            for index in range(max(1, workers))]
+            for index in range(self.workers)]
         for thread in self._threads:
             thread.start()
 
@@ -180,12 +324,13 @@ class JobManager:
         """
         key = request_key(request)
         job_id = job_id_for(key)
-        if self.cache is not None:
+        if self.cache is not None and request.cache_ok:
             cached = self.cache.get(key)
             if cached is not None:
                 job = Job(id=job_id, key=key, shape_key=warm_key(request),
                           request=request, status=DONE)
                 job.finished_at = job.started_at = job.submitted_at
+                job.finished_mono = job.started_mono = job.submitted_mono
                 job.done_event.set()
                 with self._lock:
                     self._remember(job)
@@ -196,6 +341,7 @@ class JobManager:
                 raise QueueFullError("job manager is shut down")
             existing = self._jobs.get(job_id)
             if existing is not None and existing.status in (QUEUED, RUNNING):
+                existing.waiters += 1
                 self._coalesced.inc()
                 return existing, None
             if len(self._queue) >= self.queue_limit:
@@ -219,15 +365,31 @@ class JobManager:
         return job
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a queued or running job (no-op once it finished)."""
+        """Detach one waiter; cancel the job when it was the last one.
+
+        Duplicate submissions coalesce onto a single job, so one client's
+        cancel must not kill every other waiter's request: the job is only
+        cancelled when its waiter refcount reaches zero.  No-op once the
+        job finished.
+        """
         job = self.get(job_id)
         with self._lock:
+            if job.status not in (QUEUED, RUNNING):
+                return job
+            if job.waiters > 1:
+                job.waiters -= 1
+                self._cancel_detached.inc()
+                return job
+            job.waiters = 0
             if job.status == QUEUED and job in self._queue:
                 self._queue.remove(job)
                 self._queue_depth.set(len(self._queue))
                 self._finish(job, CANCELLED)
                 return job
         job.cancel_event.set()
+        # wake any process workers promptly; the orchestrator re-touches
+        # the flag in its wait loop, so this is belt-and-braces
+        self._signal_stop(job)
         return job
 
     def shutdown(self, wait: bool = True, timeout: float = 10.0) -> None:
@@ -241,6 +403,109 @@ class JobManager:
         if wait:
             for thread in self._threads:
                 thread.join(timeout=timeout)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+        if self._signal_dir is not None:
+            shutil.rmtree(self._signal_dir, ignore_errors=True)
+
+    # --------------------------------------------------- process-mode seams
+
+    def _flag_path(self, job: Job) -> Optional[str]:
+        if self._signal_dir is None:
+            return None
+        return os.path.join(self._signal_dir, f"{job.id}.stop")
+
+    def _signal_stop(self, job: Job) -> None:
+        """Touch the job's stop flag so pool workers see the cancel."""
+        path = self._flag_path(job)
+        if path is None:
+            return
+        try:
+            with open(path, "wb"):
+                pass
+        except OSError:
+            pass  # the parent-side checks still stop the orchestrator
+
+    def _clear_stop(self, job: Job) -> None:
+        path = self._flag_path(job)
+        if path is None:
+            return
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=_fork_context())
+            return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next attempt gets a fresh one."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False)
+
+    def _collect_outcomes(self, job: Job,
+                          futures: List["Future[RestartOutcome]"]) \
+            -> List[RestartOutcome]:
+        """Await pool futures while observing cancel/deadline state.
+
+        On client cancel every pending future is cancelled (no answer is
+        owed).  On deadline, pending futures are cancelled *except* the
+        first live one, so at least one restart completes and a legal
+        degraded best-so-far answer exists; started workers stop
+        cooperatively via their :class:`StopSignal`.
+        """
+        pending: Set["Future[RestartOutcome]"] = set(futures)
+        signalled = False
+        while pending:
+            done, pending = wait_futures(pending, timeout=0.05)
+            if not pending:
+                break
+            if job.cancel_event.is_set():
+                if not signalled:
+                    self._signal_stop(job)
+                    signalled = True
+                for future in list(pending):
+                    if future.cancel():
+                        pending.discard(future)
+            elif job.deadline_mono is not None \
+                    and time.monotonic() >= job.deadline_mono:
+                protected = next(
+                    (f for f in futures if not f.cancelled()), None)
+                for future in list(pending):
+                    if future is not protected and future.cancel():
+                        pending.discard(future)
+        return [future.result() for future in futures
+                if not future.cancelled()]
+
+    def _dispatch_restarts(self, job: Job, restart_jobs: List[RestartJob],
+                           should_stop: Callable[[], bool],
+                           fn: Callable[..., RestartOutcome],
+                           extra: Tuple[Any, ...] = ()) \
+            -> List[RestartOutcome]:
+        """Run restarts in-thread, or as one process-pool dispatch wave."""
+        if self.worker_mode == PROCESS_MODE:
+            pool = self._ensure_pool()
+            try:
+                futures = [pool.submit(fn, rjob, *extra)
+                           for rjob in restart_jobs]
+                return self._collect_outcomes(job, futures)
+            except BrokenExecutor:
+                self._discard_pool(pool)
+                raise
+        outcomes = []
+        for rjob in restart_jobs:
+            outcomes.append(fn(rjob, *extra))
+            if should_stop():
+                break  # remaining restarts are skipped: degraded
+        return outcomes
 
     # ------------------------------------------------------------- internals
 
@@ -260,13 +525,36 @@ class JobManager:
     def _finish(self, job: Job, status: str) -> None:
         job.status = status
         job.finished_at = time.time()
-        job.done_event.set()
+        job.finished_mono = time.monotonic()
+        self._clear_stop(job)
         if status == DONE:
             self._completed.inc()
         elif status == FAILED:
             self._failed.inc()
         elif status == CANCELLED:
             self._cancelled.inc()
+        # last: anyone woken by the event must see final stamps + counters
+        job.done_event.set()
+
+    def _claim_batch(self) -> List[Job]:
+        """Pop the head job plus queued same-shape followers (lock held).
+
+        Batch members share one schedule resolution and their restarts
+        reach the process pool as a single dispatch wave, which is how
+        bursts of same-shape requests (a design-space sweep, a retry
+        storm) avoid re-resolving the problem N times.
+        """
+        head = self._queue.pop(0)
+        batch = [head]
+        index = 0
+        while index < len(self._queue) and len(batch) < self.batch_limit:
+            if self._queue[index].shape_key == head.shape_key:
+                batch.append(self._queue.pop(index))
+            else:
+                index += 1
+        if len(batch) > 1:
+            self._batched.inc(len(batch) - 1)
+        return batch
 
     def _worker_loop(self) -> None:
         while True:
@@ -275,22 +563,27 @@ class JobManager:
                     self._work.wait()
                 if self._shutdown and not self._queue:
                     return
-                job = self._queue.pop(0)
+                batch = self._claim_batch()
                 self._queue_depth.set(len(self._queue))
+            for job in batch:
                 job.status = RUNNING
                 job.started_at = time.time()
+                job.started_mono = time.monotonic()
+                self._queue_seconds.observe(job.queue_seconds() or 0.0)
                 self._in_flight.inc()
-            try:
-                self._execute(job)
-            finally:
-                self._in_flight.dec()
+                try:
+                    self._execute(job)
+                finally:
+                    self._in_flight.dec()
 
     def _execute(self, job: Job) -> None:
         request = job.request
-        started = time.monotonic()
-        deadline = None
+        started = job.started_mono if job.started_mono is not None \
+            else time.monotonic()
+        job.deadline_mono = None
         if request.deadline_ms is not None:
-            deadline = started + request.deadline_ms / 1000.0
+            job.deadline_mono = started + request.deadline_ms / 1000.0
+        deadline = job.deadline_mono
 
         def should_stop() -> bool:
             if job.cancel_event.is_set():
@@ -299,7 +592,7 @@ class JobManager:
 
         last_error: Optional[BaseException] = None
         for attempt in range(self.max_attempts):
-            if should_stop() and job.cancel_event.is_set():
+            if job.cancel_event.is_set():
                 self._finish(job, CANCELLED)
                 return
             job.attempts = attempt + 1
@@ -309,6 +602,12 @@ class JobManager:
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:
+                if job.cancel_event.is_set():
+                    # the search unwound because the last waiter gave up;
+                    # whatever it threw on the way out is not an error
+                    self._finish(job, CANCELLED)
+                    self._job_seconds.observe(time.monotonic() - started)
+                    return
                 last_error = exc
                 out_of_time = should_stop()
                 if (is_retryable(exc) and attempt + 1 < self.max_attempts
@@ -332,7 +631,7 @@ class JobManager:
         self._observe_phases(result)
         if result["degraded"]:
             self._degraded.inc()
-        if self.cache is not None:
+        if self.cache is not None and request.cache_ok:
             # degraded/warm-started answers depend on the deadline or on
             # whatever the warm store held — only full-fidelity results
             # are publishable under the exact key
@@ -378,36 +677,67 @@ class JobManager:
         except (ValueError, KeyError, TypeError):
             return None  # torn/old snapshot: fall back to a cold start
 
+    def _memo_schedule(self, shape_key: str) -> Optional[Schedule]:
+        with self._lock:
+            schedule = self._schedule_memo.get(shape_key)
+            if schedule is not None:
+                self._schedule_memo.move_to_end(shape_key)
+                self._memo_hits.inc()
+            return schedule
+
+    def _remember_schedule(self, shape_key: str,
+                           schedule: Schedule) -> None:
+        with self._lock:
+            self._schedule_memo[shape_key] = schedule
+            self._schedule_memo.move_to_end(shape_key)
+            while len(self._schedule_memo) > SCHEDULE_MEMO_SIZE:
+                self._schedule_memo.popitem(last=False)
+
+    def _stop_condition(self, job: Job,
+                        should_stop: Callable[[], bool]) \
+            -> Callable[[], bool]:
+        """The per-move stop check shipped into the search configs.
+
+        Thread mode uses the live closure; process mode needs a picklable
+        condition, so workers get a :class:`StopSignal` carrying the
+        absolute monotonic deadline plus the job's cancel flag file.
+        """
+        if self.worker_mode != PROCESS_MODE:
+            return should_stop
+        return StopSignal(deadline=job.deadline_mono,
+                          flag_path=self._flag_path(job))
+
     def _run_search(self, job: Job, attempt: int,
                     should_stop) -> Dict[str, Any]:
         request = job.request
         allocator = self._allocator(request, attempt)
         schedule, restart_jobs = allocator.prepare_jobs(
-            request.graph, spec=request.spec, length=request.length,
+            request.graph, schedule=self._memo_schedule(job.shape_key),
+            spec=request.spec, length=request.length,
             fu_counts=request.fu_counts, registers=request.registers)
+        self._remember_schedule(job.shape_key, schedule)
 
         warm_state = self._warm_state(job)
         if warm_state is not None:
             self._warm.inc()
 
+        stop_condition = self._stop_condition(job, should_stop)
         restart_jobs = [
             replace(rjob,
                     warm_state=warm_state,
                     configs=tuple(
-                        replace(config, should_stop=should_stop,
+                        replace(config, should_stop=stop_condition,
                                 profile_every=self.profile_every)
                         for config in rjob.configs))
             for rjob in restart_jobs]
 
         if request.engine == "anneal":
-            outcomes = self._run_anneal_restarts(request, restart_jobs,
-                                                 should_stop)
+            outcomes = self._dispatch_restarts(
+                job, restart_jobs, should_stop, run_anneal_restart,
+                extra=(dict(request.anneal), request.model))
         else:
-            outcomes = []
-            for rjob in restart_jobs:
-                outcomes.append(run_restart(rjob))
-                if should_stop():
-                    break  # remaining restarts are skipped: degraded
+            outcomes = self._dispatch_restarts(
+                job, restart_jobs, should_stop, run_restart)
 
         best = best_outcome(outcomes)
         binding = rebuild_binding(restart_jobs[best.index], best)
@@ -437,33 +767,6 @@ class JobManager:
             "telemetry": telemetry_report(all_stats),
             "search_seconds": sum(o.seconds for o in outcomes),
         }
-
-    def _run_anneal_restarts(self, request: AllocateRequest,
-                             restart_jobs: List[RestartJob],
-                             should_stop) -> List[RestartOutcome]:
-        """Annealing engine: same restart fan-in, ``anneal()`` per trial."""
-        move_set = MoveSet.traditional() \
-            if request.model == "traditional" else MoveSet()
-        outcomes = []
-        for rjob in restart_jobs:
-            started = time.perf_counter()
-            binding = initial_allocation(
-                rjob.schedule, list(rjob.fus), list(rjob.regs),
-                weights=rjob.weights, allow_split=rjob.allow_split)
-            if rjob.warm_state is not None:
-                binding.restore_state(rjob.warm_state)
-            config = AnnealConfig(move_set=move_set,
-                                  seed=rjob.configs[-1].seed,
-                                  should_stop=should_stop,
-                                  **request.anneal)
-            stats = anneal(binding, config)
-            outcomes.append(RestartOutcome(
-                index=rjob.index, state=binding.clone_state(),
-                cost=binding.cost(), stats=[stats],
-                seconds=time.perf_counter() - started))
-            if should_stop():
-                break
-        return outcomes
 
     # ------------------------------------------------------------- reporting
 

@@ -7,15 +7,22 @@ with deliberate repeats so a run exercises the cache, not just the
 search.  :func:`run_throughput_bench` drives them from N concurrent
 client threads — against a remote URL or an in-process
 :class:`~repro.service.server.ServerThread` — and reports sustained
-allocations/sec, drop and error counts, latency percentiles and the
-server's ``/metricsz`` view of the same window.
+allocations/sec, drop and error counts, latency percentiles (p50/p90/p99)
+and the server's ``/metricsz`` view of the same window.
+
+:func:`run_saturation_bench` sweeps *offered load*: the same request mix
+driven by an increasing number of concurrent clients (tens to hundreds —
+clients are cheap blocking threads), recording sustained throughput and
+the p50/p99 latency at each level.  The resulting curves are the
+service's saturation/tail-latency baseline committed under
+``results/service_throughput.json``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.service.client import ServiceClient, ServiceError
 
@@ -26,13 +33,17 @@ _DCT_LENGTHS = (10, 12)
 
 
 def mutant_requests(count: int, fast: bool = True,
-                    deadline_ms: Optional[int] = None) \
-        -> List[Dict[str, Any]]:
+                    deadline_ms: Optional[int] = None,
+                    seed_base: int = 0,
+                    use_cache: bool = True) -> List[Dict[str, Any]]:
     """A deterministic pool of *count* EWF/DCT request-body mutants.
 
     Roughly one request in three repeats an earlier mutant exactly
     (same key), so a concurrent run measures both search throughput and
-    cache behaviour.
+    cache behaviour.  ``use_cache=False`` stamps every body with
+    ``"cache": false`` (and ``seed_base`` shifts the seed space), which
+    is how the saturation sweep keeps each request an honest search
+    instead of a replay of the previous load level.
     """
     budget = {"max_trials": 2, "moves_per_trial": 120} if fast else \
         {"max_trials": 6, "moves_per_trial": 600}
@@ -51,82 +62,98 @@ def mutant_requests(count: int, fast: bool = True,
         body: Dict[str, Any] = {
             "cdfg": {"bench": bench},
             "length": length,
-            "seed": variant // 3,
+            "seed": seed_base + variant // 3,
             "restarts": 1,
             "improve": dict(budget),
         }
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
+        if not use_cache:
+            body["cache"] = False
         pool.append(body)
         variant += 1
     return pool[:count]
 
 
+def _drive_clients(url: str, pool: List[Dict[str, Any]], clients: int,
+                   requests_per_client: int) \
+        -> Dict[str, Any]:
+    """Issue the pooled bodies from N concurrent blocking clients."""
+    lock = threading.Lock()
+    samples: List[Dict[str, Any]] = []
+
+    def drive(worker_index: int) -> None:
+        for slot in range(requests_per_client):
+            body = pool[worker_index * requests_per_client + slot]
+            issued = time.perf_counter()
+            sample: Dict[str, Any] = {"client": worker_index}
+            try:
+                response = ServiceClient(url).allocate(body)
+                sample.update({
+                    "ok": response.get("status") == "done",
+                    "status": response.get("status"),
+                    "cached": bool(response.get("cached")),
+                    "degraded": bool(response.get("degraded")),
+                    "cost": response.get("result", {})
+                    .get("cost", {}).get("total"),
+                })
+            except (ServiceError, OSError) as exc:
+                sample.update({"ok": False, "status": "error",
+                               "error": str(exc), "cached": False,
+                               "degraded": False})
+            sample["seconds"] = time.perf_counter() - issued
+            with lock:
+                samples.append(sample)
+
+    threads = [threading.Thread(target=drive, args=(index,),
+                                name=f"bench-client-{index}")
+               for index in range(clients)]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return {"samples": samples,
+            "wall_seconds": time.perf_counter() - wall_started}
+
+
+def _percentile(ordered: List[float], q: float) -> Optional[float]:
+    if not ordered:
+        return None
+    index = min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1)))
+    return ordered[index]
+
+
 def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
                          requests_per_client: int = 6, fast: bool = True,
                          server_workers: int = 4,
-                         deadline_ms: Optional[int] = None) \
-        -> Dict[str, Any]:
+                         deadline_ms: Optional[int] = None,
+                         worker_mode: str = "thread",
+                         use_cache: bool = True,
+                         seed_base: int = 0) -> Dict[str, Any]:
     """Drive N concurrent clients; returns the JSON-able bench report."""
     own_server = None
     if url is None:
         from repro.service.server import ServerThread
         own_server = ServerThread(workers=server_workers,
                                   queue_limit=max(64, clients * 8),
-                                  persistent_cache=False)
+                                  persistent_cache=False,
+                                  worker_mode=worker_mode)
         url = own_server.__enter__()
     try:
         client = ServiceClient(url)
-        client.wait_until_healthy()
+        health = client.wait_until_healthy()
         total = clients * requests_per_client
-        pool = mutant_requests(total, fast=fast, deadline_ms=deadline_ms)
-        lock = threading.Lock()
-        samples: List[Dict[str, Any]] = []
-
-        def drive(worker_index: int) -> None:
-            for slot in range(requests_per_client):
-                body = pool[worker_index * requests_per_client + slot]
-                issued = time.perf_counter()
-                sample: Dict[str, Any] = {"client": worker_index}
-                try:
-                    response = ServiceClient(url).allocate(body)
-                    sample.update({
-                        "ok": response.get("status") == "done",
-                        "status": response.get("status"),
-                        "cached": bool(response.get("cached")),
-                        "degraded": bool(response.get("degraded")),
-                        "cost": response.get("result", {})
-                        .get("cost", {}).get("total"),
-                    })
-                except (ServiceError, OSError) as exc:
-                    sample.update({"ok": False, "status": "error",
-                                   "error": str(exc), "cached": False,
-                                   "degraded": False})
-                sample["seconds"] = time.perf_counter() - issued
-                with lock:
-                    samples.append(sample)
-
-        threads = [threading.Thread(target=drive, args=(index,),
-                                    name=f"bench-client-{index}")
-                   for index in range(clients)]
-        wall_started = time.perf_counter()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        wall = time.perf_counter() - wall_started
+        pool = mutant_requests(total, fast=fast, deadline_ms=deadline_ms,
+                               seed_base=seed_base, use_cache=use_cache)
+        driven = _drive_clients(url, pool, clients, requests_per_client)
+        samples = driven["samples"]
+        wall = driven["wall_seconds"]
 
         metrics = client.metricsz(condensed=True)
         raw = client.metricsz()
         completed = [s for s in samples if s["ok"]]
         latencies = sorted(s["seconds"] for s in samples)
-
-        def percentile(q: float) -> Optional[float]:
-            if not latencies:
-                return None
-            index = min(len(latencies) - 1,
-                        round(q / 100 * (len(latencies) - 1)))
-            return latencies[index]
 
         report = {
             "workload": {
@@ -135,6 +162,9 @@ def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
                 "total_requests": total,
                 "fast_mode": fast,
                 "deadline_ms": deadline_ms,
+                "use_cache": use_cache,
+                "worker_mode": health.get("worker_mode", worker_mode),
+                "server_workers": health.get("workers", server_workers),
                 "benches": sorted({body["cdfg"]["bench"] for body in pool}),
             },
             "outcome": {
@@ -147,8 +177,9 @@ def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
             "throughput": {
                 "wall_seconds": wall,
                 "allocations_per_sec": len(completed) / wall if wall else 0,
-                "client_latency_p50_s": percentile(50),
-                "client_latency_p90_s": percentile(90),
+                "client_latency_p50_s": _percentile(latencies, 50),
+                "client_latency_p90_s": _percentile(latencies, 90),
+                "client_latency_p99_s": _percentile(latencies, 99),
                 "client_latency_max_s": latencies[-1] if latencies else None,
             },
             "server": {
@@ -159,6 +190,65 @@ def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
             },
         }
         return report
+    finally:
+        if own_server is not None:
+            own_server.__exit__(None, None, None)
+
+
+def run_saturation_bench(levels: Sequence[int] = (1, 2, 4, 8, 16),
+                         requests_per_client: int = 2, fast: bool = True,
+                         server_workers: int = 4,
+                         worker_mode: str = "process",
+                         url: Optional[str] = None) -> Dict[str, Any]:
+    """Offered-load sweep: p50/p99 latency and throughput per level.
+
+    Each level drives ``level`` concurrent clients (levels of hundreds
+    are fine — a client is one blocking thread) through a
+    cache-bypassing request mix (``"cache": false``, fresh seed space per
+    level), so every request costs a real search and the curve shows
+    where the worker pool saturates rather than how warm the cache is.
+    """
+    own_server = None
+    if url is None:
+        from repro.service.server import ServerThread
+        own_server = ServerThread(workers=server_workers,
+                                  queue_limit=max(64, max(levels) *
+                                                  requests_per_client * 2),
+                                  persistent_cache=False,
+                                  worker_mode=worker_mode)
+        url = own_server.__enter__()
+    try:
+        client = ServiceClient(url)
+        health = client.wait_until_healthy()
+        curve: List[Dict[str, Any]] = []
+        for index, level in enumerate(levels):
+            total = level * requests_per_client
+            pool = mutant_requests(total, fast=fast, use_cache=False,
+                                   seed_base=1000 * (index + 1))
+            driven = _drive_clients(url, pool, level, requests_per_client)
+            samples = driven["samples"]
+            wall = driven["wall_seconds"]
+            ok = [s for s in samples if s["ok"]]
+            latencies = sorted(s["seconds"] for s in samples)
+            curve.append({
+                "offered_clients": level,
+                "total_requests": total,
+                "completed": len(ok),
+                "dropped": total - len(samples),
+                "errors": sum(1 for s in samples if not s["ok"]),
+                "wall_seconds": wall,
+                "allocations_per_sec": len(ok) / wall if wall else 0.0,
+                "latency_p50_s": _percentile(latencies, 50),
+                "latency_p99_s": _percentile(latencies, 99),
+                "latency_max_s": latencies[-1] if latencies else None,
+            })
+        return {
+            "worker_mode": health.get("worker_mode", worker_mode),
+            "server_workers": health.get("workers", server_workers),
+            "requests_per_client": requests_per_client,
+            "fast_mode": fast,
+            "levels": curve,
+        }
     finally:
         if own_server is not None:
             own_server.__exit__(None, None, None)

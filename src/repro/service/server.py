@@ -52,15 +52,20 @@ class AllocationService:
                  memory_budget: int = DEFAULT_MEMORY_BUDGET,
                  persistent_cache: bool = True,
                  max_attempts: int = 3,
-                 sync_wait_s: float = DEFAULT_SYNC_WAIT_S) -> None:
+                 sync_wait_s: float = DEFAULT_SYNC_WAIT_S,
+                 worker_mode: str = "thread",
+                 batch_limit: Optional[int] = None) -> None:
         self.metrics = MetricsRegistry()
         self.cache = TieredCache.standard(cache_dir=cache_dir,
                                           memory_budget=memory_budget,
                                           metrics=self.metrics,
                                           persistent=persistent_cache)
+        job_kwargs = {} if batch_limit is None \
+            else {"batch_limit": batch_limit}
         self.jobs = JobManager(cache=self.cache, metrics=self.metrics,
                                workers=workers, queue_limit=queue_limit,
-                               max_attempts=max_attempts)
+                               max_attempts=max_attempts,
+                               worker_mode=worker_mode, **job_kwargs)
         self.sync_wait_s = sync_wait_s
         self.started_at = time.time()
 
@@ -128,6 +133,8 @@ class AllocationService:
         return 200, {
             "status": "ok",
             "uptime_s": time.time() - self.started_at,
+            "worker_mode": self.jobs.worker_mode,
+            "workers": self.jobs.workers,
             "queue_depth": self.metrics.gauge("queue_depth").value,
             "jobs_in_flight": self.metrics.gauge("jobs_in_flight").value,
             "cache": self.cache.stats(),

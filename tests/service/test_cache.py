@@ -1,13 +1,15 @@
-"""LRU budgets, disk atomicity and tiered promotion."""
+"""LRU budgets, disk atomicity, envelopes, sweeps, tiered promotion."""
 
 from __future__ import annotations
 
 import os
+import threading
 
 import pytest
 
 from repro.service.cache import (DiskCache, MemoryLRUCache, TieredCache,
-                                 _safe_key, default_cache_dir)
+                                 _safe_key, decode_entry, default_cache_dir,
+                                 encode_entry)
 from repro.service.metrics import MetricsRegistry
 
 KEY_A = "a" * 64
@@ -50,14 +52,97 @@ def test_memory_lru_rejects_oversized_entry():
     assert len(cache) == 0
 
 
+# -------------------------------------------------- memory LRU accounting
+
+
+def test_memory_lru_overwrite_same_key_releases_old_bytes():
+    """Overwriting a key must not double-count its old payload — before
+    the accounting fix, repeated overwrites inflated ``_bytes`` until the
+    budget spuriously evicted everything."""
+    metrics = MetricsRegistry()
+    cache = MemoryLRUCache(byte_budget=100, metrics=metrics)
+    for _ in range(50):
+        cache.put(KEY_A, b"x" * 40)  # 50 overwrites, 40 resident bytes
+    cache.put(KEY_B, b"y" * 40)      # fits alongside: 80 <= 100
+    assert cache.get(KEY_A) == b"x" * 40
+    assert cache.get(KEY_B) == b"y" * 40
+    snapshot = metrics.snapshot()
+    assert snapshot["cache_memory_bytes"]["value"] == 80
+    assert snapshot["cache_memory_evictions"]["value"] == 0
+
+
+def test_memory_lru_eviction_counter_matches_entries_dropped():
+    metrics = MetricsRegistry()
+    cache = MemoryLRUCache(byte_budget=30, metrics=metrics)
+    cache.put(KEY_A, b"x" * 10)
+    cache.put(KEY_B, b"y" * 10)
+    cache.put(KEY_C, b"z" * 30)  # must evict both A and B in one put
+    assert len(cache) == 1
+    snapshot = metrics.snapshot()
+    assert snapshot["cache_memory_evictions"]["value"] == 2
+    assert snapshot["cache_memory_bytes"]["value"] == 30
+
+
+def test_memory_lru_concurrent_get_put_hammer():
+    """Threaded get/put storm: no exceptions, and the byte accounting
+    still balances exactly against the surviving entries."""
+    cache = MemoryLRUCache(byte_budget=2048)  # small: evictions do happen
+    keys = [f"{c}" * 64 for c in "abcdefgh"]
+    errors = []
+
+    def hammer(worker: int) -> None:
+        try:
+            for step in range(400):
+                key = keys[(worker + step) % len(keys)]
+                if step % 3 == 0:
+                    cache.get(key)
+                else:
+                    cache.put(key, bytes([worker]) * (16 + step % 512))
+        except BaseException as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(index,))
+               for index in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    with cache._lock:
+        actual = sum(len(payload) for payload in cache._entries.values())
+        assert cache._bytes == actual
+        assert cache._bytes <= cache.byte_budget
+
+
+# ------------------------------------------------------- entry envelope
+
+
+def test_envelope_round_trip():
+    payload = b'{"answer": 42}'
+    blob = encode_entry(payload)
+    assert blob.startswith(b"repro-cache-v1 ")
+    assert decode_entry(blob) == payload
+
+
+def test_envelope_rejects_foreign_truncated_and_rotted_blobs():
+    payload = b"x" * 256
+    blob = encode_entry(payload)
+    assert decode_entry(b"not ours at all") is None          # wrong magic
+    assert decode_entry(blob[: len(blob) // 2]) is None      # truncated
+    assert decode_entry(blob[:-1]) is None                   # short payload
+    flipped = blob[:-10] + bytes([blob[-10] ^ 0xFF]) + blob[-9:]
+    assert decode_entry(flipped) is None                     # bit rot
+    assert decode_entry(b"repro-cache-v1 {\"len") is None    # torn header
+
+
 def test_disk_cache_round_trip(tmp_path):
     cache = DiskCache(root=str(tmp_path))
     assert cache.get(KEY_A) is None
     cache.put(KEY_A, b'{"answer": 42}')
     assert cache.get(KEY_A) == b'{"answer": 42}'
-    # two-level fan-out layout: <root>/aa/aaaa...json
-    assert os.path.exists(os.path.join(str(tmp_path), "aa",
-                                       KEY_A + ".json"))
+    # namespace + fan-out layout: <root>/exact/aa/aaaa...entry
+    assert os.path.exists(os.path.join(str(tmp_path), "exact", "aa",
+                                       KEY_A + ".entry"))
     assert len(cache) == 1
 
 
@@ -66,8 +151,105 @@ def test_disk_cache_overwrite_is_atomic_no_tmp_left(tmp_path):
     cache.put(KEY_A, b"first")
     cache.put(KEY_A, b"second")
     assert cache.get(KEY_A) == b"second"
-    shard = os.path.join(str(tmp_path), "aa")
+    shard = os.path.join(str(tmp_path), "exact", "aa")
     assert all(not name.endswith(".tmp") for name in os.listdir(shard))
+
+
+def test_disk_cache_truncated_entry_is_a_miss_and_unlinked(tmp_path):
+    """Satellite regression: a torn write (e.g. the box lost power mid
+    -flush) must surface as a cache *miss*, never as a half-payload served
+    to a client — and the poisoned file must be dropped so the next
+    full-fidelity write repopulates it."""
+    metrics = MetricsRegistry()
+    cache = DiskCache(root=str(tmp_path), metrics=metrics)
+    cache.put(KEY_A, b'{"answer": 42, "padding": "' + b"p" * 256 + b'"}')
+    path = os.path.join(str(tmp_path), "exact", "aa", KEY_A + ".entry")
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])  # torn mid-payload
+
+    assert cache.get(KEY_A) is None
+    assert not os.path.exists(path)  # unlinked, not left to re-serve
+    assert metrics.snapshot()["cache_disk_corrupt"]["value"] == 1
+
+    cache.put(KEY_A, b'{"answer": 43}')  # repopulation works
+    assert cache.get(KEY_A) == b'{"answer": 43}'
+
+
+def test_disk_cache_bit_rotted_entry_is_a_miss(tmp_path):
+    cache = DiskCache(root=str(tmp_path))
+    cache.put(KEY_A, b"z" * 128)
+    path = os.path.join(str(tmp_path), "exact", "aa", KEY_A + ".entry")
+    with open(path, "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[-1] ^= 0x01  # flip one payload bit; length still matches
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    assert cache.get(KEY_A) is None
+
+
+def test_disk_cache_namespaces_exact_and_warm_separately(tmp_path):
+    cache = DiskCache(root=str(tmp_path))
+    cache.put(KEY_A, b"exact result")
+    cache.put("warm_" + KEY_B, b"warm snapshot")
+    assert cache.get(KEY_A) == b"exact result"
+    assert cache.get("warm_" + KEY_B) == b"warm snapshot"
+    assert os.path.exists(os.path.join(str(tmp_path), "exact", "aa",
+                                       KEY_A + ".entry"))
+    # warm keys shard by the *hash* after the prefix, not by "wa"
+    assert os.path.exists(os.path.join(str(tmp_path), "warm", "bb",
+                                       "warm_" + KEY_B + ".entry"))
+    assert len(cache) == 2
+
+
+def test_disk_cache_shared_root_across_instances(tmp_path):
+    """Two DiskCache objects on one root model two server processes
+    sharing the tier: a write by one is a byte-identical hit in the
+    other, with no handshake between them."""
+    writer = DiskCache(root=str(tmp_path))
+    reader = DiskCache(root=str(tmp_path))
+    writer.put(KEY_A, b"published once")
+    assert reader.get(KEY_A) == b"published once"
+    # racing same-key writers: last rename wins, both are full entries
+    reader.put(KEY_A, b"second writer")
+    assert writer.get(KEY_A) == b"second writer"
+
+
+def test_disk_cache_sweep_evicts_oldest_first(tmp_path):
+    metrics = MetricsRegistry()
+    cache = DiskCache(root=str(tmp_path), metrics=metrics)
+    for index, key in enumerate((KEY_A, "warm_" + KEY_B, KEY_C)):
+        cache.put(key, bytes([65 + index]) * 100)
+        # deterministic ages without sleeping: A oldest, C newest
+        os.utime(cache._path(key), (1000.0 + index, 1000.0 + index))
+    entry_size = os.path.getsize(cache._path(KEY_C))
+
+    removed = cache.sweep(byte_budget=2 * entry_size)
+    assert removed == 1
+    assert cache.get(KEY_A) is None             # oldest went first
+    assert cache.get("warm_" + KEY_B) is not None
+    assert cache.get(KEY_C) is not None
+    assert metrics.snapshot()["cache_disk_evictions"]["value"] == 1
+    assert cache.sweep(byte_budget=2 * entry_size) == 0  # idempotent
+
+
+def test_disk_cache_sweep_tolerates_racing_deleters(tmp_path):
+    cache = DiskCache(root=str(tmp_path))
+    cache.put(KEY_A, b"x" * 100)
+    cache.put(KEY_B, b"y" * 100)
+    os.utime(cache._path(KEY_A), (1000.0, 1000.0))
+    os.unlink(cache._path(KEY_A))  # a concurrent sweeper won the race
+    assert cache.sweep(byte_budget=1) >= 1  # does not raise, still sweeps
+    assert len(cache) == 0
+
+
+def test_disk_cache_put_triggers_opportunistic_sweep(tmp_path):
+    cache = DiskCache(root=str(tmp_path), byte_budget=1, sweep_every=4)
+    for index in range(4):
+        cache.put(chr(ord("a") + index) * 64, b"x" * 50)
+    # the 4th put crossed sweep_every and the 1-byte budget keeps nothing
+    assert cache.total_bytes() == 0
 
 
 def test_disk_cache_unwritable_root_degrades_to_cache_off(tmp_path):

@@ -285,3 +285,156 @@ def test_unknown_job_raises(manager_setup):
     manager, _, _ = manager_setup
     with pytest.raises(JobNotFoundError):
         manager.get("feedfacedeadbeef")
+
+
+# ------------------------------------------------- clock-handling regression
+
+
+def test_durations_come_from_monotonic_stamps_only():
+    """Regression: queue/run durations must be derived from the monotonic
+    stamps.  Before the fix they subtracted wall-clock fields, so an NTP
+    step between submit and finish produced negative (or wildly wrong)
+    latencies in /jobs and the histograms."""
+    from repro.service.jobs import Job
+
+    job = Job(id="j", key="k", shape_key="s", request=fast_request())
+    # wall clock stepped back ~32 years mid-job; monotonic marched on
+    job.submitted_at = 2_000_000_000.0
+    job.started_at = 1_000_000_000.0
+    job.finished_at = 1_000_000_000.25
+    job.submitted_mono = 100.0
+    job.started_mono = 100.5
+    job.finished_mono = 102.5
+    assert job.queue_seconds() == pytest.approx(0.5)
+    assert job.run_seconds() == pytest.approx(2.0)
+    described = job.describe()
+    assert described["queue_seconds"] == pytest.approx(0.5)
+    assert described["run_seconds"] == pytest.approx(2.0)
+    # the wall stamps are still reported verbatim — display only
+    assert described["started_at"] < described["submitted_at"]
+
+
+def test_wall_clock_step_does_not_corrupt_live_durations(manager_setup,
+                                                         monkeypatch):
+    """End-to-end flavour: ``time.time`` steps back an hour while the job
+    is running; every reported duration must still be non-negative."""
+    manager, _, metrics = manager_setup
+    real_time = time.time
+    skew = {"offset": 0.0}
+    monkeypatch.setattr(time, "time",
+                        lambda: real_time() + skew["offset"])
+    real = manager._run_search
+
+    def stepping(job, attempt, should_stop):
+        skew["offset"] = -3600.0  # the NTP step lands mid-search
+        return real(job, attempt, should_stop)
+
+    manager._run_search = stepping
+    job, _ = manager.submit(fast_request())
+    assert job.wait(120)
+    assert job.status == DONE
+    assert job.finished_at < job.started_at  # the wall clock really stepped
+    assert job.queue_seconds() >= 0.0
+    assert job.run_seconds() >= 0.0
+    for histogram in ("job_seconds", "queue_seconds"):
+        stats = metrics.snapshot()[histogram]
+        assert stats["count"] >= 1
+        assert stats["sum"] >= 0.0
+
+
+# --------------------------------------------- coalesced-cancel refcounting
+
+
+def test_coalesced_cancel_only_last_waiter_stops_the_job():
+    """Regression: two clients coalesce onto one job; the first client's
+    cancel must *detach* it, not kill the search the second client is
+    still waiting on.  Pre-fix, cancel() stopped the job outright."""
+    manager, _, metrics = make_manager(workers=1)
+    try:
+        block = threading.Event()
+        real = manager._run_search
+
+        def slow(job, attempt, should_stop):
+            block.wait(30)
+            return real(job, attempt, should_stop)
+
+        manager._run_search = slow
+        first, _ = manager.submit(fast_request())
+        second, _ = manager.submit(fast_request())
+        assert second is first
+        assert first.waiters == 2
+
+        manager.cancel(first.id)  # client one gives up
+        assert first.status in ("queued", "running")
+        assert not first.cancel_event.is_set()
+        assert first.waiters == 1
+        assert metrics.counter("jobs_cancel_detached").value == 1
+        assert metrics.counter("jobs_cancelled").value == 0
+
+        block.set()
+        assert first.wait(120)
+        assert first.status == DONE  # the survivor got its answer
+        assert first.result is not None
+    finally:
+        manager.shutdown()
+
+
+def test_coalesced_cancel_last_waiter_cancels_for_real():
+    manager, _, metrics = make_manager(workers=1)
+    try:
+        block = threading.Event()
+        real = manager._run_search
+
+        def slow(job, attempt, should_stop):
+            block.wait(30)
+            return real(job, attempt, should_stop)
+
+        manager._run_search = slow
+        job, _ = manager.submit(fast_request(
+            improve={"max_trials": 100, "moves_per_trial": 10000}))
+        again, _ = manager.submit(fast_request(
+            improve={"max_trials": 100, "moves_per_trial": 10000}))
+        assert again is job
+        manager.cancel(job.id)
+        manager.cancel(job.id)  # the *last* waiter cancels the search
+        assert job.cancel_event.is_set()
+        block.set()
+        assert job.wait(120)
+        assert job.status == CANCELLED
+        assert job.result is None
+        assert metrics.counter("jobs_cancel_detached").value == 1
+        assert metrics.counter("jobs_cancelled").value == 1
+    finally:
+        manager.shutdown()
+
+
+# ----------------------------------------------------- same-shape batching
+
+
+def test_same_shape_queued_jobs_claim_as_one_batch():
+    manager, _, metrics = make_manager(workers=1)
+    try:
+        block = threading.Event()
+        real = manager._run_search
+
+        def slow(job, attempt, should_stop):
+            if not block.is_set():
+                block.wait(30)
+            return real(job, attempt, should_stop)
+
+        manager._run_search = slow
+        blocker, _ = manager.submit(fast_request(seed=1, length=21))
+        time.sleep(0.2)  # the single worker is now busy with the blocker
+        same_shape = [manager.submit(fast_request(seed=10 + n))[0]
+                      for n in range(3)]
+        other, _ = manager.submit(fast_request(seed=30, length=19))
+        block.set()
+        for job in [blocker, other] + same_shape:
+            assert job.wait(120)
+            assert job.status == DONE
+        # the three same-shape followers rode one claim...
+        assert metrics.counter("jobs_batched").value == 2
+        # ...and all but each shape's first resolution hit the memo
+        assert metrics.counter("schedule_memo_hits").value >= 2
+    finally:
+        manager.shutdown()

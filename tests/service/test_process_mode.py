@@ -1,0 +1,190 @@
+"""Process-mode workers: StopSignal semantics, cross-boundary cancel and
+deadlines, and the shared disk tier observed from two manager instances.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.alloc.checker import check_binding
+from repro.io.json_io import binding_from_json
+from repro.core.parallel import (StopSignal, _fork_context,
+                                 is_process_safe_callback)
+from repro.service.cache import DiskCache, MemoryLRUCache, TieredCache
+from repro.service.codec import request_from_dict, request_key
+from repro.service.jobs import (CANCELLED, DONE, PROCESS_MODE, THREAD_MODE,
+                                JobManager, resolve_worker_mode)
+from repro.service.metrics import MetricsRegistry
+
+needs_fork = pytest.mark.skipif(_fork_context() is None,
+                                reason="fork start method unavailable")
+
+FAST_BUDGET = {"max_trials": 1, "moves_per_trial": 60}
+
+
+def fast_request(**overrides):
+    body = {"cdfg": {"bench": "ewf"}, "length": 17, "seed": 5,
+            "improve": dict(FAST_BUDGET)}
+    body.update(overrides)
+    return request_from_dict(body)
+
+
+# -------------------------------------------------------------- StopSignal
+
+
+def test_stop_signal_deadline_trips_and_latches():
+    signal = StopSignal(deadline=time.monotonic() - 0.001)
+    assert signal() is True
+    signal.deadline = time.monotonic() + 3600  # latched: not re-evaluated
+    assert signal() is True
+
+
+def test_stop_signal_future_deadline_does_not_trip():
+    signal = StopSignal(deadline=time.monotonic() + 3600)
+    assert signal() is False
+
+
+def test_stop_signal_flag_file_checked_every_n_calls(tmp_path):
+    flag = tmp_path / "job.stop"
+    flag.write_bytes(b"")
+    signal = StopSignal(flag_path=str(flag), check_every=4)
+    assert [signal() for _ in range(3)] == [False, False, False]
+    assert signal() is True      # 4th call stats the file
+    flag.unlink()
+    assert signal() is True      # latched
+
+
+def test_stop_signal_missing_flag_never_trips(tmp_path):
+    signal = StopSignal(flag_path=str(tmp_path / "absent.stop"),
+                        check_every=1)
+    assert not any(signal() for _ in range(8))
+
+
+def test_stop_signal_pickle_resets_per_process_scratch(tmp_path):
+    flag = tmp_path / "job.stop"
+    flag.write_bytes(b"")
+    signal = StopSignal(flag_path=str(flag), check_every=1)
+    assert signal() is True  # tripped in the parent
+    clone = pickle.loads(pickle.dumps(signal))
+    flag.unlink()
+    # the latch is parent-side scratch: the clone re-evaluates fresh
+    assert clone() is False
+    assert clone.check_every == 1 and clone.flag_path == str(flag)
+
+
+def test_is_process_safe_callback():
+    assert is_process_safe_callback(None)
+    assert is_process_safe_callback(StopSignal())
+    assert not is_process_safe_callback(lambda: False)
+
+
+def test_resolve_worker_mode_validates_and_falls_back(monkeypatch):
+    assert resolve_worker_mode(THREAD_MODE) == THREAD_MODE
+    with pytest.raises(ValueError):
+        resolve_worker_mode("fibers")
+    import repro.service.jobs as jobs_mod
+    monkeypatch.setattr(jobs_mod, "_fork_context", lambda: None)
+    assert resolve_worker_mode(PROCESS_MODE) == THREAD_MODE
+
+
+# ------------------------------------------------------- end-to-end (fork)
+
+
+def make_process_manager(disk_root=None, **kwargs):
+    metrics = MetricsRegistry()
+    disk = DiskCache(root=disk_root) if disk_root is not None else None
+    cache = TieredCache(MemoryLRUCache(16 * 1024 * 1024), disk,
+                        metrics=metrics)
+    kwargs.setdefault("workers", 2)
+    manager = JobManager(cache=cache, metrics=metrics,
+                         worker_mode=PROCESS_MODE, **kwargs)
+    return manager, cache, metrics
+
+
+@needs_fork
+def test_process_mode_runs_job_to_done_with_legal_binding():
+    manager, cache, _ = make_process_manager()
+    try:
+        assert manager.worker_mode == PROCESS_MODE
+        request = fast_request(restarts=2)
+        job, cached = manager.submit(request)
+        assert cached is None
+        assert job.wait(180)
+        assert job.status == DONE
+        result = job.result
+        assert result["degraded"] is False
+        assert result["restarts_run"] == 2
+        binding = binding_from_json(json.dumps(result["binding"]))
+        assert check_binding(binding) == []
+        # the pool-computed result reached the exact-key cache
+        assert cache.get(request_key(request)) is not None
+    finally:
+        manager.shutdown()
+
+
+@needs_fork
+def test_process_mode_cancel_crosses_the_boundary():
+    manager, _, metrics = make_process_manager(workers=1)
+    try:
+        job, _ = manager.submit(fast_request(
+            restarts=2,
+            improve={"max_trials": 500, "moves_per_trial": 20000}))
+        deadline = time.monotonic() + 30
+        while job.started_mono is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        manager.cancel(job.id)
+        assert job.wait(120)
+        assert job.status == CANCELLED
+        assert job.result is None
+        assert metrics.counter("jobs_cancelled").value == 1
+    finally:
+        manager.shutdown()
+
+
+@needs_fork
+def test_process_mode_deadline_degrades_not_fails():
+    manager, cache, metrics = make_process_manager()
+    try:
+        request = fast_request(
+            deadline_ms=300, restarts=3,
+            improve={"max_trials": 500, "moves_per_trial": 20000})
+        job, _ = manager.submit(request)
+        assert job.wait(180)
+        assert job.status == DONE
+        result = job.result
+        assert result["degraded"] is True
+        binding = binding_from_json(json.dumps(result["binding"]))
+        assert check_binding(binding) == []
+        assert cache.get(request_key(request)) is None  # never cached
+        assert metrics.counter("jobs_degraded").value == 1
+    finally:
+        manager.shutdown()
+
+
+@needs_fork
+def test_shared_disk_tier_across_two_managers(tmp_path):
+    """Two managers on one disk root model two server processes: what A
+    computed in its pool, B serves byte-identically without searching."""
+    root = str(tmp_path / "shared")
+    first, _, _ = make_process_manager(disk_root=root)
+    try:
+        job, cached = first.submit(fast_request(seed=9))
+        assert cached is None
+        assert job.wait(180)
+        assert job.status == DONE
+    finally:
+        first.shutdown()
+
+    second, _, metrics = make_process_manager(disk_root=root)
+    try:
+        twin, payload = second.submit(fast_request(seed=9))
+        assert twin.status == DONE
+        assert payload is not None
+        assert json.loads(payload.decode("utf-8")) == job.result
+        assert metrics.counter("jobs_submitted").value == 0  # no search ran
+    finally:
+        second.shutdown()
