@@ -100,7 +100,7 @@ def ewf_table2(fast: bool = False, seed: int = 7,
                extra_registers: Sequence[int] = (0, 1),
                verify: bool = True) -> ExperimentTable:
     """Reproduce Table 2 (EWF allocations)."""
-    started = time.time()
+    started = time.monotonic()
     graph = elliptic_wave_filter()
     table = ExperimentTable(
         name="Table 2 — EWF: equivalent 2-1 multiplexers",
@@ -132,14 +132,14 @@ def ewf_table2(fast: bool = False, seed: int = 7,
     table.notes.append(
         "every reported allocation is verified cycle-accurately against "
         "the CDFG interpreter" if verify else "verification skipped")
-    table.seconds = time.time() - started
+    table.seconds = time.monotonic() - started
     return table
 
 
 def dct_table3(fast: bool = False, seed: int = 11,
                verify: bool = True) -> ExperimentTable:
     """Reproduce Table 3 (DCT allocations, four schedules)."""
-    started = time.time()
+    started = time.monotonic()
     graph = discrete_cosine_transform()
     configs = [(8, False), (10, False), (12, False), (9, True)]
     table = ExperimentTable(
@@ -163,7 +163,7 @@ def dct_table3(fast: bool = False, seed: int = 11,
             fus.get("adder", 0), fus.get(mult_key, 0), registers,
             salsa.mux_count, trad.mux_count,
             len(salsa.binding.pt_impl), winner])
-    table.seconds = time.time() - started
+    table.seconds = time.monotonic() - started
     return table
 
 
@@ -179,7 +179,7 @@ def figure3_experiment() -> ExperimentTable:
     """
     from repro.analysis.figures import passthrough_demo
 
-    started = time.time()
+    started = time.monotonic()
     demo = passthrough_demo()
     table = ExperimentTable(
         name="Figure 3 — pass-through vs direct transfer",
@@ -191,7 +191,7 @@ def figure3_experiment() -> ExperimentTable:
     table.notes.append("pass-through saves "
                        f"{demo['direct_mux'] - demo['pt_mux']} equivalent "
                        f"2-1 mux(es), as in the paper's Figure 3")
-    table.seconds = time.time() - started
+    table.seconds = time.monotonic() - started
     return table
 
 
@@ -199,7 +199,7 @@ def figure4_experiment() -> ExperimentTable:
     """Figure 4 mechanics: a value split removes a multiplexer."""
     from repro.analysis.figures import value_split_demo
 
-    started = time.time()
+    started = time.monotonic()
     demo = value_split_demo()
     table = ExperimentTable(
         name="Figure 4 — value split",
@@ -208,7 +208,7 @@ def figure4_experiment() -> ExperimentTable:
                        demo["single_mux"], demo["single_wires"]])
     table.rows.append(["split: copy in second register",
                        demo["split_mux"], demo["split_wires"]])
-    table.seconds = time.time() - started
+    table.seconds = time.monotonic() - started
     return table
 
 
@@ -216,7 +216,7 @@ def figure4_experiment() -> ExperimentTable:
 
 def ablation_anneal(fast: bool = False, seed: int = 3) -> ExperimentTable:
     """Sec. 4 claim: annealing under-performs bounded-uphill improvement."""
-    started = time.time()
+    started = time.monotonic()
     graph = elliptic_wave_filter()
     spec = HardwareSpec.non_pipelined()
     schedule = schedule_graph(graph, spec, 19)
@@ -248,13 +248,13 @@ def ablation_anneal(fast: bool = False, seed: int = 3) -> ExperimentTable:
     cost = binding.cost()
     table.rows.append(["simulated annealing", cost.mux_count,
                        f"{cost.total:.1f}", astats.moves_attempted])
-    table.seconds = time.time() - started
+    table.seconds = time.monotonic() - started
     return table
 
 
 def ablation_features(fast: bool = False, seed: int = 5) -> ExperimentTable:
     """Contribution of each extended-model feature (EWF, 17 csteps)."""
-    started = time.time()
+    started = time.monotonic()
     graph = elliptic_wave_filter()
     spec = HardwareSpec.non_pipelined()
     schedule = schedule_graph(graph, spec, 17)
@@ -289,13 +289,13 @@ def ablation_features(fast: bool = False, seed: int = 5) -> ExperimentTable:
                      if len(regs_) > 1)
         table.rows.append([label, alloc.mux_count,
                            len(alloc.binding.pt_impl), copies])
-    table.seconds = time.time() - started
+    table.seconds = time.monotonic() - started
     return table
 
 
 def ablation_muxmerge(fast: bool = False, seed: int = 9) -> ExperimentTable:
     """Sec. 4 post-pass: physical multiplexer merging."""
-    started = time.time()
+    started = time.monotonic()
     graph = elliptic_wave_filter()
     spec = HardwareSpec.non_pipelined()
     table = ExperimentTable(
@@ -311,5 +311,5 @@ def ablation_muxmerge(fast: bool = False, seed: int = 9) -> ExperimentTable:
         table.rows.append([length, report.before_instances,
                            report.after_instances, report.before_eq21,
                            report.after_eq21])
-    table.seconds = time.time() - started
+    table.seconds = time.monotonic() - started
     return table

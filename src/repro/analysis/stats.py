@@ -104,7 +104,7 @@ def seed_study(graph: CDFG, schedule: Schedule,
     cls = TraditionalAllocator if traditional else SalsaAllocator
     label = f"{'trad' if traditional else 'salsa'}:{schedule.label}"
     study = SeedStudy(label=label)
-    started = time.time()
+    started = time.monotonic()
     jobs = []
     for index, seed in enumerate(seeds):
         allocator = cls(seed=seed, restarts=1, config=cfg)
@@ -113,7 +113,7 @@ def seed_study(graph: CDFG, schedule: Schedule,
         jobs.append(replace(seed_jobs[0], index=index))
     for outcome in run_restarts(jobs, workers=workers):
         study.mux_counts.append(outcome.cost.mux_count)
-    study.seconds = time.time() - started
+    study.seconds = time.monotonic() - started
     return study
 
 

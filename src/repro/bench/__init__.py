@@ -6,10 +6,13 @@ from repro.bench.dct import discrete_cosine_transform, dct_invariants
 from repro.bench.extras import ar_lattice, fir_filter, hal_diffeq
 from repro.bench.toys import figure1_cdfg, figure3_fragment, figure4_fragment
 from repro.bench.random_cdfg import random_cdfg
+from repro.bench.zoo import FAMILIES, Scenario, default_suite, \
+    scenario_for_fuzz
 
 __all__ = [
-    "EWF_COEFFICIENTS", "ar_lattice", "dct_invariants",
-    "discrete_cosine_transform", "elliptic_wave_filter", "ewf_invariants",
-    "figure1_cdfg", "figure3_fragment", "figure4_fragment", "fir_filter",
-    "hal_diffeq", "random_cdfg",
+    "EWF_COEFFICIENTS", "FAMILIES", "Scenario", "ar_lattice",
+    "dct_invariants", "default_suite", "discrete_cosine_transform",
+    "elliptic_wave_filter", "ewf_invariants", "figure1_cdfg",
+    "figure3_fragment", "figure4_fragment", "fir_filter", "hal_diffeq",
+    "random_cdfg", "scenario_for_fuzz",
 ]

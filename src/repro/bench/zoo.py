@@ -1,0 +1,527 @@
+"""Scenario zoo: parameterized CDFG families beyond the paper's EWF/DCT.
+
+The paper's evaluation covers two fixed benchmarks.  The zoo widens that
+surface with *generated* families whose shape is controlled by parameters
+— FFT butterfly networks, FIR/IIR cascades of arbitrary order, lattice
+filters (including the canonical fifth-order elliptic target), graphs
+heavy in loop-carried state or predicated-select "conditionals",
+multi-precision op mixes that exercise an ALU/multiplier split, and two
+stress shapes (very long lifetimes; a single high-fan-out pivot value)
+that specifically reward the extended model's value splits.
+
+Every scenario is deterministic from its ``(family, params, seed)``
+triple: structure comes from the parameters, and any randomized aspect
+(filter coefficients, op-kind jitter) is drawn from a
+:class:`~repro.rng.SeedStream` rooted at the scenario seed and salted with
+the family id — never from shared RNG state.  Building the same scenario
+twice, on any machine, yields a bit-identical CDFG, which is what lets
+``python -m repro.bench --check`` gate against committed golden costs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+from repro.cdfg.validate import validate_cdfg
+from repro.datapath.units import ALU, MULTIPLIER, HardwareSpec
+from repro.rng import SeedStream, make_rng
+
+
+def _alu_mult_spec() -> HardwareSpec:
+    """ALU + multiplier: the spec for families mixing logic/compare ops."""
+    return HardwareSpec([ALU, MULTIPLIER])
+
+
+def _coeff(rng: random.Random) -> float:
+    """A well-conditioned filter coefficient (3 decimals, never ~0)."""
+    value = round(rng.uniform(0.05, 1.95), 3)
+    return value if value >= 0.05 else 0.05
+
+
+def _clamp(value: int, low: int, high: int) -> int:
+    return max(low, min(high, value))
+
+
+# ------------------------------------------------------------ family builders
+#
+# Each builder takes the scenario's SeedStream plus keyword parameters and
+# returns a validated CDFG.  Randomized aspects draw child seeds from the
+# stream so sibling aspects stay independent.
+
+def build_fft(stream: SeedStream, *, points: int = 8) -> CDFG:
+    """Radix-2 DIT butterfly network over *points* inputs.
+
+    ``log2(points)`` stages of ``points/2`` butterflies; each butterfly is
+    ``t = w*b; out0 = a + t; out1 = a - t`` with a seeded twiddle weight.
+    """
+    if points < 4 or points & (points - 1):
+        raise ValueError("fft points must be a power of two >= 4")
+    rng = make_rng(stream.child(1))
+    b = CDFGBuilder(f"fft{points}", cyclic=False)
+    current: List[str] = []
+    for i in range(points):
+        b.input(f"x{i}")
+        current.append(f"x{i}")
+    stages = points.bit_length() - 1
+    for s in range(stages):
+        half = 1 << s
+        nxt = list(current)
+        for base in range(0, points, half * 2):
+            for j in range(base, base + half):
+                a, c = current[j], current[j + half]
+                b.mul(f"m{s}_{j}", _coeff(rng), c, f"t{s}_{j}")
+                b.add(f"p{s}_{j}", a, f"t{s}_{j}", f"u{s}_{j}")
+                b.sub(f"q{s}_{j}", a, f"t{s}_{j}", f"v{s}_{j}")
+                nxt[j] = f"u{s}_{j}"
+                nxt[j + half] = f"v{s}_{j}"
+        current = nxt
+    for name in current:
+        b.output(name)
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_fir(stream: SeedStream, *, taps: int = 12) -> CDFG:
+    """Transposed-form FIR of arbitrary order with seeded coefficients.
+
+    Same structure as :func:`repro.bench.extras.fir_filter` — a delay line
+    of loop-carried partial sums — but the tap weights come from the
+    scenario seed instead of a fixed ramp.
+    """
+    if taps < 2:
+        raise ValueError("fir needs at least 2 taps")
+    rng = make_rng(stream.child(1))
+    b = CDFGBuilder(f"fir{taps}", cyclic=True)
+    b.input("x")
+    for k in range(taps - 1):
+        b.loop_value(f"z{k}")
+    for k in range(taps):
+        b.mul(f"m{k}", _coeff(rng), "x", f"p{k}")
+    b.add("a0", "p0", "z0", "y")
+    for k in range(taps - 2):
+        b.add(f"a{k + 1}", f"p{k + 1}", f"z{k + 1}", f"z{k}")
+    # deepest delay stage loads straight from the last product; model the
+    # copy as +0.0 so it owns an operator like every other delay update
+    b.add(f"a{taps - 1}", f"p{taps - 1}", 0.0, f"z{taps - 2}")
+    b.output("y")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_iir(stream: SeedStream, *, sections: int = 3) -> CDFG:
+    """Cascade of *sections* biquads (direct form II transposed).
+
+    Each section holds two loop-carried states and computes::
+
+        y    = b0*w + s1
+        s1'  = (b1*w - a1*y) + s2
+        s2'  =  b2*w - a2*y
+
+    (5 multiplications, 4 additions/subtractions); sections chain through
+    ``y``.  Reads of ``s1``/``s2`` see the previous iteration — exactly
+    the ``z^{-1}`` delays of the filter.
+    """
+    if sections < 1:
+        raise ValueError("iir needs at least 1 section")
+    rng = make_rng(stream.child(1))
+    b = CDFGBuilder(f"iir{sections}", cyclic=True)
+    b.input("x")
+    w = "x"
+    for i in range(sections):
+        for state in (f"s1_{i}", f"s2_{i}"):
+            b.loop_value(state)
+        b0, b1, b2 = _coeff(rng), _coeff(rng), _coeff(rng)
+        a1, a2 = _coeff(rng), _coeff(rng)
+        b.mul(f"mb0_{i}", b0, w, f"tb0_{i}")
+        b.add(f"ay_{i}", f"tb0_{i}", f"s1_{i}", f"y{i}")
+        b.mul(f"mb1_{i}", b1, w, f"tb1_{i}")
+        b.mul(f"ma1_{i}", a1, f"y{i}", f"ta1_{i}")
+        b.sub(f"sd1_{i}", f"tb1_{i}", f"ta1_{i}", f"td1_{i}")
+        b.add(f"as1_{i}", f"td1_{i}", f"s2_{i}", f"s1_{i}")
+        b.mul(f"mb2_{i}", b2, w, f"tb2_{i}")
+        b.mul(f"ma2_{i}", a2, f"y{i}", f"ta2_{i}")
+        b.sub(f"sd2_{i}", f"tb2_{i}", f"ta2_{i}", f"s2_{i}")
+        w = f"y{i}"
+    b.output(w)
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_lattice(stream: SeedStream, *, order: int = 5) -> CDFG:
+    """Lattice-ladder filter of the given *order* (one sample).
+
+    ``order=5`` is the canonical fifth-order elliptic target of the
+    allocation literature.  The all-pole lattice recursion
+
+        f_{k-1} = f_k - kappa_k * g_{k-1}(n-1)
+        g_k(n)  = g_{k-1}(n-1) + kappa_k * f_{k-1}
+
+    runs from ``f_order = x`` down to ``f_0``; the ``z^{-1}`` between
+    stages maps onto loop-carried ``g`` states.  A ladder of seeded tap
+    weights sums the states into the output.
+    """
+    if order < 2:
+        raise ValueError("lattice needs order >= 2")
+    rng = make_rng(stream.child(1))
+    kappa = [_coeff(rng) for _ in range(order + 1)]
+    ladder = [_coeff(rng) for _ in range(order + 1)]
+    b = CDFGBuilder(f"lattice{order}", cyclic=True)
+    b.input("x")
+    for k in range(order):
+        b.loop_value(f"g{k}")
+
+    f = "x"
+    for k in range(order, 0, -1):
+        b.mul(f"mk{k}", kappa[k], f"g{k - 1}", f"tk{k}")
+        b.sub(f"sf{k}", f, f"tk{k}", f"f{k - 1}")
+        b.mul(f"mg{k}", kappa[k], f"f{k - 1}", f"ug{k}")
+        target = f"g{k}" if k < order else "gtop"
+        b.add(f"ag{k}", f"g{k - 1}", f"ug{k}", target)
+        f = f"f{k - 1}"
+    # refresh the deepest delay from f_0 (copy modelled as +0.0)
+    b.add("ag0", "f0", 0.0, "g0")
+
+    # ladder tap sum: c_0*f_0 + sum(c_k * g_k) + c_order * gtop
+    b.mul("ml0", ladder[0], "f0", "w0")
+    acc = "w0"
+    for k in range(1, order):
+        b.mul(f"ml{k}", ladder[k], f"g{k}", f"w{k}")
+        b.add(f"al{k}", acc, f"w{k}", f"y{k}")
+        acc = f"y{k}"
+    b.mul(f"ml{order}", ladder[order], "gtop", f"w{order}")
+    b.add(f"al{order}", acc, f"w{order}", "y")
+    b.output("y")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_loopy(stream: SeedStream, *, chains: int = 4,
+                depth: int = 3) -> CDFG:
+    """Loop-carried-heavy graph: *chains* cross-coupled state updates.
+
+    Every state reads its neighbour's previous-iteration value, then runs
+    a *depth*-op chain (seeded mix of coefficient multiplies and input
+    adds) before writing itself back — most values in flight are cyclic.
+    """
+    if chains < 2:
+        raise ValueError("loopy needs at least 2 chains")
+    if depth < 1:
+        raise ValueError("loopy needs depth >= 1")
+    rng = make_rng(stream.child(1))
+    b = CDFGBuilder(f"loopy{chains}x{depth}", cyclic=True)
+    b.input("x")
+    for i in range(chains):
+        b.loop_value(f"s{i}")
+    for i in range(chains):
+        prev = f"t{i}_0"
+        if i % 2 == 0:
+            b.add(f"c{i}", f"s{i}", f"s{(i + 1) % chains}", prev)
+        else:
+            b.sub(f"c{i}", f"s{i}", f"s{(i + 1) % chains}", prev)
+        for j in range(1, depth):
+            result = f"t{i}_{j}" if j < depth - 1 else f"s{i}"
+            if rng.random() < 0.5:
+                b.mul(f"o{i}_{j}", _coeff(rng), prev, result)
+            else:
+                b.add(f"o{i}_{j}", prev, "x", result)
+            prev = result
+        if depth == 1:
+            # the coupling op itself is the state update
+            b.add(f"w{i}", prev, "x", f"s{i}")
+    b.add("yo", "s0", "s1", "y0")
+    # always fold the input into the output — the seeded op mix above may
+    # legitimately pick only coefficient multiplies, leaving x unread
+    b.add("yx", "y0", "x", "y")
+    b.output("y")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_branchy(stream: SeedStream, *, diamonds: int = 4) -> CDFG:
+    """Conditional-heavy graph as a chain of predicated-select diamonds.
+
+    The CDFG model has no native control flow, so each "branch" is the
+    standard predicated lowering ``v' = p*t + (1-p)*e`` with
+    ``p = cmp(v, threshold)`` — seven ops per diamond, with the compare
+    and selects landing on the ALU and the predicate products on the
+    multiplier (spec: ALU + multiplier).
+    """
+    if diamonds < 1:
+        raise ValueError("branchy needs at least 1 diamond")
+    rng = make_rng(stream.child(1))
+    b = CDFGBuilder(f"branchy{diamonds}", cyclic=False)
+    b.input("x")
+    v = "x"
+    for i in range(diamonds):
+        b.op(f"cmp{i}", "cmp", [v, _coeff(rng)], f"p{i}")
+        b.mul(f"mt{i}", v, _coeff(rng), f"t{i}")
+        b.add(f"ae{i}", v, _coeff(rng), f"e{i}")
+        b.mul(f"ms{i}", f"p{i}", f"t{i}", f"st{i}")
+        b.sub(f"sc{i}", 1.0, f"p{i}", f"np{i}")
+        b.mul(f"me{i}", f"np{i}", f"e{i}", f"se{i}")
+        b.add(f"am{i}", f"st{i}", f"se{i}", f"v{i}")
+        v = f"v{i}"
+    b.output(v)
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_multiprec(stream: SeedStream, *, words: int = 3) -> CDFG:
+    """Multi-precision arithmetic: *words*-limb add + schoolbook products.
+
+    Per limb: sum, carry-generate (``and``), carry-propagate (``xor``);
+    a ripple carry chain (``and``/``or``); carry-adjusted limb sums; and
+    one partial product per limb accumulated into a wide result.  The op
+    mix forces the binder to juggle an ALU against a multiplier instead
+    of the usual adder/multiplier split (spec: ALU + multiplier).
+    """
+    if words < 2:
+        raise ValueError("multiprec needs at least 2 words")
+    del stream  # structure is fully determined by the parameters
+    b = CDFGBuilder(f"mp{words}", cyclic=False)
+    for i in range(words):
+        b.input(f"a{i}")
+        b.input(f"b{i}")
+    for i in range(words):
+        b.add(f"s{i}", f"a{i}", f"b{i}", f"sum{i}")
+        b.op(f"g{i}", "and", [f"a{i}", f"b{i}"], f"gen{i}")
+        b.op(f"p{i}", "xor", [f"a{i}", f"b{i}"], f"prop{i}")
+    carry = "gen0"
+    for i in range(1, words):
+        b.op(f"ca{i}", "and", [f"prop{i}", carry], f"cp{i}")
+        b.op(f"co{i}", "or", [f"gen{i}", f"cp{i}"], f"c{i}")
+        b.add(f"adj{i}", f"sum{i}", carry, f"lim{i}")
+        carry = f"c{i}"
+    for i in range(words):
+        b.mul(f"pp{i}", f"a{i}", f"b{i}", f"h{i}")
+    acc = "h0"
+    for i in range(1, words):
+        b.add(f"acc{i}", acc, f"h{i}", f"w{i}")
+        acc = f"w{i}"
+    # assemble the wide sum: low limb, adjusted middle limbs, final carry
+    b.add("chk0", "sum0", "prop0", "k0")
+    chk = "k0"
+    for i in range(1, words - 1):
+        b.add(f"chk{i}", chk, f"lim{i}", f"k{i}")
+        chk = f"k{i}"
+    b.add("chkc", chk, carry, "chk")
+    b.output("chk")
+    b.output(acc)
+    b.output(f"lim{words - 1}")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_longlife(stream: SeedStream, *, width: int = 6,
+                   stretch: int = 8) -> CDFG:
+    """Stress shape: *width* values produced early and consumed last.
+
+    A *stretch*-deep multiply spine forces a long schedule while the early
+    products sit live across all of it — lifetimes spanning the whole
+    iteration, the worst case for contiguous register binding and the
+    best case for value splits.
+    """
+    if width < 2 or stretch < 2:
+        raise ValueError("longlife needs width >= 2 and stretch >= 2")
+    rng = make_rng(stream.child(1))
+    b = CDFGBuilder(f"ll{width}x{stretch}", cyclic=False)
+    for i in range(width):
+        b.input(f"i{i}")
+    for i in range(width):
+        b.mul(f"e{i}", _coeff(rng), f"i{i}", f"early{i}")
+    b.add("spine0", "i0", "i1", "v0")
+    v = "v0"
+    for j in range(stretch):
+        b.mul(f"spine{j + 1}", _coeff(rng), v, f"v{j + 1}")
+        v = f"v{j + 1}"
+    for i in range(width):
+        b.add(f"late{i}", f"early{i}", v, f"out{i}")
+        b.output(f"out{i}")
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+def build_fanout(stream: SeedStream, *, readers: int = 12) -> CDFG:
+    """Stress shape: one pivot value read by *readers* ops across time.
+
+    The pivot's consumers are spread along a serial chain, so its single
+    lifetime interferes with nearly everything — exactly the shape where
+    splitting the value across registers pays off.
+    """
+    if readers < 2:
+        raise ValueError("fanout needs at least 2 readers")
+    rng = make_rng(stream.child(1))
+    b = CDFGBuilder(f"fan{readers}", cyclic=False)
+    b.input("x0")
+    b.input("x1")
+    b.add("piv", "x0", "x1", "p")
+    v = "x0"
+    for j in range(readers):
+        if j % 2 == 1:
+            b.mul(f"str{j}", _coeff(rng), v, f"m{j}")
+            v = f"m{j}"
+        b.add(f"rd{j}", v, "p", f"v{j}")
+        v = f"v{j}"
+    b.output(v)
+    graph = b.build()
+    validate_cdfg(graph)
+    return graph
+
+
+# ------------------------------------------------------------ family registry
+
+@dataclass(frozen=True)
+class Family:
+    """One zoo family: builder, defaults, spec, and schedule knobs."""
+
+    name: str
+    #: stable id mixed into every seed derivation for the family
+    fid: int
+    builder: Callable[..., CDFG]
+    defaults: Mapping[str, int]
+    doc: str
+    spec_factory: Callable[[], HardwareSpec] = HardwareSpec.non_pipelined
+    #: control steps added over the critical path before scheduling
+    length_slack: int = 1
+    #: registers granted beyond the schedule's lifetime minimum
+    extra_registers: int = 1
+    #: map the fuzzer's ``n_ops`` size knob onto family parameters
+    size_map: Optional[Callable[[int], Dict[str, int]]] = None
+
+    def params_from_size(self, n_ops: int) -> Dict[str, int]:
+        if self.size_map is None:
+            return dict(self.defaults)
+        return self.size_map(n_ops)
+
+
+def _fft_size(n: int) -> Dict[str, int]:
+    return {"points": 4 if n < 36 else 8 if n < 96 else 16}
+
+
+FAMILIES: Dict[str, Family] = {}
+
+for _family in (
+    Family("fft", 1, build_fft, {"points": 8},
+           "radix-2 butterfly network (3 ops per butterfly)",
+           size_map=_fft_size),
+    Family("fir", 2, build_fir, {"taps": 12},
+           "transposed-form FIR cascade, seeded tap weights",
+           length_slack=2,
+           size_map=lambda n: {"taps": _clamp(n // 2, 3, 48)}),
+    Family("iir", 3, build_iir, {"sections": 3},
+           "biquad cascade with loop-carried z^-1 states",
+           size_map=lambda n: {"sections": _clamp(n // 9, 1, 10)}),
+    Family("lattice", 4, build_lattice, {"order": 5},
+           "lattice-ladder filter; order 5 = fifth-order elliptic target",
+           size_map=lambda n: {"order": _clamp(n // 7, 2, 14)}),
+    Family("loopy", 5, build_loopy, {"chains": 4, "depth": 3},
+           "cross-coupled loop-carried state updates",
+           size_map=lambda n: {"chains": _clamp(n // 5, 2, 10), "depth": 3}),
+    Family("branchy", 6, build_branchy, {"diamonds": 4},
+           "predicated-select diamonds (cmp + select per branch)",
+           spec_factory=_alu_mult_spec,
+           size_map=lambda n: {"diamonds": _clamp(n // 7, 1, 10)}),
+    Family("multiprec", 7, build_multiprec, {"words": 3},
+           "multi-word add/multiply mix on an ALU + multiplier split",
+           spec_factory=_alu_mult_spec,
+           size_map=lambda n: {"words": _clamp(n // 7, 2, 10)}),
+    Family("longlife", 8, build_longlife, {"width": 6, "stretch": 8},
+           "early-produced values consumed after a long multiply spine",
+           length_slack=4, extra_registers=2,
+           size_map=lambda n: {"width": _clamp(n // 4, 2, 12),
+                               "stretch": _clamp(n // 3, 4, 18)}),
+    Family("fanout", 9, build_fanout, {"readers": 12},
+           "one pivot value with consumers spread across the schedule",
+           extra_registers=2,
+           size_map=lambda n: {"readers": _clamp(n // 2, 4, 30)}),
+):
+    FAMILIES[_family.name] = _family
+
+
+# ------------------------------------------------------------------ scenarios
+
+@dataclass(frozen=True)
+class Scenario:
+    """A concrete zoo problem: ``(family, params, seed)``."""
+
+    family: str
+    params: Tuple[Tuple[str, int], ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def make(cls, family: str, seed: int = 0, **params: int) -> "Scenario":
+        """Build a scenario, filling unspecified family defaults."""
+        spec = FAMILIES.get(family)
+        if spec is None:
+            raise ValueError(f"unknown zoo family {family!r}; "
+                             f"known: {', '.join(sorted(FAMILIES))}")
+        merged = dict(spec.defaults)
+        for key, value in params.items():
+            if key not in merged:
+                raise ValueError(
+                    f"family {family!r} has no parameter {key!r}")
+            merged[key] = int(value)
+        return cls(family=family, seed=seed,
+                   params=tuple(sorted(merged.items())))
+
+    @property
+    def definition(self) -> Family:
+        return FAMILIES[self.family]
+
+    @property
+    def params_dict(self) -> Dict[str, int]:
+        return dict(self.params)
+
+    @property
+    def name(self) -> str:
+        """Stable identifier, e.g. ``lattice-order5-s0``."""
+        parts = [self.family]
+        parts += [f"{key}{value}" for key, value in self.params]
+        parts.append(f"s{self.seed}")
+        return "-".join(parts)
+
+    def stream(self) -> SeedStream:
+        """The scenario's seed stream (family-salted, structure-blind)."""
+        return SeedStream(SeedStream(self.seed).child(self.definition.fid))
+
+    def build(self) -> CDFG:
+        """Materialize the CDFG (bit-identical for equal triples)."""
+        return self.definition.builder(self.stream(), **self.params_dict)
+
+    def spec(self) -> HardwareSpec:
+        return self.definition.spec_factory()
+
+
+def scenario_for_fuzz(family: str, n_ops: int, seed: int) -> Scenario:
+    """The zoo scenario a fuzz case with size knob *n_ops* maps onto."""
+    definition = FAMILIES.get(family)
+    if definition is None:
+        raise ValueError(f"unknown zoo family {family!r}")
+    return Scenario.make(family, seed=seed,
+                         **definition.params_from_size(max(4, n_ops)))
+
+
+def default_suite(seed: int = 0) -> List[Scenario]:
+    """One scenario per family at its canonical parameters."""
+    return [Scenario.make(name, seed=seed)
+            for name in sorted(FAMILIES, key=lambda n: FAMILIES[n].fid)]
+
+
+__all__ = [
+    "FAMILIES", "Family", "Scenario", "build_branchy", "build_fanout",
+    "build_fft", "build_fir", "build_iir", "build_lattice",
+    "build_longlife", "build_loopy", "build_multiprec", "default_suite",
+    "scenario_for_fuzz",
+]

@@ -27,10 +27,11 @@ for any worker count.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, \
     Tuple
@@ -43,6 +44,8 @@ from repro.core.binding import Binding
 from repro.core.improve import ImproveConfig, ImproveStats, improve
 from repro.core.initial import initial_allocation
 from repro.verify.sanitizer import sanitize_enabled
+
+logger = logging.getLogger(__name__)
 
 
 class StopSignal:
@@ -191,8 +194,13 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     try:
         if "fork" in multiprocessing.get_all_start_methods():
             return multiprocessing.get_context("fork")
-    except Exception:
-        pass
+    except (ValueError, OSError) as exc:
+        # ValueError: the interpreter build does not know the method;
+        # OSError: locked-down sandboxes where querying process start
+        # methods is itself forbidden.  Anything else is a real bug and
+        # must surface, not silently degrade to the serial path.
+        logger.warning("fork start method unavailable (%s); "
+                       "restarts will run in-process", exc)
     return None
 
 
@@ -218,13 +226,31 @@ def run_restarts(jobs: Iterable[RestartJob],
             or has_callback):
         return [run_restart(job) for job in job_list]
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(job_list)),
-                                 mp_context=context) as pool:
-            return list(pool.map(run_restart, job_list))
-    except (OSError, RuntimeError, PermissionError):
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(job_list)),
+                                   mp_context=context)
+    except (OSError, RuntimeError, PermissionError) as exc:
         # pool creation can fail in constrained environments (no /dev/shm,
         # process limits); the serial path computes the same result
+        logger.warning("process pool unavailable (%s: %s); running %d "
+                       "restart(s) in-process", type(exc).__name__, exc,
+                       len(job_list))
         return [run_restart(job) for job in job_list]
+    with pool:
+        try:
+            return list(pool.map(run_restart, job_list))
+        except BrokenExecutor:
+            # pool *infrastructure* died mid-run (a worker OOM-killed or
+            # terminated by the platform) — recompute serially, the
+            # outcome is identical.  A worker raising an ordinary
+            # exception is NOT caught here: that is a bug in the search
+            # itself and propagates to the caller with the worker's
+            # traceback attached (concurrent.futures chains it as
+            # __cause__), instead of being silently swallowed by a
+            # serial re-run.
+            logger.warning("process pool broke mid-run; recomputing %d "
+                           "restart(s) in-process", len(job_list),
+                           exc_info=True)
+            return [run_restart(job) for job in job_list]
 
 
 def best_outcome(outcomes: Sequence[RestartOutcome]) -> RestartOutcome:

@@ -87,11 +87,18 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    zoo_families = None
+    if args.zoo_families:
+        zoo_families = [name.strip()
+                        for name in args.zoo_families.split(",")
+                        if name.strip()]
     report: Dict[str, Any] = run_throughput_bench(
         url=args.url, clients=args.clients,
         requests_per_client=args.requests, fast=not args.full,
         deadline_ms=args.deadline_ms, worker_mode=args.worker_mode,
-        server_workers=args.workers)
+        server_workers=args.workers,
+        zoo=args.zoo or zoo_families is not None,
+        zoo_families=zoo_families)
     dropped = report["outcome"]["dropped"]
     errors = report["outcome"]["errors"]
     if args.saturation:
@@ -304,6 +311,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--worker-mode", choices=("thread", "process"),
                        default="process",
                        help="in-process server worker mode")
+    bench.add_argument("--zoo", action="store_true",
+                       help="drive embedded scenario-zoo bodies instead "
+                            "of EWF/DCT mutants (honest cache misses)")
+    bench.add_argument("--zoo-families", default=None, metavar="NAMES",
+                       help="comma-separated zoo families for --zoo "
+                            "(default: all; implies --zoo)")
     bench.add_argument("--saturation", default=None, metavar="LEVELS",
                        help="comma-separated client counts for the "
                             "offered-load sweep (e.g. 1,4,16,64,256)")

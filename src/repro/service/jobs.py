@@ -382,6 +382,12 @@ class JobManager:
                 return job
             job.waiters = 0
             if job.status == QUEUED and job in self._queue:
+                # the queued path must latch cancel_event too: duplicate
+                # submissions still coalesce onto this job until _finish
+                # publishes its terminal state, and waiters (plus the
+                # coalesced-cancel refcount logic) read the event to tell
+                # "cancelled for real" from "merely detached"
+                job.cancel_event.set()
                 self._queue.remove(job)
                 self._queue_depth.set(len(self._queue))
                 self._finish(job, CANCELLED)

@@ -75,6 +75,54 @@ def mutant_requests(count: int, fast: bool = True,
     return pool[:count]
 
 
+def zoo_requests(count: int, families: Optional[Sequence[str]] = None,
+                 fast: bool = True, deadline_ms: Optional[int] = None,
+                 seed_base: int = 0,
+                 use_cache: bool = True) -> List[Dict[str, Any]]:
+    """A deterministic pool of *count* scenario-zoo request bodies.
+
+    Unlike :func:`mutant_requests` (two fixed benchmarks, so a warm run
+    quickly degenerates into cache hits), every zoo body embeds a full
+    CDFG + hardware-spec document built from a distinct
+    ``(family, seed)`` scenario — honest cache-*miss* traffic whose
+    decode, hash and search costs all land on the server.  Every third
+    request still repeats an earlier body verbatim so hit paths stay
+    covered.
+    """
+    from repro.bench.zoo import FAMILIES, Scenario
+    from repro.io.json_io import cdfg_to_dict, spec_to_dict
+    names = sorted(families) if families else sorted(FAMILIES)
+    for name in names:
+        if name not in FAMILIES:
+            raise ValueError(f"unknown zoo family {name!r}")
+    budget = {"max_trials": 2, "moves_per_trial": 120} if fast else \
+        {"max_trials": 6, "moves_per_trial": 600}
+    pool: List[Dict[str, Any]] = []
+    variant = 0
+    while len(pool) < count:
+        if variant % 3 == 2 and pool:
+            pool.append(dict(pool[(variant // 3) % len(pool)]))
+            variant += 1
+            continue
+        family = names[variant % len(names)]
+        scenario = Scenario.make(
+            family, seed=seed_base + variant // len(names))
+        body: Dict[str, Any] = {
+            "cdfg": cdfg_to_dict(scenario.build()),
+            "spec": spec_to_dict(scenario.spec()),
+            "seed": seed_base + variant,
+            "restarts": 1,
+            "improve": dict(budget),
+        }
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        if not use_cache:
+            body["cache"] = False
+        pool.append(body)
+        variant += 1
+    return pool[:count]
+
+
 def _drive_clients(url: str, pool: List[Dict[str, Any]], clients: int,
                    requests_per_client: int) \
         -> Dict[str, Any]:
@@ -130,8 +178,16 @@ def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
                          deadline_ms: Optional[int] = None,
                          worker_mode: str = "thread",
                          use_cache: bool = True,
-                         seed_base: int = 0) -> Dict[str, Any]:
-    """Drive N concurrent clients; returns the JSON-able bench report."""
+                         seed_base: int = 0,
+                         zoo: bool = False,
+                         zoo_families: Optional[Sequence[str]] = None) \
+        -> Dict[str, Any]:
+    """Drive N concurrent clients; returns the JSON-able bench report.
+
+    ``zoo=True`` swaps the EWF/DCT mutant pool for embedded scenario-zoo
+    bodies (:func:`zoo_requests`), optionally restricted to
+    *zoo_families*.
+    """
     own_server = None
     if url is None:
         from repro.service.server import ServerThread
@@ -144,8 +200,15 @@ def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
         client = ServiceClient(url)
         health = client.wait_until_healthy()
         total = clients * requests_per_client
-        pool = mutant_requests(total, fast=fast, deadline_ms=deadline_ms,
-                               seed_base=seed_base, use_cache=use_cache)
+        if zoo:
+            pool = zoo_requests(total, families=zoo_families, fast=fast,
+                                deadline_ms=deadline_ms,
+                                seed_base=seed_base, use_cache=use_cache)
+        else:
+            pool = mutant_requests(total, fast=fast,
+                                   deadline_ms=deadline_ms,
+                                   seed_base=seed_base,
+                                   use_cache=use_cache)
         driven = _drive_clients(url, pool, clients, requests_per_client)
         samples = driven["samples"]
         wall = driven["wall_seconds"]
@@ -165,7 +228,10 @@ def run_throughput_bench(url: Optional[str] = None, clients: int = 4,
                 "use_cache": use_cache,
                 "worker_mode": health.get("worker_mode", worker_mode),
                 "server_workers": health.get("workers", server_workers),
-                "benches": sorted({body["cdfg"]["bench"] for body in pool}),
+                "benches": sorted({body["cdfg"].get("bench",
+                                                    body["cdfg"].get("name",
+                                                                     "?"))
+                                   for body in pool}),
             },
             "outcome": {
                 "completed": len(completed),

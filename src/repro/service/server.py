@@ -67,7 +67,8 @@ class AllocationService:
                                max_attempts=max_attempts,
                                worker_mode=worker_mode, **job_kwargs)
         self.sync_wait_s = sync_wait_s
-        self.started_at = time.time()
+        self.started_at = time.time()  # display-only wall stamp
+        self._started_mono = time.monotonic()
 
     def close(self) -> None:
         self.jobs.shutdown()
@@ -132,7 +133,7 @@ class AllocationService:
         self.metrics.counter("requests_healthz", "GET /healthz").inc()
         return 200, {
             "status": "ok",
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self._started_mono,
             "worker_mode": self.jobs.worker_mode,
             "workers": self.jobs.workers,
             "queue_depth": self.metrics.gauge("queue_depth").value,

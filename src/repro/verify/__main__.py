@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "the run")
     parser.add_argument("--min-ops", type=int, default=6)
     parser.add_argument("--max-ops", type=int, default=18)
+    parser.add_argument("--zoo-fraction", type=float, default=0.35,
+                        metavar="F",
+                        help="fraction of cases drawn from structured "
+                             "repro.bench.zoo scenarios instead of random "
+                             "CDFGs (default 0.35; 0 disables)")
     parser.add_argument("--sanitize-every", type=int, default=8,
                         metavar="N", help="sanitizer probe density")
     parser.add_argument("--no-shrink", action="store_true",
@@ -98,6 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_cases=args.max_cases,
         min_ops=args.min_ops,
         max_ops=args.max_ops,
+        zoo_fraction=args.zoo_fraction,
         sanitize_every=args.sanitize_every,
         shrink=not args.no_shrink,
         out_dir=args.out,
@@ -111,7 +117,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return
         verdict = "ok" if failure is None else \
             f"FAIL {failure.signature}"
-        print(f"case {case.index:4d} ops={case.n_ops:3d} "
+        shape = case.family if case.family else "random"
+        print(f"case {case.index:4d} {shape:<9s} ops={case.n_ops:3d} "
               f"sched={case.scheduler:<4s} seed={case.seed}: {verdict}",
               flush=True)
 

@@ -31,11 +31,13 @@ shrunk, and emitted as a reproducer.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import MISSING, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.rng import SeedStream, make_rng
 from repro.bench.random_cdfg import random_cdfg
+from repro.bench.zoo import FAMILIES as ZOO_FAMILIES
+from repro.bench.zoo import scenario_for_fuzz
 from repro.cdfg.graph import CDFG
 from repro.core.allocator import (AllocationResult, SalsaAllocator,
                                   TraditionalAllocator,
@@ -74,6 +76,10 @@ class FuzzCase:
     moves_per_trial: int
     uphill: int
     iterations: int         # differential-simulation iterations
+    #: zoo family name for a structured case ("" = random CDFG); the
+    #: family reuses ``n_ops`` as its size knob so the shrinker's integer
+    #: bisection shrinks structured cases too
+    family: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -87,11 +93,22 @@ class FuzzCase:
             "restarts": self.restarts, "max_trials": self.max_trials,
             "moves_per_trial": self.moves_per_trial,
             "uphill": self.uphill, "iterations": self.iterations,
+            "family": self.family,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FuzzCase":
-        return cls(**{key: data[key] for key in cls.__dataclass_fields__})
+        """Rebuild a case; fields absent from *data* (reproducers written
+        before the field existed) keep their dataclass defaults."""
+        values: Dict[str, Any] = {}
+        for name, spec in cls.__dataclass_fields__.items():
+            if name in data:
+                values[name] = data[name]
+            elif spec.default is not MISSING:
+                values[name] = spec.default
+            else:
+                values[name] = data[name]  # KeyError: genuinely required
+        return cls(**values)
 
 
 @dataclass
@@ -117,6 +134,11 @@ class FuzzConfig:
     max_cases: Optional[int] = None
     min_ops: int = 6
     max_ops: int = 18
+    #: fraction of cases built from structured zoo scenarios
+    #: (:mod:`repro.bench.zoo`) instead of purely random CDFGs — the
+    #: random generator explores unusual shapes, the zoo guarantees the
+    #: realistic ones (filters, butterflies, ALU op mixes) every run
+    zoo_fraction: float = 0.35
     sanitize_every: int = 8
     shrink: bool = True
     shrink_attempts: int = 48
@@ -194,7 +216,11 @@ def sample_case(stream: SeedStream, index: int,
     n_ops = rng.randrange(config.min_ops, max(config.min_ops,
                                               config.max_ops) + 1)
     cyclic = rng.random() < 0.3
+    family = ""
+    if rng.random() < config.zoo_fraction:
+        family = rng.choice(sorted(ZOO_FAMILIES))
     return FuzzCase(
+        family=family,
         index=index,
         seed=stream.child(index, 1),
         n_ops=n_ops,
@@ -219,17 +245,25 @@ def build_problem(case: FuzzCase) -> Tuple[CDFG, Schedule]:
     buildable, so the shrinker can explore aggressively.
     """
     n_ops = max(2, case.n_ops)
-    n_inputs = max(1, min(case.n_inputs, n_ops))
-    loop_fraction = case.loop_fraction
-    if loop_fraction > 0:
-        n_loop = min(max(1, round(n_ops * loop_fraction)), n_ops // 2)
-        if n_loop + n_inputs > n_ops - n_loop:
-            loop_fraction = 0.0  # the loop head/tail would not fit
-    graph = random_cdfg(n_ops=n_ops, n_inputs=n_inputs,
-                        const_fraction=case.const_fraction,
-                        loop_fraction=loop_fraction, seed=case.seed,
-                        name=f"fuzz{case.index}")
-    spec = HardwareSpec.non_pipelined()
+    if case.family:
+        # structured case: the zoo scenario fixes graph and hardware spec;
+        # scenario_for_fuzz clamps n_ops onto valid family parameters so
+        # every shrunk size stays buildable
+        scenario = scenario_for_fuzz(case.family, n_ops, case.seed)
+        graph = scenario.build()
+        spec = scenario.spec()
+    else:
+        n_inputs = max(1, min(case.n_inputs, n_ops))
+        loop_fraction = case.loop_fraction
+        if loop_fraction > 0:
+            n_loop = min(max(1, round(n_ops * loop_fraction)), n_ops // 2)
+            if n_loop + n_inputs > n_ops - n_loop:
+                loop_fraction = 0.0  # the loop head/tail would not fit
+        graph = random_cdfg(n_ops=n_ops, n_inputs=n_inputs,
+                            const_fraction=case.const_fraction,
+                            loop_fraction=loop_fraction, seed=case.seed,
+                            name=f"fuzz{case.index}")
+        spec = HardwareSpec.non_pipelined()
     if case.scheduler == "asap":
         schedule = schedule_graph(graph, spec, None, method="list")
     elif case.scheduler == "fds":
@@ -373,7 +407,8 @@ class FuzzReport:
 
 
 def _case_brief(case: FuzzCase) -> str:
-    return (f"case(index={case.index}, ops={case.n_ops}, "
+    shape = f"zoo:{case.family}" if case.family else "random"
+    return (f"case(index={case.index}, {shape}, ops={case.n_ops}, "
             f"sched={case.scheduler}, restarts={case.restarts}, "
             f"trials={case.max_trials}x{case.moves_per_trial})")
 

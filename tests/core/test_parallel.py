@@ -15,6 +15,8 @@ from repro.datapath.units import HardwareSpec
 from repro.sched.explore import schedule_graph
 from repro.core import (ImproveConfig, RestartOutcome, SalsaAllocator,
                         TraditionalAllocator, best_outcome, run_restarts)
+from repro.core.moves import MoveSet
+from repro.core.parallel import _fork_context
 from repro.datapath.cost import CostBreakdown
 
 SPEC = HardwareSpec.non_pipelined()
@@ -177,3 +179,63 @@ class TestTelemetry:
         from repro.analysis.figures import render_cost_trace
         art = render_cost_trace(result.stats[0])
         assert "#" in art and "moves" in art
+
+
+# ------------------------------------------- worker exceptions must surface
+
+class ExplodingMoveSet(MoveSet):
+    """Module-level (hence picklable) move set that dies on first use."""
+
+    def enabled_moves(self):
+        raise RuntimeError("injected worker bug")
+
+
+def _exploding_jobs(ewf19):
+    from dataclasses import replace
+    alloc = SalsaAllocator(seed=1, restarts=2, config=FAST,
+                           warm_start_traditional=False)
+    _schedule, jobs = alloc.prepare_jobs(ewf19.graph, schedule=ewf19)
+    return [replace(job, configs=tuple(
+        replace(config, move_set=ExplodingMoveSet())
+        for config in job.configs)) for job in jobs]
+
+
+class TestWorkerExceptionsSurface:
+    """Regression for the silent-swallow audit: an unexpected exception
+    inside a restart is a bug in the search, not a pool-infrastructure
+    failure, and must propagate to the caller — it must NOT be caught by
+    the serial-fallback path (which used to catch RuntimeError wholesale
+    and re-run the buggy search a second time)."""
+
+    def test_serial_path_propagates(self, ewf19):
+        with pytest.raises(RuntimeError, match="injected worker bug"):
+            run_restarts(_exploding_jobs(ewf19), workers=1)
+
+    @pytest.mark.skipif(_fork_context() is None,
+                        reason="fork start method unavailable")
+    def test_pool_path_propagates_with_worker_traceback(self, ewf19):
+        with pytest.raises(RuntimeError,
+                           match="injected worker bug") as excinfo:
+            run_restarts(_exploding_jobs(ewf19), workers=2)
+        # concurrent.futures chains the worker-side traceback as __cause__
+        # so the failure is debuggable from the parent process
+        cause = excinfo.value.__cause__
+        assert cause is not None
+        assert "injected worker bug" in str(cause)
+
+    def test_fork_context_probe_narrowed(self, monkeypatch):
+        """Only the expected probe failures degrade to the serial path."""
+        import multiprocessing
+
+        def boom():
+            raise ValueError("no such start method")
+
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods", boom)
+        assert _fork_context() is None
+
+        def bug():
+            raise ZeroDivisionError("a genuine bug")
+
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods", bug)
+        with pytest.raises(ZeroDivisionError):
+            _fork_context()

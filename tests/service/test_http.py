@@ -27,6 +27,25 @@ def test_healthz(service_url):
     assert "cache" in health
 
 
+def test_uptime_survives_wall_clock_step(monkeypatch):
+    """Regression: uptime_s was ``time.time() - started_at``, so an NTP
+    step backwards reported a negative uptime.  It must come from
+    monotonic stamps (the wall-clock ``started_at`` stays display-only)."""
+    import time as time_mod
+
+    from repro.service.server import AllocationService
+
+    service = AllocationService(workers=1, persistent_cache=False)
+    try:
+        real_time = time_mod.time
+        monkeypatch.setattr(time_mod, "time",
+                            lambda: real_time() - 3600.0)
+        _status, health = service.healthz()
+        assert 0.0 <= health["uptime_s"] < 60.0
+    finally:
+        service.close()
+
+
 def test_allocate_sync_then_cached(service_url):
     client = ServiceClient(service_url)
     first = client.allocate(dict(FAST_BODY))

@@ -383,9 +383,11 @@ def test_coalesced_cancel_last_waiter_cancels_for_real():
     manager, _, metrics = make_manager(workers=1)
     try:
         block = threading.Event()
+        running = threading.Event()
         real = manager._run_search
 
         def slow(job, attempt, should_stop):
+            running.set()
             block.wait(30)
             return real(job, attempt, should_stop)
 
@@ -395,6 +397,10 @@ def test_coalesced_cancel_last_waiter_cancels_for_real():
         again, _ = manager.submit(fast_request(
             improve={"max_trials": 100, "moves_per_trial": 10000}))
         assert again is job
+        # this test exercises the RUNNING cancel path: without the wait,
+        # both cancels can land before the worker dequeues the job and the
+        # queued path finishes it instead
+        assert running.wait(30)
         manager.cancel(job.id)
         manager.cancel(job.id)  # the *last* waiter cancels the search
         assert job.cancel_event.is_set()
@@ -404,6 +410,37 @@ def test_coalesced_cancel_last_waiter_cancels_for_real():
         assert job.result is None
         assert metrics.counter("jobs_cancel_detached").value == 1
         assert metrics.counter("jobs_cancelled").value == 1
+    finally:
+        manager.shutdown()
+
+
+def test_cancel_while_queued_sets_cancel_event():
+    """Regression: the QUEUED cancel path must latch cancel_event too."""
+    manager, _, metrics = make_manager(workers=1)
+    try:
+        block = threading.Event()
+        running = threading.Event()
+        real = manager._run_search
+
+        def slow(job, attempt, should_stop):
+            running.set()
+            block.wait(30)
+            return real(job, attempt, should_stop)
+
+        manager._run_search = slow
+        blocker, _ = manager.submit(fast_request(seed=1))
+        assert running.wait(30)  # the single worker is busy with blocker
+        queued, _ = manager.submit(fast_request(seed=2))
+        assert queued.status == "queued"
+        manager.cancel(queued.id)
+        assert queued.status == CANCELLED
+        assert queued.cancel_event.is_set()
+        assert queued.done_event.is_set()
+        assert queued.result is None
+        assert metrics.counter("jobs_cancelled").value == 1
+        block.set()
+        assert blocker.wait(120)
+        assert blocker.status == DONE
     finally:
         manager.shutdown()
 

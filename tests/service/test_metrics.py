@@ -86,3 +86,55 @@ def test_concurrent_counter_updates():
     for thread in threads:
         thread.join()
     assert counter.value == 8000
+
+
+# ------------------------------------------------ percentile edge cases
+
+def test_percentile_empty_reservoir_is_none():
+    histogram = Histogram("lat", "", buckets=(1.0,))
+    assert histogram.percentile(50) is None
+
+
+def test_percentile_single_sample_ring():
+    histogram = Histogram("lat", "", buckets=(1.0,))
+    histogram.observe(0.25)
+    # with one sample every quantile is that sample
+    for q in (0, 1, 50, 99, 100):
+        assert histogram.percentile(q) == 0.25
+
+
+def test_percentile_extremes_hit_min_and_max():
+    histogram = Histogram("lat", "", buckets=(1.0,))
+    for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+        histogram.observe(value)
+    assert histogram.percentile(0) == 1.0
+    assert histogram.percentile(100) == 5.0
+    assert histogram.percentile(50) == 3.0
+
+
+def test_percentile_out_of_range_raises():
+    histogram = Histogram("lat", "", buckets=(1.0,))
+    histogram.observe(1.0)
+    with pytest.raises(ValueError):
+        histogram.percentile(-0.1)
+    with pytest.raises(ValueError):
+        histogram.percentile(100.1)
+
+
+def test_percentile_after_reservoir_wraparound():
+    from repro.service.metrics import RESERVOIR_SIZE
+
+    histogram = Histogram("lat", "", buckets=(1.0,))
+    # fill the ring completely, then overwrite the oldest quarter: the
+    # reservoir must hold exactly the most recent RESERVOIR_SIZE samples
+    for value in range(RESERVOIR_SIZE):
+        histogram.observe(float(value))
+    overwrite = RESERVOIR_SIZE // 4
+    for value in range(RESERVOIR_SIZE, RESERVOIR_SIZE + overwrite):
+        histogram.observe(float(value))
+    assert histogram.count == RESERVOIR_SIZE + overwrite
+    # oldest surviving sample is `overwrite`, newest is the last observed
+    assert histogram.percentile(0) == float(overwrite)
+    assert histogram.percentile(100) == float(RESERVOIR_SIZE + overwrite - 1)
+    # the ring size never exceeds the reservoir bound
+    assert len(histogram._ring) == RESERVOIR_SIZE
