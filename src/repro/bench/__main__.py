@@ -14,6 +14,8 @@ Examples::
     python -m repro.bench --families fft,fir --seed 3
     python -m repro.bench --check               # golden gate (CI)
     python -m repro.bench --check --min-moves-per-sec 500
+    python -m repro.bench --timing              # add clock_ns/depth columns
+    python -m repro.bench --timing --check      # exact clock-period gate
     python -m repro.bench --write-golden        # refresh the goldens
 """
 
@@ -73,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="allocator restarts per scenario")
     parser.add_argument("--method", choices=("list", "fds"), default="list",
                         help="scheduling method")
+    parser.add_argument("--timing", action="store_true",
+                        help="run static timing analysis per scenario and "
+                             "add clock_period_ns / mux_depth_max columns")
     parser.add_argument("--json", default="",
                         help="write the sweep report to this path")
     parser.add_argument("--check", action="store_true",
@@ -132,9 +137,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         except argparse.ArgumentTypeError as exc:
             parser.error(str(exc))
 
+    timing = args.timing
+    if args.check and golden is not None and golden.get("timing") \
+            and not timing:
+        # a timing golden pins clock periods; gate them even when the
+        # caller forgot the flag
+        timing = True
     budget = BUDGETS[args.budget]
     rows = run_suite(scenarios, budget=budget, restarts=args.restarts,
-                     method=args.method)
+                     method=args.method, timing=timing)
     print(render_table(rows))
 
     document = results_document(rows, budget_name=args.budget,

@@ -55,6 +55,10 @@ class ScenarioRow:
     checker_violations: int
     moves: int
     seconds: float
+    #: filled by a ``--timing`` sweep (None otherwise, omitted from dicts
+    #: so pre-timing goldens and reports keep their exact shape)
+    clock_period_ns: Optional[float] = None
+    mux_depth_max: Optional[int] = None
 
     @property
     def moves_per_sec(self) -> float:
@@ -65,14 +69,25 @@ class ScenarioRow:
         data["moves_per_sec"] = round(self.moves_per_sec, 1)
         data["seconds"] = round(self.seconds, 4)
         data["cost_total"] = round(self.cost_total, 6)
+        if self.clock_period_ns is None:
+            del data["clock_period_ns"]
+            del data["mux_depth_max"]
+        else:
+            data["clock_period_ns"] = round(self.clock_period_ns, 6)
         return data
 
 
 def run_scenario(scenario: Scenario,
                  budget: ImproveConfig = FAST_BUDGET,
                  restarts: int = 2,
-                 method: str = "list") -> ScenarioRow:
-    """Build, schedule, allocate and re-check one scenario."""
+                 method: str = "list",
+                 timing: bool = False) -> ScenarioRow:
+    """Build, schedule, allocate and re-check one scenario.
+
+    With *timing*, the winning binding's netlist additionally goes through
+    the static timing analyzer (:mod:`repro.timing.sta`) and the row gains
+    deterministic ``clock_period_ns`` / ``mux_depth_max`` columns.
+    """
     graph = scenario.build()
     spec = scenario.spec()
     definition = scenario.definition
@@ -90,6 +105,14 @@ def run_scenario(scenario: Scenario,
     # allocate() already asserts legality; run the checker once more so a
     # sweep explicitly exercises the verification stage per scenario
     violations = check_binding(result.binding)
+    clock_period_ns: Optional[float] = None
+    mux_depth_max: Optional[int] = None
+    if timing:
+        # deferred: repro.timing.rtlcheck imports back into repro.bench
+        from repro.timing.sta import analyze_binding
+        report = analyze_binding(result.binding)
+        clock_period_ns = report.clock_period_ns
+        mux_depth_max = report.mux_depth_max
     return ScenarioRow(
         scenario=scenario.name,
         family=scenario.family,
@@ -102,15 +125,19 @@ def run_scenario(scenario: Scenario,
         checker_violations=len(violations),
         moves=sum(s.moves_attempted for s in result.stats),
         seconds=seconds,
+        clock_period_ns=clock_period_ns,
+        mux_depth_max=mux_depth_max,
     )
 
 
 def run_suite(scenarios: Iterable[Scenario],
               budget: ImproveConfig = FAST_BUDGET,
               restarts: int = 2,
-              method: str = "list") -> List[ScenarioRow]:
+              method: str = "list",
+              timing: bool = False) -> List[ScenarioRow]:
     return [run_scenario(scenario, budget=budget, restarts=restarts,
-                         method=method) for scenario in scenarios]
+                         method=method, timing=timing)
+            for scenario in scenarios]
 
 
 # ---------------------------------------------------------------- reporting
@@ -122,17 +149,36 @@ _COLUMNS: Sequence[Tuple[str, str]] = (
     ("seconds", "sec"),
 )
 
+#: appended after ``cost`` when the sweep ran with timing analysis
+_TIMING_COLUMNS: Sequence[Tuple[str, str]] = (
+    ("clock_period_ns", "clock_ns"), ("mux_depth_max", "depth"),
+)
+
+
+def _columns_for(rows: Sequence[ScenarioRow]) -> Sequence[Tuple[str, str]]:
+    if any(row.clock_period_ns is not None for row in rows):
+        head = [c for c in _COLUMNS if c[0] not in ("moves_per_sec",
+                                                    "seconds")]
+        tail = [c for c in _COLUMNS if c[0] in ("moves_per_sec", "seconds")]
+        return tuple(head) + tuple(_TIMING_COLUMNS) + tuple(tail)
+    return _COLUMNS
+
 
 def render_table(rows: Sequence[ScenarioRow]) -> str:
     """Fixed-width sweep table (also valid GitHub-flavoured markdown)."""
-    cells = [[header for _, header in _COLUMNS]]
+    columns = _columns_for(rows)
+    cells = [[header for _, header in columns]]
     for row in rows:
         data = row.to_dict()
         rendered = []
-        for key, _ in _COLUMNS:
-            value = data[key]
-            if key == "cost_total":
+        for key, _ in columns:
+            value = data.get(key)
+            if value is None:
+                rendered.append("-")
+            elif key == "cost_total":
                 rendered.append(f"{value:.2f}")
+            elif key == "clock_period_ns":
+                rendered.append(f"{value:.3f}")
             elif key == "moves_per_sec":
                 rendered.append(f"{value:.0f}")
             elif key == "seconds":
@@ -141,7 +187,7 @@ def render_table(rows: Sequence[ScenarioRow]) -> str:
                 rendered.append(str(value))
         cells.append(rendered)
     widths = [max(len(line[col]) for line in cells)
-              for col in range(len(_COLUMNS))]
+              for col in range(len(columns))]
     lines = []
     for index, line in enumerate(cells):
         padded = [line[0].ljust(widths[0])]
@@ -163,6 +209,7 @@ def results_document(rows: Sequence[ScenarioRow],
         "budget": budget_name,
         "restarts": restarts,
         "method": method,
+        "timing": any(row.clock_period_ns is not None for row in rows),
         "python": platform.python_version(),
         "rows": {row.scenario: row.to_dict() for row in rows},
     }
@@ -223,6 +270,18 @@ def check_rows(rows: Sequence[ScenarioRow], golden: Dict[str, Any],
             problems.append(
                 f"{name}: cost_total {row.cost_total:.6f} vs golden "
                 f"{want_cost:.6f} (tolerance {tolerance:g})")
+        if "clock_period_ns" in want:
+            # the analyzed clock period is pure arithmetic over a
+            # deterministic netlist: zero tolerance, always
+            if got.get("clock_period_ns") != want["clock_period_ns"]:
+                problems.append(
+                    f"{name}: clock_period_ns = "
+                    f"{got.get('clock_period_ns')!r}, golden "
+                    f"{want['clock_period_ns']!r} (exact)")
+            if got.get("mux_depth_max") != want["mux_depth_max"]:
+                problems.append(
+                    f"{name}: mux_depth_max = {got.get('mux_depth_max')!r}, "
+                    f"golden {want['mux_depth_max']!r}")
         if min_moves_per_sec is not None \
                 and row.moves_per_sec < min_moves_per_sec:
             problems.append(

@@ -958,7 +958,7 @@ class Binding:
             self.flush()
         return weighted_total(self.weights, self._fu_used_area,
                               self._reg_used_count, self.ledger.mux_count,
-                              self.ledger.wire_count)
+                              self.ledger.wire_count, self.ledger.mux_depth)
 
     def cost(self) -> CostBreakdown:
         """Evaluate the current allocation cost (requires a flushed state)."""
@@ -971,6 +971,7 @@ class Binding:
             mux_count=self.ledger.mux_count,
             wire_count=self.ledger.wire_count,
             weights=self.weights,
+            mux_depth=self.ledger.mux_depth,
         )
 
     def cost_from_scratch(self) -> CostBreakdown:
@@ -1001,6 +1002,8 @@ class Binding:
             mux_count=sum(max(0, n - 1) for n in fanin.values()),
             wire_count=len(uses),
             weights=self.weights,
+            mux_depth=sum((n - 1).bit_length()
+                          for n in fanin.values() if n > 1),
         )
 
     # -------------------------------------------------------------- snapshots

@@ -111,11 +111,14 @@ def _cost_to_dict(cost: Optional[CostBreakdown]) -> Optional[Dict[str, Any]]:
     if cost is None:
         return None
     w = cost.weights
+    weights = {"fu": w.fu, "register": w.register,
+               "mux": w.mux, "wire": w.wire}
+    if w.latency:
+        weights["latency"] = w.latency
     return {"fu_count": cost.fu_count, "fu_area": cost.fu_area,
             "register_count": cost.register_count,
             "mux_count": cost.mux_count, "wire_count": cost.wire_count,
-            "weights": {"fu": w.fu, "register": w.register,
-                        "mux": w.mux, "wire": w.wire}}
+            "mux_depth": cost.mux_depth, "weights": weights}
 
 
 def _cost_from_dict(data: Optional[Dict[str, Any]]) \
@@ -126,6 +129,7 @@ def _cost_from_dict(data: Optional[Dict[str, Any]]) \
         fu_count=data["fu_count"], fu_area=data["fu_area"],
         register_count=data["register_count"],
         mux_count=data["mux_count"], wire_count=data["wire_count"],
+        mux_depth=data.get("mux_depth", 0),
         weights=CostWeights(**data["weights"]))
 
 

@@ -18,18 +18,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import DatapathError
 from repro.datapath.interconnect import Endpoint
 from repro.datapath.netlist import Netlist
 
 
 @dataclass(frozen=True)
 class ControlField:
-    """One field of the control word."""
+    """One field of the control word.
+
+    Width 0 is legal: a single-source mux or an always-idle FU needs no
+    control bits at all.  Such a field still appears in the table (so the
+    per-sink accounting stays complete) but packs no bits into the word
+    and emits no wire in the Verilog controller.
+    """
 
     name: str
     width: int
     #: per-step value of the field (defaults to 0 when inactive)
     values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise DatapathError(
+                f"control field {self.name!r}: negative width {self.width}")
+        limit = 1 << self.width
+        for step, value in enumerate(self.values):
+            if not 0 <= value < limit:
+                raise DatapathError(
+                    f"control field {self.name!r}: value {value} at step "
+                    f"{step} does not fit in {self.width} bits")
 
 
 @dataclass
@@ -110,7 +128,8 @@ def extract_control(netlist: Netlist) -> ControlTable:
         codes = {kind: idx + 1 for idx, kind in enumerate(kinds)}
         pass_code = len(codes) + 1 if pt_steps.get(fu) else None
         n_codes = 1 + len(codes) + (1 if pass_code else 0)
-        width = _select_width(n_codes) or 1
+        # an always-idle FU (n_codes == 1) legitimately gets a 0-bit field
+        width = _select_width(n_codes)
         per_step = [0] * netlist.length
         for issue in issues:
             per_step[issue.step] = codes[issue.kind]
@@ -140,13 +159,16 @@ def _endpoint_label(endpoint: Endpoint) -> str:
 def controller_to_verilog(table: ControlTable,
                           name: str = "controller") -> str:
     """Emit the control table as a one-hot-state Verilog FSM."""
+    # width-0 fields are bookkeeping-only (single-source muxes, idle FUs):
+    # they carry no information, so no wire is emitted for them
+    emitted = [f for f in table.fields if f.width > 0]
     lines = [f"// generated by repro.datapath.controller",
              f"// {table.summary()}",
              f"module {name} (",
              "  input  wire clk,",
              "  input  wire rst,"]
-    for index, f in enumerate(table.fields):
-        comma = "," if index + 1 < len(table.fields) else ""
+    for index, f in enumerate(emitted):
+        comma = "," if index + 1 < len(emitted) else ""
         if f.width == 1:
             lines.append(f"  output reg {f.name}{comma}")
         else:
@@ -162,13 +184,13 @@ def controller_to_verilog(table: ControlTable,
     lines.append("  end")
     lines.append("")
     lines.append("  always @* begin")
-    for f in table.fields:
+    for f in emitted:
         lines.append(f"    {f.name} = {f.width}'d0;")
     lines.append("    case (1'b1)")
     for step in range(steps):
         active = [f"      state[{step}]: begin"]
         body = []
-        for f in table.fields:
+        for f in emitted:
             if f.values[step]:
                 body.append(f"        {f.name} = "
                             f"{f.width}'d{f.values[step]};")

@@ -23,20 +23,28 @@ class CostWeights:
     register: float = 8.0   # per register used
     mux: float = 1.0        # per equivalent 2-1 multiplexer
     wire: float = 0.05      # per distinct point-to-point connection
+    latency: float = 0.0    # per mux-tree level summed over sinks
 
 
 def weighted_total(weights: CostWeights, fu_area: float,
                    register_count: int, mux_count: int,
-                   wire_count: int) -> float:
+                   wire_count: int, mux_depth: int = 0) -> float:
     """The weighted sum of the cost components.
 
     Both :attr:`CostBreakdown.total` and the allocator's O(1) fast path
     (``Binding.total_cost``) evaluate this one expression, so the two are
     bit-identical by construction — same inputs, same float operations in
     the same order.
+
+    ``mux_depth`` is the delay proxy: Σ over sinks of ceil(log2(fanin)),
+    the number of 2-1 mux levels a signal traverses, summed over the
+    whole interconnect.  At the default ``latency`` weight of 0.0 the
+    term contributes an exact ``+ 0.0``, so every pre-timing cost value
+    (goldens, paper tables, cache keys) is preserved bit-for-bit.
     """
     return (weights.fu * fu_area + weights.register * register_count +
-            weights.mux * mux_count + weights.wire * wire_count)
+            weights.mux * mux_count + weights.wire * wire_count +
+            weights.latency * mux_depth)
 
 
 @dataclass(frozen=True)
@@ -49,14 +57,16 @@ class CostBreakdown:
     mux_count: int
     wire_count: int
     weights: CostWeights = CostWeights()
+    mux_depth: int = 0
 
     @property
     def total(self) -> float:
         return weighted_total(self.weights, self.fu_area,
                               self.register_count, self.mux_count,
-                              self.wire_count)
+                              self.wire_count, self.mux_depth)
 
     def __str__(self) -> str:
         return (f"cost(total={self.total:.2f}: fu={self.fu_count} "
                 f"(area {self.fu_area:g}), regs={self.register_count}, "
-                f"mux={self.mux_count}, wires={self.wire_count})")
+                f"mux={self.mux_count}, wires={self.wire_count}, "
+                f"depth={self.mux_depth})")

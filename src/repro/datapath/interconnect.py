@@ -43,8 +43,9 @@ from repro.errors import DatapathError
 Endpoint = Tuple  # ("fu_out", name) etc.
 Connection = Tuple[Endpoint, Endpoint]
 
-#: snapshot payload: (uses column, fanin column, mux total, wire total)
-LedgerSnapshot = Tuple[List[int], List[int], int, int]
+#: snapshot payload: (uses column, fanin column, mux total, wire total,
+#: depth total)
+LedgerSnapshot = Tuple[List[int], List[int], int, int, int]
 
 
 def fu_out(fu: str) -> Endpoint:
@@ -91,6 +92,8 @@ class ConnectionLedger:
         self._fanin: List[int] = []
         self._mux_total = 0
         self._wire_total = 0
+        #: Σ_sink ceil(log2(fanin)) — total 2-1 mux-tree levels (delay proxy)
+        self._depth_total = 0
 
     # -- mutation -------------------------------------------------------------
 
@@ -126,6 +129,10 @@ class ConnectionLedger:
             fanin[sink_id] = sink_fanin
             if sink_fanin > 1:
                 self._mux_total += 1
+                # ceil(log2(n)) == (n-1).bit_length() for n >= 2, 0 below;
+                # the fanin step k -> k+1 moves tree depth by the difference
+                self._depth_total += ((sink_fanin - 1).bit_length() -
+                                      (sink_fanin - 2).bit_length())
 
     def remove_pair(self, pair: Connection) -> None:
         """Drop one use; the connection goes dead when uses reach zero."""
@@ -143,6 +150,8 @@ class ConnectionLedger:
             fanin[sink_id] = sink_fanin
             if sink_fanin > 0:
                 self._mux_total -= 1
+                self._depth_total -= (sink_fanin.bit_length() -
+                                      (sink_fanin - 1).bit_length())
 
     def add(self, src: Endpoint, sink: Endpoint) -> None:
         """Record one more use of the connection *src* -> *sink*."""
@@ -171,7 +180,7 @@ class ConnectionLedger:
         keys, just counts per slot/sink id.
         """
         return (self._uses[:], self._fanin[:], self._mux_total,
-                self._wire_total)
+                self._wire_total, self._depth_total)
 
     def restore(self, snap: LedgerSnapshot) -> None:
         """Rewind this ledger's counts to a :meth:`snapshot` of **itself**.
@@ -180,7 +189,7 @@ class ConnectionLedger:
         had zero uses when it was taken (slots are append-only and never
         reused).
         """
-        uses, fanin, mux_total, wire_total = snap
+        uses, fanin, mux_total, wire_total, depth_total = snap
         live_uses = self._uses
         live_uses[:len(uses)] = uses
         for slot in range(len(uses), len(live_uses)):
@@ -191,6 +200,7 @@ class ConnectionLedger:
             live_fanin[sink_id] = 0
         self._mux_total = mux_total
         self._wire_total = wire_total
+        self._depth_total = depth_total
 
     # -- queries --------------------------------------------------------------
 
@@ -203,6 +213,18 @@ class ConnectionLedger:
     def wire_count(self) -> int:
         """Number of distinct point-to-point connections."""
         return self._wire_total
+
+    @property
+    def mux_depth(self) -> int:
+        """Total mux-tree levels: Σ_sink ceil(log2(max(1, fanin))).
+
+        A sink with fanin *k* needs a tree of ``ceil(log2(k))`` 2-1 mux
+        levels on its critical path; the sum over all sinks is the O(1)
+        delay proxy the ``latency`` cost weight prices.  Maintained
+        incrementally at fanin transitions in :meth:`add_pair` /
+        :meth:`remove_pair`.
+        """
+        return self._depth_total
 
     def fanin(self, sink: Endpoint) -> int:
         sink_id = self._sink_ids.get(sink)
@@ -260,7 +282,12 @@ class ConnectionLedger:
             raise DatapathError(
                 f"ledger wire total out of sync: "
                 f"{self._wire_total} != {wires}")
+        depth = sum((n - 1).bit_length() for n in fanin.values() if n > 1)
+        if depth != self._depth_total:
+            raise DatapathError(
+                f"ledger mux-depth total out of sync: "
+                f"{self._depth_total} != {depth}")
 
     def __repr__(self) -> str:
         return (f"ConnectionLedger(wires={self.wire_count}, "
-                f"mux={self.mux_count})")
+                f"mux={self.mux_count}, depth={self.mux_depth})")

@@ -24,7 +24,10 @@ shared minified encoder it hashes.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.timing.delays import DelaySpec
 
 from repro.errors import ReproError
 from repro.cdfg.graph import CDFG
@@ -171,6 +174,15 @@ def schedule_from_json(text: str) -> Schedule:
 
 def binding_to_dict(binding: Binding) -> Dict[str, Any]:
     """Canonical JSON-able encoding of a complete allocation."""
+    weights: Dict[str, float] = {
+        "fu": binding.weights.fu,
+        "register": binding.weights.register,
+        "mux": binding.weights.mux,
+        "wire": binding.weights.wire,
+    }
+    # omitted when zero so pre-timing documents stay byte-identical
+    if binding.weights.latency:
+        weights["latency"] = binding.weights.latency
     return {
         "format": FORMAT_VERSION,
         "type": "binding",
@@ -178,12 +190,7 @@ def binding_to_dict(binding: Binding) -> Dict[str, Any]:
         "fus": [{"name": f.name, "type": f.type_name}
                 for _, f in sorted(binding.fus.items())],
         "registers": sorted(binding.regs),
-        "weights": {
-            "fu": binding.weights.fu,
-            "register": binding.weights.register,
-            "mux": binding.weights.mux,
-            "wire": binding.weights.wire,
-        },
+        "weights": weights,
         "op_fu": dict(sorted(binding.op_fu.items())),
         "op_swap": {k: v for k, v in sorted(binding.op_swap.items()) if v},
         "placements": [
@@ -216,7 +223,8 @@ def binding_from_json(text: str) -> Binding:
     binding = Binding(schedule, fus, regs,
                       weights=CostWeights(fu=w["fu"],
                                           register=w["register"],
-                                          mux=w["mux"], wire=w["wire"]))
+                                          mux=w["mux"], wire=w["wire"],
+                                          latency=w.get("latency", 0.0)))
     for op, fu in data["op_fu"].items():
         binding.set_op_fu(op, fu)
     for entry in data["placements"]:
@@ -233,6 +241,28 @@ def binding_from_json(text: str) -> Binding:
                        (entry["src_reg"], entry["fu"], entry["port"]))
     binding.flush()
     return binding
+
+
+# ------------------------------------------------------------ delay spec
+
+def delay_spec_to_json(spec: "DelaySpec") -> str:
+    """Serialize a timing :class:`~repro.timing.delays.DelaySpec`."""
+    from repro.timing.delays import delay_spec_to_dict
+
+    payload = delay_spec_to_dict(spec)
+    payload["format"] = FORMAT_VERSION
+    payload["type"] = "delay_spec"
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def delay_spec_from_json(text: str) -> "DelaySpec":
+    """Rebuild a :class:`~repro.timing.delays.DelaySpec` from JSON."""
+    from repro.timing.delays import delay_spec_from_dict
+
+    data = _load(text, "delay_spec")
+    data.pop("format")
+    data.pop("type")
+    return delay_spec_from_dict(data)
 
 
 # ---------------------------------------------------------- search stats

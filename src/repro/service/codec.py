@@ -29,7 +29,7 @@ finds a cached constructive binding to warm-start from.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from repro.errors import ReproError
@@ -86,6 +86,12 @@ class AllocateRequest:
     #: ``_ANNEAL_KNOBS``; everything else is rejected at decode time)
     improve: Dict[str, Any] = field(default_factory=dict)
     anneal: Dict[str, Any] = field(default_factory=dict)
+    #: timing constraint: when the winning binding's analyzed clock period
+    #: exceeds this, the result is delivered with ``degraded: true`` (and,
+    #: like every degraded result, never cached).  Part of the request
+    #: identity — but omitted from the key payload when None, so requests
+    #: that predate the knob keep their exact keys.
+    max_clock_ns: Optional[float] = None
     # ----- delivery options (never part of the cache key) -----
     #: wall-clock budget; when it fires mid-search the response carries
     #: the best-so-far binding with ``degraded: true``
@@ -110,6 +116,8 @@ class AllocateRequest:
             raise RequestError("restarts must be >= 1")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise RequestError("deadline_ms must be positive")
+        if self.max_clock_ns is not None and self.max_clock_ns <= 0:
+            raise RequestError("max_clock_ns must be positive")
         for knob in self.improve:
             if knob not in _IMPROVE_KNOBS:
                 raise RequestError(f"unknown improve knob {knob!r}")
@@ -143,7 +151,8 @@ def request_from_dict(data: Dict[str, Any]) -> AllocateRequest:
         raise RequestError("request body must be a JSON object")
     known = {"cdfg", "spec", "model", "engine", "length", "fu_counts",
              "registers", "weights", "seed", "restarts", "improve",
-             "anneal", "deadline_ms", "warm_start", "async", "cache"}
+             "anneal", "deadline_ms", "warm_start", "async", "cache",
+             "latency_weight", "max_clock_ns"}
     unknown = set(data) - known
     if unknown:
         raise RequestError(f"unknown request fields {sorted(unknown)}")
@@ -171,6 +180,25 @@ def request_from_dict(data: Dict[str, Any]) -> AllocateRequest:
         except TypeError as exc:
             raise RequestError(f"bad weights: {exc}") from None
 
+    # whitelisted shorthand for weights.latency: steer the search toward
+    # shallow mux trees without spelling out the whole weights vector
+    if "latency_weight" in data:
+        if weights_data is not None and "latency" in weights_data:
+            raise RequestError(
+                "give either 'latency_weight' or weights['latency'], "
+                "not both")
+        try:
+            weights = replace(weights, latency=float(data["latency_weight"]))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"bad latency_weight: {exc}") from None
+
+    max_clock_ns = data.get("max_clock_ns")
+    if max_clock_ns is not None:
+        try:
+            max_clock_ns = float(max_clock_ns)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"bad max_clock_ns: {exc}") from None
+
     fu_counts = data.get("fu_counts")
     if fu_counts is not None:
         fu_counts = {str(k): int(v) for k, v in fu_counts.items()}
@@ -189,7 +217,8 @@ def request_from_dict(data: Dict[str, Any]) -> AllocateRequest:
             anneal=dict(data.get("anneal", {})),
             deadline_ms=data.get("deadline_ms"),
             warm_start=bool(data.get("warm_start", False)),
-            cache_ok=bool(data.get("cache", True)))
+            cache_ok=bool(data.get("cache", True)),
+            max_clock_ns=max_clock_ns)
     except (ValueError, TypeError) as exc:
         raise RequestError(f"bad request field: {exc}") from None
 
@@ -197,8 +226,13 @@ def request_from_dict(data: Dict[str, Any]) -> AllocateRequest:
 # ----------------------------------------------------------------- encode
 
 def _weights_to_dict(weights: CostWeights) -> Dict[str, float]:
-    return {"fu": weights.fu, "register": weights.register,
-            "mux": weights.mux, "wire": weights.wire}
+    payload = {"fu": weights.fu, "register": weights.register,
+               "mux": weights.mux, "wire": weights.wire}
+    # a zero latency weight is the pre-timing cost function: omit the key
+    # so every request that predates the knob hashes to its old cache key
+    if weights.latency:
+        payload["latency"] = weights.latency
+    return payload
 
 
 def _shape_payload(request: AllocateRequest) -> Dict[str, Any]:
@@ -230,6 +264,10 @@ def cache_key_payload(request: AllocateRequest) -> Dict[str, Any]:
         "improve": dict(sorted(request.improve.items())),
         "anneal": dict(sorted(request.anneal.items())),
     })
+    # identity-bearing, but omitted when absent: requests without the
+    # constraint keep the exact keys they had before the knob existed
+    if request.max_clock_ns is not None:
+        payload["max_clock_ns"] = request.max_clock_ns
     return payload
 
 

@@ -303,6 +303,10 @@ class JobManager:
             "job_seconds", "monotonic seconds per executed job")
         self._queue_seconds = m.histogram(
             "queue_seconds", "monotonic seconds a job waited in the queue")
+        self._clock_ns = m.histogram(
+            "clock_period_ns",
+            "analyzed critical-path clock period of delivered bindings (ns)",
+            buckets=(1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 7.5, 10.0))
 
         self._threads = [
             threading.Thread(target=self._worker_loop,
@@ -756,7 +760,27 @@ class JobManager:
             [s for outcome in outcomes for s in outcome.stats]
         skipped = len(restart_jobs) - len(outcomes)
         degraded = skipped > 0 or any(s.stopped_early for s in all_stats)
-        return {
+
+        # timing-aware requests get the analyzed critical path attached;
+        # an unmeetable max_clock_ns makes the (legal, best-effort) answer
+        # degraded, which also keeps it out of the exact-key cache
+        timing: Optional[Dict[str, Any]] = None
+        if request.max_clock_ns is not None or request.weights.latency:
+            from repro.timing.sta import analyze_binding
+            report = analyze_binding(binding)
+            timing = {
+                "clock_period_ns": round(report.clock_period_ns, 6),
+                "mux_depth_max": report.mux_depth_max,
+                "critical_step": report.critical_step,
+            }
+            if request.max_clock_ns is not None:
+                timing["max_clock_ns"] = request.max_clock_ns
+                if report.clock_period_ns > request.max_clock_ns:
+                    timing["clock_met"] = False
+                    degraded = True
+                else:
+                    timing["clock_met"] = True
+        result = {
             "key": job.key,
             "engine": request.engine,
             "model": request.model,
@@ -773,6 +797,9 @@ class JobManager:
             "telemetry": telemetry_report(all_stats),
             "search_seconds": sum(o.seconds for o in outcomes),
         }
+        if timing is not None:
+            result["timing"] = timing
+        return result
 
     # ------------------------------------------------------------- reporting
 
@@ -785,6 +812,11 @@ class JobManager:
 
     def _observe_phases(self, result: Dict[str, Any]) -> None:
         """Feed sampled per-phase ns totals into latency histograms."""
+        timing = result.get("timing")
+        if timing is not None:
+            # /metricsz critical-path histogram: one sample per delivered
+            # timing-analyzed binding
+            self._clock_ns.observe(timing["clock_period_ns"])
         telemetry = result.get("telemetry", {})
         phase_ns = telemetry.get("phase_ns", {})
         phase_samples = telemetry.get("phase_samples", {})

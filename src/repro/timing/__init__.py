@@ -1,0 +1,37 @@
+"""Delay-aware timing layer over the allocated datapath.
+
+The paper's cost model (Sec. 4) counts FUs, registers, muxes and wires but
+says nothing about delay, so a "cheaper" binding can silently lengthen the
+clock period with deep mux trees.  This package closes that gap:
+
+``delays``
+    Per-unit delay library (:class:`~repro.timing.delays.DelaySpec`) with a
+    canonical JSON round-trip through :mod:`repro.io`.
+``sta``
+    A pure, deterministic static timing analyzer over the emitted
+    :class:`~repro.datapath.netlist.Netlist` — per-control-step critical
+    paths, the overall ``clock_period_ns``, and the worst path as a named
+    pin list.
+``rtlcheck``
+    Round-trip verification: stimuli from the CDFG interpreter drive the
+    datapath simulator on the netlist and outputs are diffed
+    cycle-accurately, per scenario-zoo family.
+
+The allocator side lives in the core: :class:`repro.datapath.cost.CostWeights`
+grew a ``latency`` weight priced against the ledger's O(1) incremental
+mux-depth total (Σ over sinks of ceil(log2(fanin))).
+"""
+
+from repro.timing.delays import (DEFAULT_DELAYS, DEFAULT_OP_DELAYS, DelaySpec,
+                                 delay_spec_from_dict, delay_spec_to_dict)
+from repro.timing.sta import (StepTiming, TimingReport, analyze_binding,
+                              analyze_netlist, netlist_mux_depth)
+from repro.timing.rtlcheck import (RoundTripReport, roundtrip_binding,
+                                   roundtrip_family, roundtrip_zoo)
+
+__all__ = [
+    "DEFAULT_DELAYS", "DEFAULT_OP_DELAYS", "DelaySpec", "RoundTripReport",
+    "StepTiming", "TimingReport", "analyze_binding", "analyze_netlist",
+    "delay_spec_from_dict", "delay_spec_to_dict", "netlist_mux_depth",
+    "roundtrip_binding", "roundtrip_family", "roundtrip_zoo",
+]

@@ -1,0 +1,203 @@
+"""``python -m repro.timing`` — timing CLI.
+
+Two subcommands back the timing CI lanes:
+
+``sta``
+    Allocate the paper benchmarks (EWF, DCT) deterministically and print
+    each binding's static-timing picture.  ``--check`` gates the analyzed
+    clock period, worst mux depth and critical step against the committed
+    golden (``results/timing_sta.json``) with zero tolerance — the
+    analyzer is pure arithmetic over a deterministic netlist, so any
+    drift is a real behaviour change.  ``--write-golden`` refreshes the
+    file after an intentional one.
+
+``roundtrip``
+    Run the RTL round-trip verifier (CDFG interpreter vs cycle-accurate
+    netlist simulation, plus Verilog lint) over every zoo family and exit
+    nonzero on any mismatch.  This is the nightly differential lane.
+
+Examples::
+
+    python -m repro.timing sta
+    python -m repro.timing sta --check            # CI gate
+    python -m repro.timing sta --write-golden
+    python -m repro.timing roundtrip --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+#: committed golden for the ``sta --check`` gate
+STA_GOLDEN_PATH = os.path.join("results", "timing_sta.json")
+
+#: benchmark name -> repro.bench builder attribute
+_BENCHES = ("ewf", "dct")
+
+#: per-bench fields pinned exactly by the golden (the full report is
+#: stored for inspection; these are the gated invariants)
+_GATED_FIELDS = ("clock_period_ns", "critical_step", "mux_depth_max",
+                 "mux_depth_total")
+
+
+def _bench_binding(name: str):
+    """Allocate one paper benchmark exactly as the sta golden records it."""
+    from repro.bench import discrete_cosine_transform, elliptic_wave_filter
+    from repro.bench.runner import FAST_BUDGET
+    from repro.core import SalsaAllocator
+    from repro.datapath.units import HardwareSpec
+    from repro.sched.asap import asap_length
+    from repro.sched.explore import schedule_graph
+
+    graph = {"ewf": elliptic_wave_filter,
+             "dct": discrete_cosine_transform}[name]()
+    spec = HardwareSpec.non_pipelined()
+    length = asap_length(graph, spec)
+    schedule = schedule_graph(graph, spec, length=length, method="list",
+                              label=name)
+    allocator = SalsaAllocator(seed=0, restarts=2, config=FAST_BUDGET)
+    result = allocator.allocate(graph, schedule=schedule, spec=spec,
+                                registers=schedule.min_registers())
+    return result.binding
+
+
+def _sta_document() -> Dict[str, Any]:
+    from repro.timing.sta import analyze_binding
+    benches: Dict[str, Any] = {}
+    for name in _BENCHES:
+        report = analyze_binding(_bench_binding(name))
+        benches[name] = report.to_dict()
+    return {"type": "timing_sta", "benches": benches}
+
+
+def _print_sta(document: Dict[str, Any]) -> None:
+    for name in sorted(document["benches"]):
+        report = document["benches"][name]
+        print(f"{name}: clock {report['clock_period_ns']:.3f} ns at step "
+              f"{report['critical_step']}, mux depth max "
+              f"{report['mux_depth_max']} (total "
+              f"{report['mux_depth_total']})")
+        print(f"  critical path: {' -> '.join(report['critical_path'])}")
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    document = _sta_document()
+    _print_sta(document)
+    if args.json:
+        _write(document, args.json)
+        print(f"wrote {args.json}")
+    if args.write_golden:
+        _write(document, args.golden)
+        print(f"refreshed golden file {args.golden}")
+        return 0
+    if args.check:
+        try:
+            with open(args.golden, "r", encoding="utf-8") as handle:
+                golden = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load golden file: {exc}", file=sys.stderr)
+            return 2
+        if golden.get("type") != "timing_sta":
+            print(f"{args.golden} is not a timing_sta document",
+                  file=sys.stderr)
+            return 2
+        problems: List[str] = []
+        for name, want in sorted(golden.get("benches", {}).items()):
+            got = document["benches"].get(name)
+            if got is None:
+                problems.append(f"{name}: missing from this run")
+                continue
+            for fieldname in _GATED_FIELDS:
+                if got.get(fieldname) != want.get(fieldname):
+                    problems.append(
+                        f"{name}: {fieldname} = {got.get(fieldname)!r}, "
+                        f"golden {want.get(fieldname)!r} (exact)")
+        if problems:
+            print(f"\n--check FAILED ({len(problems)} problem(s)):",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"\n--check OK: {len(golden.get('benches', {}))} bench(es) "
+              f"match {args.golden}")
+    return 0
+
+
+def _cmd_roundtrip(args: argparse.Namespace) -> int:
+    from repro.timing.rtlcheck import roundtrip_zoo
+    families = None
+    if args.families:
+        families = [token.strip() for token in args.families.split(",")
+                    if token.strip()]
+    reports = roundtrip_zoo(seed=args.seed, iterations=args.iterations,
+                            restarts=args.restarts, families=families)
+    failures = 0
+    for report in reports:
+        print(report)
+        if not report.ok:
+            failures += 1
+    if args.json:
+        _write({"type": "timing_roundtrip", "seed": args.seed,
+                "reports": [r.to_dict() for r in reports]}, args.json)
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"\nroundtrip FAILED: {failures} of {len(reports)} "
+              f"scenario(s) diverged", file=sys.stderr)
+        return 1
+    print(f"\nroundtrip OK: {len(reports)} scenario(s) cycle-accurate")
+    return 0
+
+
+def _write(document: Dict[str, Any], path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.timing",
+        description="static timing analysis and RTL round-trip lanes")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sta = sub.add_parser("sta", help="analyze the paper benchmarks")
+    sta.add_argument("--json", default="",
+                     help="write the full reports to this path")
+    sta.add_argument("--check", action="store_true",
+                     help="gate against the committed golden file")
+    sta.add_argument("--golden", default=STA_GOLDEN_PATH,
+                     help=f"golden file path (default {STA_GOLDEN_PATH})")
+    sta.add_argument("--write-golden", action="store_true",
+                     help="refresh the golden file from this run")
+
+    roundtrip = sub.add_parser(
+        "roundtrip", help="RTL round-trip verification over the zoo")
+    roundtrip.add_argument("--seed", type=int, default=0)
+    roundtrip.add_argument("--iterations", type=int, default=4,
+                           help="simulated loop iterations per scenario")
+    roundtrip.add_argument("--restarts", type=int, default=2,
+                           help="allocator restarts per scenario")
+    roundtrip.add_argument("--families", default="",
+                           help="comma-separated zoo families "
+                                "(default: all)")
+    roundtrip.add_argument("--json", default="",
+                           help="write the reports to this path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "sta":
+        return _cmd_sta(args)
+    return _cmd_roundtrip(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Per-unit delay library for the static timing analyzer.
+
+All delays are nanoseconds in an abstract normalized technology: an adder
+is the 1.0 ns reference, a combinational multiplier ~3x that, and the
+interconnect terms (mux levels, fanout) are small fractions — the ratios,
+not the absolute values, are what steer a latency-weighted allocation.
+
+A :class:`DelaySpec` is keyed by **operation kind** (the ``kind`` field of
+every :class:`~repro.datapath.netlist.IssueEntry`), not by FU instance:
+the same ALU pays the ``add`` path delay in a step where it adds and the
+``cmp`` path delay in a step where it compares, which is exactly the
+per-step cone the analyzer levelizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from repro.errors import DatapathError
+
+#: Combinational delay per operation kind (ns).  Covers every kind in
+#: :data:`repro.cdfg.interp.OP_SEMANTICS`; unknown kinds fall back to
+#: :attr:`DelaySpec.default_op_delay`.
+DEFAULT_OP_DELAYS: Mapping[str, float] = {
+    "add": 1.0,
+    "sub": 1.0,
+    "mul": 3.2,
+    "div": 3.6,
+    "and": 0.4,
+    "or": 0.4,
+    "xor": 0.5,
+    "shl": 0.6,
+    "shr": 0.6,
+    "cmp": 0.9,
+    "neg": 0.5,
+    "not": 0.3,
+    "pass": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Delay parameters of one target technology.
+
+    ``op_delays``
+        operation kind -> combinational delay through the executing FU.
+    ``register_clk_q`` / ``register_setup``
+        register clock-to-Q and setup time; every reg->reg cone pays both.
+    ``mux_level``
+        delay of one 2-1 mux level; a sink with fanin *k* pays
+        ``ceil(log2(k))`` levels.
+    ``wire_fanout``
+        per-wire fanout penalty: a source driving *k* distinct sinks adds
+        ``(k - 1) * wire_fanout`` to every path leaving it.
+    """
+
+    op_delays: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_OP_DELAYS))
+    default_op_delay: float = 1.0
+    register_clk_q: float = 0.15
+    register_setup: float = 0.1
+    mux_level: float = 0.2
+    wire_fanout: float = 0.02
+
+    def __post_init__(self) -> None:
+        scalars = {
+            "default_op_delay": self.default_op_delay,
+            "register_clk_q": self.register_clk_q,
+            "register_setup": self.register_setup,
+            "mux_level": self.mux_level,
+            "wire_fanout": self.wire_fanout,
+        }
+        for name, value in scalars.items():
+            _require_delay(name, value)
+        for kind, value in self.op_delays.items():
+            _require_delay(f"op_delays[{kind!r}]", value)
+
+    def op_delay(self, kind: str) -> float:
+        """Combinational delay of one *kind* execution (ns)."""
+        return self.op_delays.get(kind, self.default_op_delay)
+
+
+def _require_delay(name: str, value: Any) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not math.isfinite(value) or value < 0:
+        raise DatapathError(
+            f"delay spec: {name} must be a finite non-negative number, "
+            f"got {value!r}")
+
+
+#: The library default used everywhere a :class:`DelaySpec` is optional.
+DEFAULT_DELAYS = DelaySpec()
+
+
+def delay_spec_to_dict(spec: DelaySpec) -> Dict[str, Any]:
+    """Plain-dict form (canonical: op kinds sort under ``canonical_dumps``)."""
+    return {
+        "op_delays": {kind: float(delay)
+                      for kind, delay in spec.op_delays.items()},
+        "default_op_delay": float(spec.default_op_delay),
+        "register_clk_q": float(spec.register_clk_q),
+        "register_setup": float(spec.register_setup),
+        "mux_level": float(spec.mux_level),
+        "wire_fanout": float(spec.wire_fanout),
+    }
+
+
+def delay_spec_from_dict(data: Mapping[str, Any]) -> DelaySpec:
+    """Inverse of :func:`delay_spec_to_dict`; missing fields take defaults."""
+    if not isinstance(data, Mapping):
+        raise DatapathError(f"delay spec: expected a mapping, got {data!r}")
+    known = {"op_delays", "default_op_delay", "register_clk_q",
+             "register_setup", "mux_level", "wire_fanout"}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise DatapathError(f"delay spec: unknown fields {unknown}")
+    kwargs: Dict[str, Any] = dict(data)
+    if "op_delays" in kwargs:
+        op_delays = kwargs["op_delays"]
+        if not isinstance(op_delays, Mapping):
+            raise DatapathError(
+                f"delay spec: op_delays must be a mapping, got {op_delays!r}")
+        kwargs["op_delays"] = dict(op_delays)
+    return DelaySpec(**kwargs)
+
+
+__all__ = [
+    "DEFAULT_DELAYS", "DEFAULT_OP_DELAYS", "DelaySpec",
+    "delay_spec_from_dict", "delay_spec_to_dict",
+]

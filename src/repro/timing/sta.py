@@ -1,0 +1,261 @@
+"""Static timing analysis over an emitted datapath netlist.
+
+The allocated datapath is a classic FSMD: every control step activates one
+combinational cone — register outputs, through the mux tree in front of
+each FU input, through the FU, through the mux tree in front of each
+register input, into the register — and all register writes commit on the
+same clock edge.  The analyzer levelizes those cones **per control step**
+(the step decides which sources each mux selects, so the same physical
+mux contributes to different paths in different steps), finds each step's
+critical path, and reports the overall ``clock_period_ns`` — the slowest
+step is the clock the whole schedule must run at.
+
+Levelization invariant: within one step every arrival is computed from
+already-final arrivals — register/input-port origins are constants
+(clk->Q / 0), FU outputs depend only on origins, register/output-port
+endpoints depend only on FU outputs and origins.  There is no
+combinational feedback: a cone is reg -> mux tree -> FU -> mux tree -> reg
+with at most one FU traversal (pass-through transfers included).
+
+Multi-cycle operations are modeled as evenly pipelined: an operation
+spanning *n* steps contributes ``delay / n`` of combinational logic per
+step, bracketed by internal pipeline latches (``fu.p1`` ... ``fu.p{n-1}``
+in the path pins), matching the staged FU model of
+:mod:`repro.datapath.rtl`.
+
+Everything here is pure and deterministic: same netlist + same
+:class:`~repro.timing.delays.DelaySpec` -> bit-identical report,
+regardless of dict iteration order or platform.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import DatapathError
+from repro.datapath.netlist import IssueEntry, Netlist, build_netlist
+from repro.timing.delays import DEFAULT_DELAYS, DelaySpec
+
+#: (arrival ns, named pin list) — compared as a tuple, so ties break on the
+#: lexicographically largest path and the result never depends on
+#: iteration order
+_Arrival = Tuple[float, Tuple[str, ...]]
+
+
+def ceil_log2(n: int) -> int:
+    """``ceil(log2(n))`` for n >= 1 (0 for n <= 1): mux-tree levels."""
+    return (n - 1).bit_length() if n > 1 else 0
+
+
+def netlist_mux_depth(netlist: Netlist) -> int:
+    """Total mux-tree levels of the netlist: Σ_mux ceil(log2(#sources)).
+
+    This is the from-netlist oracle for the ledger's incremental
+    ``mux_depth`` counter — the sanitizer asserts bit-identity between the
+    two (:mod:`repro.verify.sanitizer`).
+    """
+    return sum(ceil_log2(len(mux.sources)) for mux in netlist.muxes)
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Critical path of one control step."""
+
+    step: int
+    delay_ns: float
+    path: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"step": self.step, "delay_ns": round(self.delay_ns, 6),
+                "path": list(self.path)}
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Full static timing picture of one netlist."""
+
+    clock_period_ns: float
+    critical_step: int
+    critical_path: Tuple[str, ...]
+    steps: Tuple[StepTiming, ...]
+    mux_depth_total: int
+    mux_depth_max: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clock_period_ns": round(self.clock_period_ns, 6),
+            "critical_step": self.critical_step,
+            "critical_path": list(self.critical_path),
+            "mux_depth_total": self.mux_depth_total,
+            "mux_depth_max": self.mux_depth_max,
+            "steps": [entry.to_dict() for entry in self.steps],
+        }
+
+    def __str__(self) -> str:
+        return (f"timing(clock={self.clock_period_ns:.3f}ns @ step "
+                f"{self.critical_step}, depth_max={self.mux_depth_max}, "
+                f"path={' -> '.join(self.critical_path)})")
+
+
+def analyze_binding(binding, delays: DelaySpec = DEFAULT_DELAYS) \
+        -> TimingReport:
+    """Build the netlist of a complete binding and analyze it."""
+    return analyze_netlist(build_netlist(binding), delays)
+
+
+def analyze_netlist(netlist: Netlist,
+                    delays: DelaySpec = DEFAULT_DELAYS) -> TimingReport:
+    """Levelize every control step's combinational cone and time it."""
+    length = netlist.length
+    if length <= 0:
+        raise DatapathError(f"netlist {netlist.name!r} has no control steps")
+
+    depth: Dict[Tuple, int] = {
+        mux.sink: ceil_log2(len(mux.sources)) for mux in netlist.muxes}
+    fanout = Counter(src for (src, _sink) in netlist.connections)
+    clk_q = delays.register_clk_q
+    setup = delays.register_setup
+
+    def leave(src: Tuple) -> float:
+        count = fanout.get(src, 0)
+        return delays.wire_fanout * (count - 1) if count > 1 else 0.0
+
+    def enter(sink: Tuple) -> float:
+        return depth.get(sink, 0) * delays.mux_level
+
+    def mux_pins(sink: Tuple, pin: str) -> Tuple[str, ...]:
+        levels = depth.get(sink, 0)
+        return (f"mux{levels}({pin})",) if levels else ()
+
+    # every step at least holds register contents across the edge
+    candidates: List[List[_Arrival]] = [
+        [(clk_q + setup, ("hold",))] for _ in range(length)]
+
+    op_issue: Dict[str, IssueEntry] = {
+        issue.op: issue for issue in netlist.issues}
+    #: (completion step, fu) -> arrival at the FU output pin
+    out_arrival: Dict[Tuple[int, str], _Arrival] = {}
+
+    def operand_cone(issue: IssueEntry) -> _Arrival:
+        best: _Arrival = (0.0, ())
+        for src, port in zip(issue.operand_srcs, issue.ports):
+            sink = ("fu_in", issue.fu, port)
+            pin = f"{issue.fu}.in{port}"
+            if src[0] == "reg":
+                arrival = (clk_q + leave(("reg_out", src[1])) + enter(sink),
+                           (f"{src[1]}.q",) + mux_pins(sink, pin) + (pin,))
+            else:  # constants are inlined in the FU expression: no mux
+                arrival = (0.0, (f"const:{src[1]}", pin))
+            if arrival > best:
+                best = arrival
+        return best
+
+    for issue in netlist.issues:
+        span = issue.end_step - issue.step + 1
+        if span < 1:
+            raise DatapathError(
+                f"issue {issue.op!r} ends before it starts "
+                f"({issue.step}..{issue.end_step})")
+        stage = delays.op_delay(issue.kind) / span
+        start = issue.step % length
+        in_arr, in_path = operand_cone(issue)
+        if span == 1:
+            key = (start, issue.fu)
+            arrival = (in_arr + stage, in_path + (f"{issue.fu}.out",))
+            if arrival > out_arrival.get(key, (-1.0, ())):
+                out_arrival[key] = arrival
+            continue
+        # issue step: operand cone into the first internal pipeline latch
+        candidates[start].append(
+            (in_arr + stage + setup, in_path + (f"{issue.fu}.p1",)))
+        # interior steps: latch-to-latch through one pipeline stage
+        for offset in range(1, span - 1):
+            step = (issue.step + offset) % length
+            candidates[step].append(
+                (clk_q + stage + setup,
+                 (f"{issue.fu}.p{offset}", f"{issue.fu}.p{offset + 1}")))
+        # completion step: last latch drives the FU output
+        key = (issue.end_step % length, issue.fu)
+        arrival = (clk_q + stage,
+                   (f"{issue.fu}.p{span - 1}", f"{issue.fu}.out"))
+        if arrival > out_arrival.get(key, (-1.0, ())):
+            out_arrival[key] = arrival
+
+    def fu_output(step: int, op_name: str) -> Tuple[str, _Arrival]:
+        issue = op_issue.get(op_name)
+        if issue is None:
+            raise DatapathError(f"no issue entry for operation {op_name!r}")
+        arrival = out_arrival.get((step, issue.fu))
+        if arrival is None:
+            raise DatapathError(
+                f"operation {op_name!r} does not complete at step {step}")
+        return issue.fu, arrival
+
+    for write in netlist.writes:
+        step = write.step % length
+        sink = ("reg_in", write.reg)
+        pin = f"{write.reg}.d"
+        src = write.source
+        if src[0] == "op_result":
+            fu, (arr, path) = fu_output(step, src[1])
+            arr += leave(("fu_out", fu)) + enter(sink)
+        elif src[0] == "reg":
+            arr = clk_q + leave(("reg_out", src[1])) + enter(sink)
+            path = (f"{src[1]}.q",)
+        elif src[0] == "pt":
+            src_reg, fu, port = src[1], src[2], src[3]
+            port_sink = ("fu_in", fu, port)
+            port_pin = f"{fu}.in{port}"
+            arr = (clk_q + leave(("reg_out", src_reg)) + enter(port_sink) +
+                   delays.op_delay("pass") + leave(("fu_out", fu)) +
+                   enter(sink))
+            path = ((f"{src_reg}.q",) + mux_pins(port_sink, port_pin) +
+                    (port_pin, f"{fu}.out"))
+        elif src[0] == "in_port":
+            arr = leave(("in_port", src[1])) + enter(sink)
+            path = (f"in:{src[1]}",)
+        else:
+            raise DatapathError(f"unknown write source {src!r}")
+        candidates[step].append(
+            (arr + setup, path + mux_pins(sink, pin) + (pin,)))
+
+    for out in netlist.outs:
+        step = out.step % length
+        sink = ("out_port", out.value)
+        pin = f"out:{out.value}"
+        if out.source[0] == "reg":
+            arr = clk_q + leave(("reg_out", out.source[1])) + enter(sink)
+            path = (f"{out.source[1]}.q",)
+        elif out.source[0] == "op_result":
+            fu, (arr, path) = fu_output(step, out.source[1])
+            arr += leave(("fu_out", fu)) + enter(sink)
+        else:
+            raise DatapathError(f"unknown output source {out.source!r}")
+        candidates[step].append(
+            (arr + setup, path + mux_pins(sink, pin) + (pin,)))
+
+    steps: List[StepTiming] = []
+    worst: _Arrival = (-1.0, ())
+    critical_step = 0
+    for index in range(length):
+        delay, path = max(candidates[index])
+        steps.append(StepTiming(step=index, delay_ns=delay, path=path))
+        if (delay, path) > worst:
+            worst = (delay, path)
+            critical_step = index
+    return TimingReport(
+        clock_period_ns=worst[0],
+        critical_step=critical_step,
+        critical_path=worst[1],
+        steps=tuple(steps),
+        mux_depth_total=netlist_mux_depth(netlist),
+        mux_depth_max=max(depth.values(), default=0),
+    )
+
+
+__all__ = [
+    "StepTiming", "TimingReport", "analyze_binding", "analyze_netlist",
+    "ceil_log2", "netlist_mux_depth",
+]

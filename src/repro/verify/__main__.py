@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="every Nth improvement trial, round-trip the "
                              "binding through clone/restore to stress the "
                              "diff-replay restore path (0 disables)")
+    parser.add_argument("--rtl-check", action="store_true",
+                        help="per case, additionally round-trip the SALSA "
+                             "binding through RTL emission and the "
+                             "cycle-accurate netlist simulator "
+                             "(repro.timing.rtlcheck)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress lines")
     return parser
@@ -110,6 +115,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         known_buckets=args.known,
         inject=args.inject,
         restore_churn=args.restore_churn,
+        rtl_check=args.rtl_check,
     )
 
     def progress(case: FuzzCase, failure: Optional[FuzzFailure]) -> None:

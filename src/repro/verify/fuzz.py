@@ -150,6 +150,10 @@ class FuzzConfig:
     #: through clone/restore (``ImproveConfig.restore_churn``), stressing
     #: the diff-replay restore path under the sanitizer
     restore_churn: int = 0
+    #: additionally run the RTL round-trip lane per case: interpret the
+    #: CDFG, simulate the emitted netlist cycle-accurately, diff outputs,
+    #: and lint the generated Verilog (:mod:`repro.timing.rtlcheck`)
+    rtl_check: bool = False
 
 
 # ------------------------------------------------------------ fault injection
@@ -333,7 +337,8 @@ def _check_invariants(case: FuzzCase, trad: AllocationResult,
 def run_case(case: FuzzCase,
              inject: Optional[str] = None,
              sanitize_every: int = 8,
-             restore_churn: int = 0) -> Optional[FuzzFailure]:
+             restore_churn: int = 0,
+             rtl_check: bool = False) -> Optional[FuzzFailure]:
     """Replay one case; ``None`` on success, the failure otherwise."""
     stage = "generate"
     try:
@@ -361,6 +366,18 @@ def run_case(case: FuzzCase,
         stage = "salsa-simulate"
         verify_binding(salsa.binding, iterations=max(1, case.iterations),
                        seed=case.seed)
+
+        if rtl_check:
+            stage = "rtl-roundtrip"
+            # deferred: repro.timing.rtlcheck reaches back into the bench
+            # scenario machinery this module also imports
+            from repro.timing.rtlcheck import roundtrip_binding
+            report = roundtrip_binding(
+                salsa.binding, name=_case_brief(case),
+                family=case.family, iterations=max(1, case.iterations),
+                seed=case.seed)
+            if not report.ok:
+                raise AssertionError(str(report))
 
         stage = "invariants"
         _check_invariants(case, trad, salsa, sanitize_every)
@@ -435,7 +452,8 @@ def run_fuzz(config: FuzzConfig,
         report.cases_run += 1
         failure = run_case(case, inject=config.inject,
                            sanitize_every=config.sanitize_every,
-                           restore_churn=config.restore_churn)
+                           restore_churn=config.restore_churn,
+                           rtl_check=config.rtl_check)
         if progress is not None:
             progress(case, failure)
         if failure is None:
@@ -448,7 +466,8 @@ def run_fuzz(config: FuzzConfig,
             def replay(candidate: FuzzCase) -> Optional[str]:
                 result = run_case(candidate, inject=config.inject,
                                   sanitize_every=config.sanitize_every,
-                                  restore_churn=config.restore_churn)
+                                  restore_churn=config.restore_churn,
+                                  rtl_check=config.rtl_check)
                 return None if result is None else result.signature
 
             shrunk = shrink_case(failure.case, target, replay,

@@ -248,6 +248,23 @@ class ShadowSanitizer:
                 f"total_cost() fast path diverged: fast {fast_total!r} vs "
                 f"scratch {scratch_cost.total!r}")
 
+        # mux-depth bit-identity: the ledger's O(1) incremental depth total
+        # must equal the estimate sta.py derives from the emitted netlist's
+        # mux trees (Σ ceil(log2(#sources))); an incomplete binding has no
+        # netlist, so the cross-check only runs once one can be built
+        from repro.datapath.netlist import build_netlist
+        from repro.timing.sta import netlist_mux_depth
+        try:
+            netlist = build_netlist(binding)
+        except ReproError:
+            pass
+        else:
+            sta_depth = netlist_mux_depth(netlist)
+            if sta_depth != binding.ledger.mux_depth:
+                problems.append(
+                    f"mux depth diverged: ledger {binding.ledger.mux_depth} "
+                    f"vs sta {sta_depth}")
+
         # independent referee: structural legality + ledger.verify()
         problems.extend(check_binding(binding))
 

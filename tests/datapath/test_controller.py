@@ -94,3 +94,68 @@ class TestVerilog:
             kinds = {i.kind for i in netlist.issues if i.fu == fu}
             # the pass code is one beyond the operation codes
             assert max(f.values) == len(kinds) + 1
+
+
+class TestWidthZeroFields:
+    """Regression: single-source muxes / idle FUs pack zero control bits."""
+
+    def _netlist(self):
+        from repro.datapath.netlist import IssueEntry, Mux, Netlist, WriteEntry
+        # one degenerate single-source mux, one working FU, one FU that
+        # never issues anything
+        return Netlist(
+            name="degen", length=2, cyclic=False,
+            fus=["add1", "idle1"], regs=["Ra", "Rb"],
+            muxes=[Mux(sink=("fu_in", "add1", 0),
+                       sources=(("reg_out", "Ra"),))],
+            connections=[(("reg_out", "Ra"), ("fu_in", "add1", 0)),
+                         (("fu_out", "add1"), ("reg_in", "Rb"))],
+            issues=[IssueEntry(step=0, fu="add1", op="o1", kind="add",
+                               operand_srcs=(("reg", "Ra"),), ports=(0,),
+                               end_step=0)],
+            writes=[WriteEntry(step=0, reg="Rb",
+                               source=("op_result", "o1"), value="v1")],
+        )
+
+    def test_degenerate_fields_have_zero_width(self):
+        table = extract_control(self._netlist())
+        by_name = {f.name: f for f in table.fields}
+        assert by_name["sel_add1_a0"].width == 0
+        assert by_name["op_idle1"].width == 0
+        # the working FU still gets a real select (idle + add = 2 codes)
+        assert by_name["op_add1"].width == 1
+
+    def test_words_pack_without_degenerate_bits(self):
+        table = extract_control(self._netlist())
+        zero_width = sum(1 for f in table.fields if f.width == 0)
+        assert zero_width == 2
+        assert table.word_width == sum(f.width for f in table.fields)
+        words = table.words()
+        assert len(words) == 2
+        assert all(w < 2 ** table.word_width for w in words)
+
+    def test_verilog_emits_no_degenerate_wires(self):
+        from repro.datapath.rtl import netlist_to_verilog
+        netlist = self._netlist()
+        table = extract_control(netlist)
+        controller = controller_to_verilog(table)
+        assert "sel_add1_a0" not in controller
+        assert "op_idle1" not in controller
+        assert "[-1:0]" not in controller
+        assert "op_add1" in controller
+        # the datapath renders the single-source sink as a plain wire
+        datapath = netlist_to_verilog(netlist)
+        assert "wire signed [15:0] add1_a0 = Ra_q;" in datapath
+        assert "[-1:0]" not in datapath
+
+    def test_nonzero_value_in_zero_width_field_rejected(self):
+        from repro.errors import DatapathError
+        from repro.datapath.controller import ControlField
+        with pytest.raises(DatapathError, match="does not fit"):
+            ControlField(name="sel_x", width=0, values=(1,))
+
+    def test_negative_width_rejected(self):
+        from repro.errors import DatapathError
+        from repro.datapath.controller import ControlField
+        with pytest.raises(DatapathError, match="negative width"):
+            ControlField(name="sel_x", width=-1, values=())

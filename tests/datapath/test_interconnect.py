@@ -110,3 +110,58 @@ class TestRandomizedConsistency:
         for src, snk in live:
             ledger.remove(src, snk)
         assert ledger.mux_count == 0 and ledger.wire_count == 0
+
+
+class TestMuxDepth:
+    """Incremental ceil(log2(fanin)) tree-depth accounting."""
+
+    def test_depth_follows_ceil_log2(self):
+        ledger = ConnectionLedger()
+        expected = [0, 0, 1, 2, 2, 3, 3, 3, 3]  # depth after n sources
+        for i in range(8):
+            ledger.add(reg_out(f"R{i}"), fu_in("f", 0))
+            assert ledger.mux_depth == expected[i + 1]
+
+    def test_depth_sums_over_sinks(self):
+        ledger = ConnectionLedger()
+        for i in range(4):  # 4:1 tree -> depth 2
+            ledger.add(reg_out(f"R{i}"), fu_in("f", 0))
+        for i in range(2):  # 2:1 -> depth 1
+            ledger.add(reg_out(f"R{i}"), reg_in("X"))
+        assert ledger.mux_depth == 3
+
+    def test_removal_unwinds_depth(self):
+        ledger = ConnectionLedger()
+        for i in range(5):
+            ledger.add(reg_out(f"R{i}"), fu_in("f", 0))
+        assert ledger.mux_depth == 3
+        for i in reversed(range(5)):
+            ledger.remove(reg_out(f"R{i}"), fu_in("f", 0))
+        assert ledger.mux_depth == 0
+
+    def test_reference_counting_does_not_deepen(self):
+        ledger = ConnectionLedger()
+        ledger.add(reg_out("R0"), fu_in("f", 0))
+        ledger.add(reg_out("R0"), fu_in("f", 0))  # same wire again
+        assert ledger.mux_depth == 0
+        ledger.add(reg_out("R1"), fu_in("f", 0))
+        assert ledger.mux_depth == 1
+
+    def test_snapshot_round_trips_depth(self):
+        ledger = ConnectionLedger()
+        for i in range(4):
+            ledger.add(reg_out(f"R{i}"), fu_in("f", 0))
+        snap = ledger.snapshot()
+        ledger.add(reg_out("R4"), fu_in("f", 0))
+        assert ledger.mux_depth == 3
+        ledger.restore(snap)
+        assert ledger.mux_depth == 2
+        ledger.verify()
+
+    def test_verify_catches_depth_corruption(self):
+        ledger = ConnectionLedger()
+        ledger.add(reg_out("R0"), fu_in("f", 0))
+        ledger.add(reg_out("R1"), fu_in("f", 0))
+        ledger._depth_total = 7  # corrupt deliberately
+        with pytest.raises(DatapathError, match="out of sync"):
+            ledger.verify()

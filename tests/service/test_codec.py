@@ -111,3 +111,69 @@ def test_direct_construction_validates_too():
     with pytest.raises(RequestError):
         AllocateRequest(graph=graph, spec=HardwareSpec.non_pipelined(),
                         engine="bogus")
+
+
+class TestTimingKnobs:
+    """The latency_weight / max_clock_ns knobs and key compatibility."""
+
+    FIXTURE = "tests/service/fixtures/request_keys.json"
+
+    def test_keys_unchanged_for_requests_omitting_the_knobs(self):
+        # exact-key backward compatibility: the committed fixture was
+        # recorded against the pre-timing codec, so any drift here would
+        # invalidate every production cache entry
+        import os
+        with open(os.path.join(os.path.dirname(__file__), "fixtures",
+                               "request_keys.json")) as handle:
+            fixture = json.load(handle)
+        assert len(fixture) >= 4
+        for name, entry in sorted(fixture.items()):
+            request = request_from_dict(entry["body"])
+            assert request_key(request) == entry["request_key"], name
+            assert warm_key(request) == entry["warm_key"], name
+
+    def test_latency_weight_changes_the_key(self):
+        plain = make_request()
+        weighted = make_request(latency_weight=0.5)
+        assert weighted.weights.latency == 0.5
+        assert request_key(weighted) != request_key(plain)
+        assert warm_key(weighted) != warm_key(plain)
+
+    def test_max_clock_changes_the_key_but_not_the_shape(self):
+        plain = make_request()
+        clocked = make_request(max_clock_ns=2.5)
+        assert clocked.max_clock_ns == 2.5
+        assert request_key(clocked) != request_key(plain)
+        # a clock constraint restricts acceptance, not the problem shape
+        assert warm_key(clocked) == warm_key(plain)
+
+    def test_zero_latency_weight_is_the_old_key(self):
+        # explicit 0.0 must hash like full omission: the zero weight IS
+        # the pre-timing cost function
+        assert request_key(make_request(latency_weight=0.0)) == \
+            request_key(make_request())
+
+    def test_latency_weight_conflicts_with_weights_latency(self):
+        with pytest.raises(RequestError, match="not both"):
+            make_request(latency_weight=0.5,
+                         weights={"fu": 1.0, "latency": 0.5})
+
+    def test_weights_latency_spelled_out_matches_shorthand(self):
+        shorthand = make_request(latency_weight=0.25)
+        spelled = make_request(weights={"latency": 0.25})
+        assert request_key(shorthand) == request_key(spelled)
+
+    def test_bad_knob_values_rejected(self):
+        with pytest.raises(RequestError, match="latency_weight"):
+            make_request(latency_weight="fast")
+        with pytest.raises(RequestError, match="max_clock_ns"):
+            make_request(max_clock_ns="soon")
+        with pytest.raises(RequestError, match="positive"):
+            make_request(max_clock_ns=-1.0)
+
+    def test_payload_omits_absent_constraint(self):
+        payload = cache_key_payload(make_request())
+        assert "max_clock_ns" not in payload
+        assert "latency" not in payload["weights"]
+        clocked = cache_key_payload(make_request(max_clock_ns=3.0))
+        assert clocked["max_clock_ns"] == 3.0

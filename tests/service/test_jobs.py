@@ -475,3 +475,53 @@ def test_same_shape_queued_jobs_claim_as_one_batch():
         assert metrics.counter("schedule_memo_hits").value >= 2
     finally:
         manager.shutdown()
+
+
+def test_timing_section_for_latency_weighted_request(manager_setup):
+    manager, _, metrics = manager_setup
+    job, _ = manager.submit(fast_request(latency_weight=0.5))
+    assert job.wait(120)
+    assert job.status == DONE
+    timing = job.result["timing"]
+    assert timing["clock_period_ns"] > 0
+    assert timing["mux_depth_max"] >= 0
+    assert "max_clock_ns" not in timing  # no constraint was given
+    hist = metrics.snapshot()["clock_period_ns"]
+    assert hist["count"] == 1
+    assert hist["sum"] == pytest.approx(timing["clock_period_ns"])
+
+
+def test_plain_request_carries_no_timing_section(manager_setup):
+    manager, _, metrics = manager_setup
+    job, _ = manager.submit(fast_request())
+    assert job.wait(120)
+    assert "timing" not in job.result
+    assert "clock_period_ns" not in metrics.snapshot() or \
+        metrics.snapshot()["clock_period_ns"]["count"] == 0
+
+
+def test_unmeetable_clock_degrades_and_skips_the_cache(manager_setup):
+    manager, cache, _ = manager_setup
+    request = fast_request(max_clock_ns=0.01)  # impossible: < clk->q+setup
+    job, cached = manager.submit(request)
+    assert cached is None
+    assert job.wait(120)
+    assert job.status == DONE
+    result = job.result
+    assert result["degraded"] is True
+    assert result["timing"]["clock_met"] is False
+    assert result["timing"]["max_clock_ns"] == 0.01
+    # degraded answers are never published under the exact key
+    assert cache.get(request_key(request)) is None
+
+
+def test_meetable_clock_is_full_fidelity(manager_setup):
+    manager, cache, _ = manager_setup
+    request = fast_request(max_clock_ns=100.0)
+    job, _ = manager.submit(request)
+    assert job.wait(120)
+    result = job.result
+    assert result["degraded"] is False
+    assert result["timing"]["clock_met"] is True
+    assert result["timing"]["clock_period_ns"] <= 100.0
+    assert cache.get(request_key(request)) is not None

@@ -1,0 +1,70 @@
+"""Unit tests for the per-unit delay library."""
+
+import pytest
+
+from repro.errors import DatapathError
+from repro.io import delay_spec_from_json, delay_spec_to_json
+from repro.timing.delays import (DEFAULT_DELAYS, DEFAULT_OP_DELAYS,
+                                 DelaySpec, delay_spec_from_dict,
+                                 delay_spec_to_dict)
+
+
+class TestDelaySpec:
+    def test_defaults_cover_every_semantic_kind(self):
+        from repro.cdfg.interp import OP_SEMANTICS
+        for kind in OP_SEMANTICS:
+            assert kind in DEFAULT_OP_DELAYS
+
+    def test_op_delay_falls_back_to_default(self):
+        spec = DelaySpec(default_op_delay=2.5)
+        assert spec.op_delay("add") == DEFAULT_OP_DELAYS["add"]
+        assert spec.op_delay("no-such-kind") == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(DatapathError):
+            DelaySpec(mux_level=-0.1)
+        with pytest.raises(DatapathError):
+            DelaySpec(op_delays={"add": -1.0})
+
+    def test_non_finite_delay_rejected(self):
+        with pytest.raises(DatapathError):
+            DelaySpec(register_setup=float("nan"))
+        with pytest.raises(DatapathError):
+            DelaySpec(register_clk_q=float("inf"))
+
+    def test_bool_is_not_a_delay(self):
+        with pytest.raises(DatapathError):
+            DelaySpec(mux_level=True)
+
+    def test_default_instance_is_valid(self):
+        assert DEFAULT_DELAYS.mux_level > 0
+        assert DEFAULT_DELAYS.op_delay("mul") > DEFAULT_DELAYS.op_delay("add")
+
+
+class TestCodec:
+    def test_dict_round_trip(self):
+        spec = DelaySpec(mux_level=0.3, op_delays={"add": 1.5},
+                         default_op_delay=0.7)
+        again = delay_spec_from_dict(delay_spec_to_dict(spec))
+        assert again == spec
+
+    def test_json_round_trip(self):
+        spec = DelaySpec(register_clk_q=0.2, wire_fanout=0.05)
+        text = delay_spec_to_json(spec)
+        again = delay_spec_from_json(text)
+        assert again == spec
+
+    def test_json_is_canonical(self):
+        a = delay_spec_to_json(DEFAULT_DELAYS)
+        b = delay_spec_to_json(DelaySpec())
+        assert a == b
+
+    def test_unknown_field_rejected(self):
+        data = delay_spec_to_dict(DEFAULT_DELAYS)
+        data["turbo"] = 1.0
+        with pytest.raises(DatapathError):
+            delay_spec_from_dict(data)
+
+    def test_wrong_payload_type_rejected(self):
+        with pytest.raises(DatapathError):
+            delay_spec_from_dict({"op_delays": "fast"})

@@ -1,0 +1,77 @@
+"""Equal-budget experiment: the latency weight shortens the clock.
+
+The acceptance experiment of the timing subsystem — rerun the bench
+pipeline for the mux-heavy zoo families twice with the *same* budget,
+seed and schedule, once at ``latency=0`` (the committed weight-0
+baseline) and once with the latency weight on, and require a strict
+``clock_period_ns`` reduction on at least three families.
+
+Families: by actual mux pressure the heavy ones are ``fft`` (26 muxes),
+``lattice`` (21), ``iir`` (17) and ``loopy``; ``fanout`` and ``branchy``
+despite the names carry only ~3 muxes whose depth is structurally forced,
+so their clock has no slack for the weight to claim.
+"""
+
+import pytest
+
+from repro.bench.runner import FAST_BUDGET
+from repro.bench.zoo import Scenario
+from repro.core import SalsaAllocator
+from repro.datapath.cost import CostWeights
+from repro.rng import SeedStream
+from repro.sched.asap import asap_length
+from repro.sched.explore import schedule_graph
+from repro.timing.sta import analyze_binding
+
+FAMILIES = ("fft", "iir", "lattice", "loopy")
+LATENCY_WEIGHT = 10.0
+
+
+def _allocate(family: str, latency: float):
+    scenario = Scenario.make(family, seed=0)
+    graph = scenario.build()
+    spec = scenario.spec()
+    definition = scenario.definition
+    length = asap_length(graph, spec) + definition.length_slack
+    schedule = schedule_graph(graph, spec, length=length, method="list",
+                              label=scenario.name)
+    registers = schedule.min_registers() + definition.extra_registers
+    allocator = SalsaAllocator(
+        seed=SeedStream(scenario.seed).child(definition.fid, 0xB),
+        restarts=2, config=FAST_BUDGET,
+        weights=CostWeights(latency=latency))
+    return allocator.allocate(graph, schedule=schedule, spec=spec,
+                              registers=registers)
+
+
+class TestLatencyWeight:
+    def test_equal_budget_search_shortens_the_clock(self):
+        improved = []
+        for family in FAMILIES:
+            base = analyze_binding(_allocate(family, 0.0).binding)
+            timed = analyze_binding(
+                _allocate(family, LATENCY_WEIGHT).binding)
+            if timed.clock_period_ns < base.clock_period_ns:
+                improved.append(family)
+        assert len(improved) >= 3, (
+            f"latency weight {LATENCY_WEIGHT} only improved {improved}")
+
+    def test_weight_zero_total_ignores_depth(self):
+        result = _allocate("loopy", 0.0)
+        weights = CostWeights()
+        expected = (weights.fu * result.cost.fu_area +
+                    weights.register * result.cost.register_count +
+                    weights.mux * result.cost.mux_count +
+                    weights.wire * result.cost.wire_count)
+        assert result.cost.total == expected
+
+    def test_weighted_total_charges_per_depth_level(self):
+        result = _allocate("loopy", LATENCY_WEIGHT)
+        depth = result.cost.mux_depth
+        zero = CostWeights()
+        base_total = (zero.fu * result.cost.fu_area +
+                      zero.register * result.cost.register_count +
+                      zero.mux * result.cost.mux_count +
+                      zero.wire * result.cost.wire_count)
+        assert result.cost.total == pytest.approx(
+            base_total + LATENCY_WEIGHT * depth)

@@ -1,0 +1,81 @@
+"""RTL round-trip verifier tests."""
+
+import pytest
+
+from repro.errors import DatapathError
+from repro.timing import rtlcheck
+from repro.timing.rtlcheck import (RoundTripReport, roundtrip_binding,
+                                   roundtrip_family, roundtrip_zoo)
+
+
+def _small_binding():
+    from repro.bench import elliptic_wave_filter
+    from repro.core import SalsaAllocator
+    from repro.core.improve import ImproveConfig
+
+    graph = elliptic_wave_filter()
+    result = SalsaAllocator(
+        seed=0, restarts=1,
+        config=ImproveConfig(max_trials=1,
+                             moves_per_trial=100)).allocate(graph)
+    return result.binding
+
+
+class TestRoundTripBinding:
+    def test_clean_binding_round_trips(self):
+        report = roundtrip_binding(_small_binding(), name="ewf",
+                                   iterations=3, seed=5)
+        assert report.ok
+        assert report.outputs_checked > 0
+        assert report.max_abs_err <= 1e-9
+        assert report.mismatches == []
+        assert report.rtl_problems == []
+
+    def test_report_serializes(self):
+        report = roundtrip_binding(_small_binding(), name="ewf",
+                                   iterations=1)
+        data = report.to_dict()
+        assert data["ok"] is True
+        assert data["name"] == "ewf"
+        assert data["cycles"] > 0
+
+    def test_divergence_is_collected_not_raised(self, monkeypatch):
+        binding = _small_binding()
+        real = rtlcheck.run_iterations
+
+        def corrupted(graph, streams, state, iterations):
+            results = real(graph, streams, state, iterations)
+            for outputs in results:
+                for key in outputs:
+                    outputs[key] += 1.0  # golden model deliberately wrong
+            return results
+
+        monkeypatch.setattr(rtlcheck, "run_iterations", corrupted)
+        report = roundtrip_binding(binding, name="ewf", iterations=2)
+        assert not report.ok
+        # every sampled output of every iteration diverges, and all of
+        # them are reported (unlike verify_binding's raise-on-first)
+        assert len(report.mismatches) == report.outputs_checked
+        assert "mismatches" in str(report)
+
+    def test_rtl_lint_can_be_skipped(self):
+        report = roundtrip_binding(_small_binding(), iterations=1,
+                                   emit_rtl=False)
+        assert report.rtl_problems == []
+
+
+class TestZooRoundTrip:
+    def test_one_family(self):
+        report = roundtrip_family("fanout", iterations=2)
+        assert isinstance(report, RoundTripReport)
+        assert report.family == "fanout"
+        assert report.ok
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(DatapathError):
+            roundtrip_family("no-such-family")
+
+    def test_family_filter(self):
+        reports = roundtrip_zoo(iterations=1, families=["branchy"])
+        assert [r.family for r in reports] == ["branchy"]
+        assert all(r.ok for r in reports)

@@ -1,0 +1,191 @@
+"""Static timing analyzer tests on hand-computable netlists.
+
+Every expected clock period here is worked out by hand from the default
+:class:`~repro.timing.delays.DelaySpec`:
+
+* register clk->Q 0.15 ns, setup 0.1 ns
+* one mux-tree level 0.2 ns, fanout penalty 0.02 ns per extra reader
+* add 1.0 ns, mul 3.2 ns (evenly pipelined across its span)
+"""
+
+import pytest
+
+from repro.errors import DatapathError
+from repro.datapath.netlist import (IssueEntry, Mux, Netlist, OutEntry,
+                                    WriteEntry)
+from repro.timing.delays import DEFAULT_DELAYS, DelaySpec
+from repro.timing.sta import (analyze_netlist, ceil_log2, netlist_mux_depth)
+
+
+def _issue(step, fu, op, kind, srcs, ports, end_step=None):
+    return IssueEntry(step=step, fu=fu, op=op, kind=kind,
+                      operand_srcs=tuple(srcs), ports=tuple(ports),
+                      end_step=step if end_step is None else end_step)
+
+
+def single_fu_chain() -> Netlist:
+    """Ra, Rb -> add1 -> Rc in one control step; no muxes anywhere."""
+    return Netlist(
+        name="chain", length=1, cyclic=False,
+        fus=["add1"], regs=["Ra", "Rb", "Rc"],
+        muxes=[],
+        connections=[(("reg_out", "Ra"), ("fu_in", "add1", 0)),
+                     (("reg_out", "Rb"), ("fu_in", "add1", 1)),
+                     (("fu_out", "add1"), ("reg_in", "Rc"))],
+        issues=[_issue(0, "add1", "o1", "add",
+                       [("reg", "Ra"), ("reg", "Rb")], [0, 1])],
+        writes=[WriteEntry(step=0, reg="Rc",
+                           source=("op_result", "o1"), value="v1")],
+    )
+
+
+def mux_tree_41() -> Netlist:
+    """A balanced 4:1 mux on add1 port 0 -> two tree levels of delay."""
+    sources = tuple(("reg_out", f"R{i}") for i in range(4))
+    connections = [(src, ("fu_in", "add1", 0)) for src in sources]
+    connections += [(("reg_out", "R4"), ("fu_in", "add1", 1)),
+                    (("fu_out", "add1"), ("reg_in", "Rc"))]
+    return Netlist(
+        name="mux41", length=1, cyclic=False,
+        fus=["add1"], regs=[f"R{i}" for i in range(5)] + ["Rc"],
+        muxes=[Mux(sink=("fu_in", "add1", 0), sources=sources)],
+        connections=connections,
+        issues=[_issue(0, "add1", "o1", "add",
+                       [("reg", "R0"), ("reg", "R4")], [0, 1])],
+        writes=[WriteEntry(step=0, reg="Rc",
+                           source=("op_result", "o1"), value="v1")],
+    )
+
+
+def pipelined_loop() -> Netlist:
+    """A 2-step cyclic schedule with one multiply spanning both steps."""
+    return Netlist(
+        name="piped", length=2, cyclic=True,
+        fus=["mult1"], regs=["Ra", "Rb", "Rc"],
+        muxes=[],
+        connections=[(("reg_out", "Ra"), ("fu_in", "mult1", 0)),
+                     (("reg_out", "Rb"), ("fu_in", "mult1", 1)),
+                     (("fu_out", "mult1"), ("reg_in", "Rc"))],
+        issues=[_issue(0, "mult1", "m1", "mul",
+                       [("reg", "Ra"), ("reg", "Rb")], [0, 1], end_step=1)],
+        writes=[WriteEntry(step=1, reg="Rc",
+                           source=("op_result", "m1"), value="v1")],
+    )
+
+
+class TestCeilLog2:
+    def test_values(self):
+        assert [ceil_log2(n) for n in range(9)] == \
+            [0, 0, 1, 2, 2, 3, 3, 3, 3]
+
+
+class TestSingleFuChain:
+    def test_exact_clock_period(self):
+        report = analyze_netlist(single_fu_chain())
+        # clk->Q + add + setup = 0.15 + 1.0 + 0.1
+        assert report.clock_period_ns == pytest.approx(1.25, abs=1e-12)
+        assert report.critical_step == 0
+        assert report.mux_depth_max == 0
+        assert report.mux_depth_total == 0
+
+    def test_path_names_the_pins(self):
+        report = analyze_netlist(single_fu_chain())
+        assert report.critical_path[0].endswith(".q")
+        assert report.critical_path[-1] == "Rc.d"
+        assert "add1.out" in report.critical_path
+
+
+class TestMuxTree:
+    def test_two_levels_of_mux_delay(self):
+        report = analyze_netlist(mux_tree_41())
+        # chain clock + 2 mux levels = 1.25 + 2 * 0.2
+        assert report.clock_period_ns == pytest.approx(1.65, abs=1e-12)
+        assert report.mux_depth_max == 2
+        assert report.mux_depth_total == 2
+        assert "mux2(add1.in0)" in report.critical_path
+
+    def test_netlist_mux_depth_matches(self):
+        assert netlist_mux_depth(mux_tree_41()) == 2
+
+
+class TestPipelinedLoop:
+    def test_stages_split_the_multiply(self):
+        report = analyze_netlist(pipelined_loop())
+        # stage = 3.2 / 2 = 1.6; both halves are register-bracketed:
+        #   step 0: clk->Q + stage + setup = 0.15 + 1.6 + 0.1
+        #   step 1: clk->Q + stage + setup = 0.15 + 1.6 + 0.1
+        assert report.steps[0].delay_ns == pytest.approx(1.85, abs=1e-12)
+        assert report.steps[1].delay_ns == pytest.approx(1.85, abs=1e-12)
+        assert report.clock_period_ns == pytest.approx(1.85, abs=1e-12)
+        assert "mult1.p1" in report.steps[0].path
+
+    def test_single_cycle_multiply_is_slower(self):
+        netlist = pipelined_loop()
+        flat = Netlist(
+            name="flat", length=2, cyclic=True,
+            fus=netlist.fus, regs=netlist.regs,
+            connections=netlist.connections,
+            issues=[_issue(0, "mult1", "m1", "mul",
+                           [("reg", "Ra"), ("reg", "Rb")], [0, 1])],
+            writes=[WriteEntry(step=0, reg="Rc",
+                               source=("op_result", "m1"), value="v1")],
+        )
+        piped = analyze_netlist(netlist)
+        unpiped = analyze_netlist(flat)
+        # 0.15 + 3.2 + 0.1 vs the 1.85 staged clock
+        assert unpiped.clock_period_ns == pytest.approx(3.45, abs=1e-12)
+        assert piped.clock_period_ns < unpiped.clock_period_ns
+
+
+class TestAnalyzer:
+    def test_deterministic(self):
+        a = analyze_netlist(mux_tree_41())
+        b = analyze_netlist(mux_tree_41())
+        assert a == b
+
+    def test_custom_delays_scale_the_answer(self):
+        fast_mux = DelaySpec(mux_level=0.0)
+        report = analyze_netlist(mux_tree_41(), fast_mux)
+        assert report.clock_period_ns == pytest.approx(1.25, abs=1e-12)
+
+    def test_empty_schedule_rejected(self):
+        empty = Netlist(name="none", length=0, cyclic=False,
+                        fus=[], regs=[])
+        with pytest.raises(DatapathError):
+            analyze_netlist(empty)
+
+    def test_every_step_has_a_hold_floor(self):
+        quiet = Netlist(name="quiet", length=3, cyclic=False,
+                        fus=[], regs=["Ra"])
+        report = analyze_netlist(quiet)
+        floor = DEFAULT_DELAYS.register_clk_q + DEFAULT_DELAYS.register_setup
+        assert all(s.delay_ns == pytest.approx(floor, abs=1e-12)
+                   for s in report.steps)
+        assert report.critical_path == ("hold",)
+
+    def test_output_port_sampling_is_timed(self):
+        netlist = single_fu_chain()
+        netlist.outs.append(OutEntry(step=0, value="v1",
+                                     source=("reg", "Rc"), at_end=False))
+        report = analyze_netlist(netlist)
+        # the out-port sample (0.15 + 0.1) never beats the FU cone
+        assert report.clock_period_ns == pytest.approx(1.25, abs=1e-12)
+
+
+class TestAgainstAllocator:
+    def test_ewf_binding_report_is_stable(self):
+        from repro.bench import elliptic_wave_filter
+        from repro.core import SalsaAllocator
+        from repro.core.improve import ImproveConfig
+        from repro.timing.sta import analyze_binding
+
+        graph = elliptic_wave_filter()
+        result = SalsaAllocator(
+            seed=7, restarts=1,
+            config=ImproveConfig(max_trials=1,
+                                 moves_per_trial=100)).allocate(graph)
+        a = analyze_binding(result.binding)
+        b = analyze_binding(result.binding)
+        assert a == b
+        assert a.clock_period_ns > 0
+        assert a.mux_depth_total == result.binding.ledger.mux_depth
